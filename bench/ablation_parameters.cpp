@@ -1,0 +1,103 @@
+// Parameter ablations DESIGN.md calls out beyond the paper's figures:
+//  - k in the k-NN contour depth estimate (paper fixes k = 5),
+//  - the CFRS transmission threshold t (paper fixes t = 0.25),
+//  - tile size of the encoder.
+// These probe the design choices rather than reproduce a specific figure.
+#include "bench/common.hpp"
+#include "encoding/tiles.hpp"
+#include "transfer/mask_transfer.hpp"
+
+using namespace edgeis;
+
+int main() {
+  bench::banner("Ablations", "k-NN depth k, CFRS threshold t, tile size");
+
+  const auto scene_cfg = scene::make_davis_scene(42, bench::kDefaultFrames);
+
+  // --- CFRS transmission threshold t. --------------------------------------
+  std::printf("\nCFRS new-content threshold t (paper: 0.25):\n");
+  eval::print_table_header({"t", "mean IoU", "false@0.75", "tx", "KB"});
+  for (double t : {0.1, 0.25, 0.5, 0.9}) {
+    core::PipelineConfig cfg;
+    cfg.new_content_threshold = t;
+    const auto r = bench::run_system(bench::System::kEdgeIs, scene_cfg, cfg);
+    eval::print_table_row({eval::fmt(t, 2), eval::fmt(r.summary.mean_iou, 3),
+                           eval::fmt_percent(r.summary.false_rate_strict),
+                           std::to_string(r.transmissions),
+                           std::to_string(r.total_tx_bytes / 1024)});
+  }
+  std::printf("shape: lower t transmits more (more bytes) for little extra\n"
+              "accuracy; very high t starves the edge of fresh content.\n");
+
+  // --- Tile size. -----------------------------------------------------------
+  std::printf("\nencoder tile size (bytes for one representative frame):\n");
+  eval::print_table_header({"tile", "bytes", "content quality"});
+  mask::InstanceMask object(640, 480);
+  for (int y = 180; y < 330; ++y) {
+    for (int x = 240; x < 420; ++x) object.set(x, y);
+  }
+  object.instance_id = 1;
+  for (int tile : {32, 64, 128}) {
+    enc::EncoderOptions opts;
+    opts.tile_size = tile;
+    const auto encoded = enc::encode_cfrs(0, 640, 480, {object}, {}, opts);
+    eval::print_table_row({std::to_string(tile),
+                           std::to_string(encoded.total_bytes),
+                           eval::fmt(encoded.content_quality, 3)});
+  }
+  std::printf("shape: smaller tiles track the mask contour more tightly and\n"
+              "spend fewer lossless bytes; very small tiles add overhead in\n"
+              "a real codec (not modeled).\n");
+
+  // --- Transfer k (contour depth neighbors). --------------------------------
+  std::printf("\nmask-transfer k (paper: k = 5) — davis clip, edge masks from GT:\n");
+  eval::print_table_header({"k", "mean transfer IoU"});
+  for (int k : {1, 3, 5, 9, 15}) {
+    // Evaluate the transfer module directly with everything else fixed.
+    scene::SceneSimulator sim(scene_cfg);
+    feat::OrbExtractor orb;
+    rt::Rng rng(99);
+    vo::Map map;
+    auto f0 = sim.render(0);
+    auto f1 = sim.render(20);
+    vo::InitializationInput input;
+    input.frame_index0 = 0;
+    input.frame_index1 = 20;
+    input.image0 = &f0.intensity;
+    input.image1 = &f1.intensity;
+    input.features0 = orb.extract(f0.intensity);
+    input.features1 = orb.extract(f1.intensity);
+    input.masks0 = sim.ground_truth_masks(f0);
+    input.masks1 = sim.ground_truth_masks(f1);
+    auto init = vo::initialize_map(scene_cfg.camera, input, map, rng);
+    if (!init) continue;
+    vo::Tracker tracker(scene_cfg.camera, &map, rng.fork());
+    tracker.set_initial_poses(init->t_cw1, init->t_cw1);
+    transfer::TransferOptions topts;
+    topts.k_nearest = k;
+    transfer::MaskTransfer mamt(scene_cfg.camera, &map, topts);
+    double iou = 0.0;
+    int n = 0;
+    for (int i = 21; i < 100; ++i) {
+      auto frame = sim.render(i);
+      auto obs = tracker.track(i, orb.extract(frame.intensity));
+      if (obs.created_keyframe) {
+        tracker.annotate_keyframe(i, sim.ground_truth_masks(frame));
+      }
+      for (const auto& pred : mamt.predict(obs)) {
+        auto gt = scene::SceneSimulator::ground_truth_mask(
+            frame, pred.instance_id,
+            static_cast<scene::ObjectClass>(pred.class_id));
+        if (gt.pixel_count() < eval::kMinScorablePixels) continue;
+        iou += pred.mask.iou(gt);
+        ++n;
+      }
+    }
+    eval::print_table_row({std::to_string(k),
+                           eval::fmt(n ? iou / n : 0.0, 3)});
+  }
+  std::printf("shape: k = 1 is noisy (single-feature depth), large k blurs\n"
+              "depth discontinuities at the object boundary; k ~ 5 is the\n"
+              "sweet spot the paper picked.\n");
+  return 0;
+}

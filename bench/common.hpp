@@ -1,0 +1,84 @@
+// Shared helpers for the per-figure experiment harnesses. Every bench
+// prints the rows/series of its paper figure; absolute values come from the
+// simulation's calibrated cost models, so the *shape* (ordering, rough
+// ratios, crossovers) is the reproduction target (see EXPERIMENTS.md).
+#pragma once
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "core/baselines.hpp"
+#include "core/edgeis_pipeline.hpp"
+#include "core/pipeline.hpp"
+#include "eval/metrics.hpp"
+#include "scene/presets.hpp"
+
+namespace edgeis::bench {
+
+inline constexpr int kDefaultFrames = 180;
+// Scoring starts after initialization + the first full-annotation round
+// trips (the paper likewise evaluates the running system, not cold start).
+inline constexpr int kWarmupFrames = 75;
+
+enum class System {
+  kEdgeIs,
+  kEaar,
+  kEdgeDuet,
+  kBestEffort,
+  kBestEffortMv,
+  kPureMobile,
+};
+
+inline const char* system_name(System s) {
+  switch (s) {
+    case System::kEdgeIs: return "edgeIS";
+    case System::kEaar: return "EAAR";
+    case System::kEdgeDuet: return "EdgeDuet";
+    case System::kBestEffort: return "best-effort";
+    case System::kBestEffortMv: return "best-effort+mv";
+    case System::kPureMobile: return "pure-mobile";
+  }
+  return "?";
+}
+
+inline std::unique_ptr<core::Pipeline> make_pipeline(
+    System s, const scene::SceneConfig& scene_cfg,
+    const core::PipelineConfig& cfg) {
+  switch (s) {
+    case System::kEdgeIs:
+      return std::make_unique<core::EdgeISPipeline>(scene_cfg, cfg);
+    case System::kEaar:
+      return std::make_unique<core::TrackDetectPipeline>(
+          scene_cfg, cfg, core::TrackDetectPolicy::kEaar);
+    case System::kEdgeDuet:
+      return std::make_unique<core::TrackDetectPipeline>(
+          scene_cfg, cfg, core::TrackDetectPolicy::kEdgeDuet);
+    case System::kBestEffort:
+      return std::make_unique<core::TrackDetectPipeline>(
+          scene_cfg, cfg, core::TrackDetectPolicy::kBestEffort);
+    case System::kBestEffortMv:
+      return std::make_unique<core::TrackDetectPipeline>(
+          scene_cfg, cfg, core::TrackDetectPolicy::kBestEffort, true);
+    case System::kPureMobile:
+      return std::make_unique<core::PureMobilePipeline>(scene_cfg, cfg);
+  }
+  return nullptr;
+}
+
+inline core::RunResult run_system(System s,
+                                  const scene::SceneConfig& scene_cfg,
+                                  const core::PipelineConfig& cfg,
+                                  int warmup = kWarmupFrames) {
+  scene::SceneSimulator sim(scene_cfg);
+  auto pipeline = make_pipeline(s, scene_cfg, cfg);
+  return core::run_pipeline(sim, *pipeline, warmup);
+}
+
+inline void banner(const char* figure, const char* description) {
+  std::printf("\n================================================================\n");
+  std::printf("%s — %s\n", figure, description);
+  std::printf("================================================================\n");
+}
+
+}  // namespace edgeis::bench

@@ -1,0 +1,33 @@
+// Fig. 11: average per-frame mobile latency and accuracy under WiFi 5 GHz.
+// Paper: edgeIS 28 ms / 0.89 IoU; EAAR 41 ms / 0.83; EdgeDuet 49 ms / 0.78.
+#include "bench/common.hpp"
+
+using namespace edgeis;
+using bench::System;
+
+int main() {
+  bench::banner("Fig. 11", "per-frame mobile latency and IoU @ WiFi 5 GHz");
+
+  const auto scene_cfg = scene::make_davis_scene(42, bench::kDefaultFrames);
+  core::PipelineConfig cfg;
+  cfg.link = net::wifi_5ghz();
+
+  const System systems[] = {System::kEdgeIs, System::kEaar,
+                            System::kEdgeDuet};
+
+  eval::print_table_header(
+      {"system", "latency(ms)", "p95(ms)", "mean IoU", "tx", "KB sent"});
+  for (System s : systems) {
+    const auto r = bench::run_system(s, scene_cfg, cfg);
+    eval::print_table_row(
+        {bench::system_name(s), eval::fmt(r.summary.mean_latency_ms, 1),
+         eval::fmt(r.summary.p95_latency_ms, 1),
+         eval::fmt(r.summary.mean_iou, 3), std::to_string(r.transmissions),
+         std::to_string(r.total_tx_bytes / 1024)});
+  }
+  std::printf(
+      "\nPaper shape: edgeIS stays within the 33 ms frame budget; the\n"
+      "correlation-tracker baseline (EdgeDuet) is the slowest; accuracy\n"
+      "tracks latency because late masks render on later frames.\n");
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Fig. 12: robustness against camera motion — the same route walked,
+// strided and jogged. Paper: false rate 4.7% / 9.8% / 29.9%; worst-case
+// mean IoU still >= 0.82.
+#include "bench/common.hpp"
+
+using namespace edgeis;
+
+int main() {
+  bench::banner("Fig. 12", "robustness vs camera gait (walk/stride/jog)");
+
+  struct Row {
+    const char* name;
+    scene::Gait gait;
+  } rows[] = {{"walk", scene::Gait::kWalk},
+              {"stride", scene::Gait::kStride},
+              {"jog", scene::Gait::kJog}};
+
+  eval::print_table_header({"gait", "false@0.75", "mean IoU", "latency(ms)"});
+  for (const auto& row : rows) {
+    // As in the paper (Section VI-C), each clip runs three times and the
+    // results are averaged.
+    double false_rate = 0.0, iou = 0.0, latency = 0.0;
+    const int runs = 3;
+    for (int rep = 0; rep < runs; ++rep) {
+      const auto scene_cfg = scene::make_motion_scene(
+          row.gait, 42 + static_cast<std::uint64_t>(rep), bench::kDefaultFrames);
+      core::PipelineConfig cfg;
+      cfg.seed = 42 + static_cast<std::uint64_t>(rep);
+      const auto r = bench::run_system(bench::System::kEdgeIs, scene_cfg, cfg);
+      false_rate += r.summary.false_rate_strict;
+      iou += r.summary.mean_iou;
+      latency += r.summary.mean_latency_ms;
+    }
+    eval::print_table_row({row.name, eval::fmt_percent(false_rate / runs),
+                           eval::fmt(iou / runs, 3),
+                           eval::fmt(latency / runs, 1)});
+  }
+  std::printf(
+      "\nPaper shape: false rate grows with gait speed (motion blur of the\n"
+      "pose prior, larger inter-frame displacement), but accuracy remains\n"
+      "usable even when jogging.\n");
+  return 0;
+}

@@ -1,0 +1,34 @@
+// Fig. 13: accuracy vs scene complexity. Paper: mean IoU 0.91 (easy, <=3
+// static objects) / 0.88 (medium, <=10) / 0.83 (hard, moving objects);
+// false rate in the hard setting 19.7%.
+#include "bench/common.hpp"
+
+using namespace edgeis;
+
+int main() {
+  bench::banner("Fig. 13", "accuracy vs scene complexity");
+
+  struct Row {
+    const char* name;
+    scene::Complexity level;
+  } rows[] = {{"easy", scene::Complexity::kEasy},
+              {"medium", scene::Complexity::kMedium},
+              {"hard", scene::Complexity::kHard}};
+
+  core::PipelineConfig cfg;
+  eval::print_table_header(
+      {"complexity", "mean IoU", "false@0.75", "objects"});
+  for (const auto& row : rows) {
+    const auto scene_cfg =
+        scene::make_complexity_scene(row.level, 42, bench::kDefaultFrames);
+    const auto r = bench::run_system(bench::System::kEdgeIs, scene_cfg, cfg);
+    eval::print_table_row({row.name, eval::fmt(r.summary.mean_iou, 3),
+                           eval::fmt_percent(r.summary.false_rate_strict),
+                           std::to_string(scene_cfg.objects.size())});
+  }
+  std::printf(
+      "\nPaper shape: accuracy decreases gently from easy to medium and\n"
+      "drops most in the dynamic (hard) setting, where per-object pose\n"
+      "tracking carries the load.\n");
+  return 0;
+}

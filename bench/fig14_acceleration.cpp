@@ -1,0 +1,95 @@
+// Fig. 14: CIIA latency breakdown on the edge model. Paper: dynamic anchor
+// placement cuts RPN latency by 46% and inference (second stage) by 21%;
+// RoI pruning cuts inference by a further 43%; overall reduction 48% at
+// unchanged accuracy (>= 0.92 IoU).
+#include "bench/common.hpp"
+#include "segnet/model.hpp"
+
+using namespace edgeis;
+
+namespace {
+
+struct Mode {
+  const char* name;
+  bool dap;
+  bool prune;
+};
+
+}  // namespace
+
+int main() {
+  bench::banner("Fig. 14", "CIIA edge-inference acceleration breakdown");
+
+  const auto scene_cfg = scene::make_davis_scene(42, 60);
+  scene::SceneSimulator sim(scene_cfg);
+
+  const Mode modes[] = {{"full-frame", false, false},
+                        {"+DAP", true, false},
+                        {"+DAP+pruning", true, true}};
+
+  eval::print_table_header({"mode", "anchors", "RoIs", "mask-RoIs",
+                            "RPN(ms)", "infer(ms)", "total(ms)", "IoU"});
+  double base_rpn = 0.0, base_infer = 0.0, base_total = 0.0;
+  for (const auto& mode : modes) {
+    segnet::SegmentationModel model(segnet::mask_rcnn_profile(), rt::Rng(3));
+    double rpn = 0.0, infer = 0.0, total = 0.0, iou = 0.0;
+    int anchors = 0, rois = 0, mask_rois = 0, frames = 0, n = 0;
+    for (int f = 0; f < 60; f += 6) {
+      const auto frame = sim.render(f);
+      segnet::InferenceRequest req;
+      req.width = scene_cfg.camera.width;
+      req.height = scene_cfg.camera.height;
+      for (auto& m : sim.ground_truth_masks(frame)) {
+        if (m.pixel_count() < eval::kMinScorablePixels) continue;
+        segnet::OracleInstance oi;
+        oi.box = *m.bounding_box();
+        oi.class_id = m.class_id;
+        oi.instance_id = m.instance_id;
+        oi.mask = m;
+        // Priors: the (here: exact) transferred-mask boxes.
+        req.priors.push_back({oi.box, oi.class_id, oi.instance_id});
+        req.oracle.push_back(std::move(oi));
+      }
+      if (!mode.dap) req.priors.clear();
+      req.use_dynamic_anchor_placement = mode.dap;
+      req.use_roi_pruning = mode.prune;
+      const auto result = model.infer(req);
+      rpn += result.stats.rpn_ms;
+      infer += result.stats.inference_ms();
+      total += result.stats.total_ms();
+      anchors += result.stats.anchors_evaluated;
+      rois += result.stats.rois_after_selection;
+      mask_rois += result.stats.rois_after_pruning;
+      ++frames;
+      for (const auto& inst : result.instances) {
+        for (const auto& o : req.oracle) {
+          if (o.instance_id == inst.instance_id) {
+            iou += inst.mask.iou(o.mask);
+            ++n;
+          }
+        }
+      }
+    }
+    if (base_rpn == 0.0) {
+      base_rpn = rpn;
+      base_infer = infer;
+      base_total = total;
+    }
+    eval::print_table_row(
+        {mode.name, std::to_string(anchors / frames),
+         std::to_string(rois / frames), std::to_string(mask_rois / frames),
+         eval::fmt(rpn / frames, 0), eval::fmt(infer / frames, 0),
+         eval::fmt(total / frames, 0), eval::fmt(n ? iou / n : 0.0, 3)});
+    if (rpn != base_rpn || infer != base_infer) {
+      std::printf("  -> RPN %+.0f%%, inference %+.0f%%, total %+.0f%%\n",
+                  100.0 * (rpn - base_rpn) / base_rpn,
+                  100.0 * (infer - base_infer) / base_infer,
+                  100.0 * (total - base_total) / base_total);
+    }
+  }
+  std::printf(
+      "\nPaper shape: DAP removes most anchor work (RPN -46%% reported);\n"
+      "pruning mostly empties the mask head (inference -43%%); overall\n"
+      "about half the latency at unchanged accuracy.\n");
+  return 0;
+}

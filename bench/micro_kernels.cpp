@@ -1,0 +1,121 @@
+// Google-benchmark microbenchmarks of the hot kernels: feature detection,
+// description, matching, contour tracing, rasterization, NMS and the
+// anchor generator. These ground the mobile cost model's constants.
+#include <benchmark/benchmark.h>
+
+#include "features/matcher.hpp"
+#include "features/orb.hpp"
+#include "mask/mask.hpp"
+#include "runtime/rng.hpp"
+#include "scene/presets.hpp"
+#include "segnet/anchors.hpp"
+
+using namespace edgeis;
+
+namespace {
+
+const scene::RenderedFrame& test_frame() {
+  static const scene::RenderedFrame frame = [] {
+    scene::SceneSimulator sim(scene::make_davis_scene(42, 10));
+    return sim.render(0);
+  }();
+  return frame;
+}
+
+mask::InstanceMask test_mask() {
+  mask::InstanceMask m(640, 480);
+  for (int y = 0; y < 480; ++y) {
+    for (int x = 0; x < 640; ++x) {
+      if ((x - 320) * (x - 320) + (y - 240) * (y - 240) < 120 * 120) {
+        m.set(x, y);
+      }
+    }
+  }
+  return m;
+}
+
+}  // namespace
+
+static void BM_OrbExtract(benchmark::State& state) {
+  const auto& frame = test_frame();
+  feat::OrbExtractor orb;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(orb.extract(frame.intensity));
+  }
+}
+BENCHMARK(BM_OrbExtract)->Unit(benchmark::kMillisecond);
+
+static void BM_BruteForceMatch(benchmark::State& state) {
+  const auto& frame = test_frame();
+  feat::OrbExtractor orb;
+  const auto feats = orb.extract(frame.intensity);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(feat::match_brute_force(feats, feats));
+  }
+}
+BENCHMARK(BM_BruteForceMatch)->Unit(benchmark::kMillisecond);
+
+static void BM_FindContours(benchmark::State& state) {
+  const auto m = test_mask();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mask::find_contours(m));
+  }
+}
+BENCHMARK(BM_FindContours)->Unit(benchmark::kMillisecond);
+
+static void BM_RasterizePolygon(benchmark::State& state) {
+  const auto m = test_mask();
+  const auto contours = mask::find_contours(m);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        mask::rasterize_polygon(contours[0], 640, 480));
+  }
+}
+BENCHMARK(BM_RasterizePolygon)->Unit(benchmark::kMillisecond);
+
+static void BM_MaskIou(benchmark::State& state) {
+  const auto a = test_mask();
+  const auto b = a.translated(10, 5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.iou(b));
+  }
+}
+BENCHMARK(BM_MaskIou)->Unit(benchmark::kMillisecond);
+
+static void BM_FullAnchorGeneration(benchmark::State& state) {
+  const auto levels = segnet::default_fpn_levels();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        segnet::generate_full_anchors(640, 480, levels));
+  }
+}
+BENCHMARK(BM_FullAnchorGeneration)->Unit(benchmark::kMillisecond);
+
+static void BM_Nms(benchmark::State& state) {
+  rt::Rng rng(3);
+  std::vector<segnet::Proposal> props;
+  for (int i = 0; i < 500; ++i) {
+    segnet::Proposal p;
+    const int x = static_cast<int>(rng.uniform_int(500));
+    const int y = static_cast<int>(rng.uniform_int(350));
+    p.box = {x, y, x + 90, y + 90};
+    p.objectness = rng.uniform();
+    props.push_back(p);
+  }
+  for (auto _ : state) {
+    auto copy = props;
+    benchmark::DoNotOptimize(segnet::nms(std::move(copy), 0.7, 300));
+  }
+}
+BENCHMARK(BM_Nms)->Unit(benchmark::kMillisecond);
+
+static void BM_SceneRender(benchmark::State& state) {
+  scene::SceneSimulator sim(scene::make_davis_scene(42, 10));
+  int i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.render(i++ % 10));
+  }
+}
+BENCHMARK(BM_SceneRender)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,61 @@
+// AR industrial inspection (the paper's Fig. 1 / Section VI-G scenario):
+// an inspector wearing AR glasses walks around oil-field equipment; edgeIS
+// segments separators and tubes so equipment information can be anchored
+// to them. Uses the field preset, an AGX Xavier edge and both WiFi and LTE.
+#include <cstdio>
+
+#include "core/edgeis_pipeline.hpp"
+#include "scene/presets.hpp"
+
+using namespace edgeis;
+
+namespace {
+
+void run_device(const char* label, const sim::DeviceProfile& device,
+                const net::LinkProfile& link, std::uint64_t seed) {
+  const scene::SceneConfig scene_cfg = scene::make_field_scene(seed, 180);
+  core::PipelineConfig cfg;
+  cfg.mobile = device;
+  cfg.link = link;
+  cfg.edge = sim::jetson_agx_xavier();
+  cfg.seed = seed;
+
+  scene::SceneSimulator sim(scene_cfg);
+  core::EdgeISPipeline pipeline(scene_cfg, cfg);
+  const auto result = core::run_pipeline(sim, pipeline, 60);
+
+  std::printf("%-22s link=%-12s IoU=%.3f false@0.75=%4.1f%% lat=%.1fms\n",
+              label, link.name.c_str(), result.summary.mean_iou,
+              100.0 * result.summary.false_rate_strict,
+              result.summary.mean_latency_ms);
+
+  // What an AR overlay would do with the masks: report per-class coverage
+  // of the last processed frame.
+  const auto frame = sim.render(sim.total_frames() - 1);
+  core::EdgeISPipeline replay(scene_cfg, cfg);
+  core::FrameOutput last;
+  for (int i = 0; i < sim.total_frames(); ++i) {
+    last = replay.process(sim.render(i));
+  }
+  std::printf("  overlay anchors in the final frame:\n");
+  for (const auto& m : last.rendered_masks) {
+    const auto box = m.bounding_box();
+    if (!box) continue;
+    std::printf("    %-10s instance %d at [%d,%d..%d,%d], %lld px\n",
+                scene::class_name(static_cast<scene::ObjectClass>(m.class_id)),
+                m.instance_id, box->x0, box->y0, box->x1, box->y1,
+                m.pixel_count());
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("edgeIS AR inspection demo — oil-field equipment, AGX Xavier edge\n\n");
+  run_device("dream-glass (indoor)", sim::dream_glass(), net::wifi_5ghz(), 42);
+  run_device("iphone-11 (remote)", sim::iphone11(), net::lte(), 4242);
+  std::printf(
+      "\nAs in the paper's field study, LTE's higher latency costs some\n"
+      "accuracy but the overlays remain anchored to the equipment.\n");
+  return 0;
+}

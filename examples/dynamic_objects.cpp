@@ -1,0 +1,90 @@
+// Dynamic-object tracking demo (Section III-B / Fig. 13 "hard"): several
+// objects move while the camera orbits. Shows per-object pose estimates
+// (the Eq. 6-7 displacement machinery) next to the ground-truth motion.
+#include <cstdio>
+
+#include "core/edgeis_pipeline.hpp"
+#include "features/orb.hpp"
+#include "scene/presets.hpp"
+#include "transfer/mask_transfer.hpp"
+#include "vo/initializer.hpp"
+#include "vo/tracker.hpp"
+
+using namespace edgeis;
+
+int main() {
+  std::printf("edgeIS dynamic-objects demo — hard complexity scene\n\n");
+
+  const auto scene_cfg =
+      scene::make_complexity_scene(scene::Complexity::kHard, 42, 200);
+  scene::SceneSimulator sim(scene_cfg);
+
+  // Run the mobile-side VO directly (with ground-truth masks as the edge
+  // annotations) so the object tracks are easy to inspect.
+  feat::OrbExtractor orb;
+  rt::Rng rng(99);
+  vo::Map map;
+  auto f0 = sim.render(0);
+  auto f1 = sim.render(20);
+  vo::InitializationInput input;
+  input.frame_index0 = 0;
+  input.frame_index1 = 20;
+  input.image0 = &f0.intensity;
+  input.image1 = &f1.intensity;
+  input.features0 = orb.extract(f0.intensity);
+  input.features1 = orb.extract(f1.intensity);
+  input.masks0 = sim.ground_truth_masks(f0);
+  input.masks1 = sim.ground_truth_masks(f1);
+  const auto init = vo::initialize_map(scene_cfg.camera, input, map, rng);
+  if (!init) {
+    std::printf("initialization failed — try another seed\n");
+    return 1;
+  }
+  std::printf("initialized: %d map points, %d labeled\n\n",
+              init->triangulated_points, init->labeled_points);
+
+  vo::Tracker tracker(scene_cfg.camera, &map, rng.fork());
+  tracker.set_initial_poses(init->t_cw1, init->t_cw1);
+  transfer::MaskTransfer mamt(scene_cfg.camera, &map);
+
+  for (int i = 21; i < sim.total_frames(); ++i) {
+    const auto frame = sim.render(i);
+    const auto obs = tracker.track(i, orb.extract(frame.intensity));
+    if (obs.created_keyframe) {
+      tracker.annotate_keyframe(i, sim.ground_truth_masks(frame));
+    }
+    if (i % 40 == 0) {
+      std::printf("frame %d (t=%.1fs): pose inliers %d\n", i,
+                  frame.timestamp, obs.pose_inliers);
+      for (const auto& [instance_id, track] : map.objects()) {
+        if (track.point_count <= 0) continue;
+        // Ground truth: has this object actually moved from its spawn pose?
+        const auto& object = scene_cfg.objects[static_cast<std::size_t>(instance_id - 1)];
+        const bool truly_moving = object.motion.is_dynamic() &&
+                                  frame.timestamp >
+                                      object.motion.start_move_time;
+        std::printf(
+            "  %-8s #%d: %2d pts, displacement %.2f map-units, flagged %-7s"
+            " (truth: %s)\n",
+            scene::class_name(object.cls), instance_id, track.point_count,
+            track.displacement.t.norm(),
+            track.is_moving ? "MOVING" : "static",
+            truly_moving ? "moving" : "static");
+      }
+      const auto preds = mamt.predict(obs);
+      double iou_sum = 0.0;
+      int n = 0;
+      for (const auto& p : preds) {
+        const auto gt = scene::SceneSimulator::ground_truth_mask(
+            frame, p.instance_id,
+            static_cast<scene::ObjectClass>(p.class_id));
+        if (gt.pixel_count() == 0) continue;
+        iou_sum += p.mask.iou(gt);
+        ++n;
+      }
+      std::printf("  transferred %zu masks, mean IoU %.3f\n", preds.size(),
+                  n ? iou_sum / n : 0.0);
+    }
+  }
+  return 0;
+}

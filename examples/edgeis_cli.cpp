@@ -1,0 +1,119 @@
+// Command-line runner: evaluate any system on any dataset preset over any
+// link without recompiling. Useful for quick comparisons and scripting.
+//
+//   edgeis_cli [--system edgeis|eaar|edgeduet|besteffort|mobile]
+//              [--dataset davis|kitti|xiph|field]
+//              [--link wifi5|wifi24|lte]
+//              [--frames N] [--seed S]
+//              [--no-mamt] [--no-ciia] [--no-cfrs]
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "core/baselines.hpp"
+#include "core/edgeis_pipeline.hpp"
+#include "scene/presets.hpp"
+
+using namespace edgeis;
+
+namespace {
+
+void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--system edgeis|eaar|edgeduet|besteffort|mobile]\n"
+               "          [--dataset davis|kitti|xiph|field] [--link "
+               "wifi5|wifi24|lte]\n"
+               "          [--frames N] [--seed S] [--no-mamt] [--no-ciia] "
+               "[--no-cfrs]\n",
+               argv0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string system = "edgeis";
+  std::string dataset = "davis";
+  std::string link = "wifi5";
+  int frames = 180;
+  std::uint64_t seed = 42;
+  core::PipelineConfig cfg;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        usage(argv[0]);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--system") system = next();
+    else if (arg == "--dataset") dataset = next();
+    else if (arg == "--link") link = next();
+    else if (arg == "--frames") frames = std::atoi(next());
+    else if (arg == "--seed") seed = static_cast<std::uint64_t>(std::atoll(next()));
+    else if (arg == "--no-mamt") cfg.enable_mamt = false;
+    else if (arg == "--no-ciia") cfg.enable_ciia = false;
+    else if (arg == "--no-cfrs") cfg.enable_cfrs = false;
+    else {
+      usage(argv[0]);
+      return 2;
+    }
+  }
+
+  if (link == "wifi5") cfg.link = net::wifi_5ghz();
+  else if (link == "wifi24") cfg.link = net::wifi_24ghz();
+  else if (link == "lte") cfg.link = net::lte();
+  else {
+    usage(argv[0]);
+    return 2;
+  }
+  cfg.seed = seed;
+
+  scene::SceneConfig scene_cfg;
+  try {
+    scene_cfg = scene::make_dataset_scene(dataset, seed, frames);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 2;
+  }
+
+  std::unique_ptr<core::Pipeline> pipeline;
+  if (system == "edgeis") {
+    pipeline = std::make_unique<core::EdgeISPipeline>(scene_cfg, cfg);
+  } else if (system == "eaar") {
+    pipeline = std::make_unique<core::TrackDetectPipeline>(
+        scene_cfg, cfg, core::TrackDetectPolicy::kEaar);
+  } else if (system == "edgeduet") {
+    pipeline = std::make_unique<core::TrackDetectPipeline>(
+        scene_cfg, cfg, core::TrackDetectPolicy::kEdgeDuet);
+  } else if (system == "besteffort") {
+    pipeline = std::make_unique<core::TrackDetectPipeline>(
+        scene_cfg, cfg, core::TrackDetectPolicy::kBestEffort);
+  } else if (system == "mobile") {
+    pipeline = std::make_unique<core::PureMobilePipeline>(scene_cfg, cfg);
+  } else {
+    usage(argv[0]);
+    return 2;
+  }
+
+  scene::SceneSimulator sim(scene_cfg);
+  const auto r = core::run_pipeline(sim, *pipeline);
+
+  std::printf("system=%s dataset=%s link=%s frames=%d seed=%llu\n",
+              pipeline->name().c_str(), dataset.c_str(), link.c_str(),
+              frames, static_cast<unsigned long long>(seed));
+  std::printf("mean_iou=%.4f\n", r.summary.mean_iou);
+  std::printf("false_rate_strict=%.4f\n", r.summary.false_rate_strict);
+  std::printf("false_rate_loose=%.4f\n", r.summary.false_rate_loose);
+  std::printf("mean_latency_ms=%.2f\n", r.summary.mean_latency_ms);
+  std::printf("p95_latency_ms=%.2f\n", r.summary.p95_latency_ms);
+  std::printf("transmissions=%d\n", r.transmissions);
+  std::printf("tx_kbytes=%zu\n", r.total_tx_bytes / 1024);
+  std::printf("cpu_utilization=%.3f\n", r.mean_cpu_utilization);
+  std::printf("peak_memory_mb=%.2f\n",
+              static_cast<double>(r.peak_memory_bytes) / 1048576.0);
+  return 0;
+}

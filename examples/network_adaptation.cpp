@@ -1,0 +1,73 @@
+// CFRS behaviour across links (Section V): shows what the content-based
+// encoder sends for a representative frame — tile classes, compression
+// levels, bytes — and how the transmission triggers react on different
+// links, compared against uniform encoding.
+#include <cstdio>
+
+#include "core/edgeis_pipeline.hpp"
+#include "encoding/tiles.hpp"
+#include "scene/presets.hpp"
+
+using namespace edgeis;
+
+int main() {
+  std::printf("edgeIS network-adaptation demo — CFRS tile encoding\n\n");
+
+  // A representative mask: one object in the middle of the frame.
+  mask::InstanceMask object(640, 480);
+  for (int y = 160; y < 340; ++y) {
+    for (int x = 220; x < 430; ++x) {
+      // Rounded corners so the contour band is not box-trivial.
+      const double dx = std::max({220 - x, x - 429, 0});
+      const double dy = std::max({160 - y, y - 339, 0});
+      if (dx * dx + dy * dy < 40 * 40) object.set(x, y);
+    }
+  }
+  object.instance_id = 1;
+  object.class_id = static_cast<int>(scene::ObjectClass::kSeparator);
+
+  const auto cfrs = enc::encode_cfrs(0, 640, 480, {object}, {{0, 0, 128, 96}});
+  const auto uniform = enc::encode_uniform(0, 640, 480,
+                                           enc::CompressionLevel::kHigh);
+
+  std::printf("tile map (L=lossless contour band, H=high, .=background low):\n");
+  const int cols = (640 + 63) / 64;
+  for (std::size_t i = 0; i < cfrs.tiles.size(); ++i) {
+    const auto& t = cfrs.tiles[i];
+    char c = '.';
+    if (t.level == enc::CompressionLevel::kLossless) c = 'L';
+    else if (t.level == enc::CompressionLevel::kHigh) c = 'H';
+    else if (t.level == enc::CompressionLevel::kMedium) c = 'M';
+    std::printf("%c", c);
+    if ((i + 1) % static_cast<std::size_t>(cols) == 0) std::printf("\n");
+  }
+  std::printf("\nCFRS frame   : %zu bytes (content quality %.2f)\n",
+              cfrs.total_bytes, cfrs.content_quality);
+  std::printf("uniform high : %zu bytes (%.1fx more)\n", uniform.total_bytes,
+              static_cast<double>(uniform.total_bytes) /
+                  static_cast<double>(cfrs.total_bytes));
+
+  // End-to-end effect on different links.
+  std::printf("\nend-to-end on the davis scene:\n");
+  const auto scene_cfg = scene::make_davis_scene(42, 160);
+  for (const auto& link :
+       {net::wifi_5ghz(), net::wifi_24ghz(), net::lte()}) {
+    for (bool cfrs_on : {true, false}) {
+      core::PipelineConfig cfg;
+      cfg.link = link;
+      cfg.enable_cfrs = cfrs_on;
+      scene::SceneSimulator sim(scene_cfg);
+      core::EdgeISPipeline pipeline(scene_cfg, cfg);
+      const auto r = core::run_pipeline(sim, pipeline, 60);
+      std::printf("  %-12s CFRS=%-3s IoU=%.3f false@0.75=%4.1f%% sent=%5zu KB in %d tx\n",
+                  link.name.c_str(), cfrs_on ? "on" : "off",
+                  r.summary.mean_iou, 100.0 * r.summary.false_rate_strict,
+                  r.total_tx_bytes / 1024, r.transmissions);
+    }
+  }
+  std::printf(
+      "\nThe slower the link, the more the content-based encoding matters:\n"
+      "uniform high-quality frames saturate LTE while CFRS keeps the\n"
+      "contour band sharp at a fraction of the bytes.\n");
+  return 0;
+}

@@ -1,0 +1,250 @@
+#include "core/baselines.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "encoding/tiles.hpp"
+#include "features/matcher.hpp"
+
+namespace edgeis::core {
+namespace {
+
+std::unordered_map<int, int> class_table(const scene::SceneConfig& cfg) {
+  std::unordered_map<int, int> table;
+  for (const auto& obj : cfg.objects) {
+    table[obj.instance_id] = static_cast<int>(obj.cls);
+  }
+  return table;
+}
+
+std::vector<segnet::OracleInstance> oracle_from_frame(
+    const scene::RenderedFrame& frame,
+    const std::unordered_map<int, int>& instance_class) {
+  std::vector<segnet::OracleInstance> oracle;
+  for (const auto& [instance_id, class_id] : instance_class) {
+    auto m = mask::mask_from_id_image(frame.instance_ids,
+                                      static_cast<std::uint16_t>(instance_id));
+    if (m.pixel_count() == 0) continue;
+    m.class_id = class_id;
+    segnet::OracleInstance oi;
+    oi.box = *m.bounding_box();
+    oi.class_id = class_id;
+    oi.instance_id = instance_id;
+    oi.mask = std::move(m);
+    oracle.push_back(std::move(oi));
+  }
+  return oracle;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// PureMobilePipeline
+// ---------------------------------------------------------------------------
+
+PureMobilePipeline::PureMobilePipeline(const scene::SceneConfig& scene_config,
+                                       PipelineConfig config)
+    : scene_config_(scene_config),
+      config_(std::move(config)),
+      instance_class_(class_table(scene_config)),
+      model_(config_.model, rt::Rng(config_.seed ^ 0x90b11eULL)),
+      rng_(config_.seed ^ 0x11eULL) {}
+
+FrameOutput PureMobilePipeline::process(const scene::RenderedFrame& frame) {
+  const double now_ms = frame.timestamp * 1000.0;
+  FrameOutput out;
+  out.frame_index = frame.index;
+
+  if (in_flight_ && in_flight_->first <= now_ms) {
+    latest_masks_ = std::move(in_flight_->second);
+    in_flight_.reset();
+  }
+
+  if (!in_flight_ && now_ms >= busy_until_ms_) {
+    // Start inference on the freshest frame; the device is busy until done.
+    segnet::InferenceRequest req;
+    req.width = scene_config_.camera.width;
+    req.height = scene_config_.camera.height;
+    req.oracle = oracle_from_frame(frame, instance_class_);
+    req.content_quality = 1.0;
+    auto result = model_.infer(req);
+    const double compute_ms =
+        result.stats.total_ms() * config_.mobile.model_compute_scale;
+    std::vector<mask::InstanceMask> masks;
+    masks.reserve(result.instances.size());
+    for (auto& inst : result.instances) masks.push_back(std::move(inst.mask));
+    busy_until_ms_ = now_ms + compute_ms;
+    in_flight_ = {busy_until_ms_, std::move(masks)};
+  }
+
+  // CPU is pegged by inference: the full frame budget is busy time.
+  out.mobile_latency_ms = 1000.0 / scene_config_.fps;
+  out.rendered_masks = latest_masks_;
+  out.tracking_ok = true;
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// TrackDetectPipeline
+// ---------------------------------------------------------------------------
+
+TrackDetectPipeline::TrackDetectPipeline(
+    const scene::SceneConfig& scene_config, PipelineConfig config,
+    TrackDetectPolicy policy, bool best_effort_motion_vector)
+    : scene_config_(scene_config),
+      config_(std::move(config)),
+      policy_(policy),
+      best_effort_motion_vector_(best_effort_motion_vector),
+      instance_class_(class_table(scene_config)),
+      rng_(config_.seed ^ 0x7d7dULL),
+      edge_(config_.model, config_.edge, rt::Rng(config_.seed ^ 0xab1eULL)),
+      render_queue_(scene_config.fps) {}
+
+std::string TrackDetectPipeline::name() const {
+  switch (policy_) {
+    case TrackDetectPolicy::kBestEffort:
+      return best_effort_motion_vector_ ? "best-effort-mv" : "best-effort";
+    case TrackDetectPolicy::kEaar: return "eaar";
+    case TrackDetectPolicy::kEdgeDuet: return "edgeduet";
+  }
+  return "track-detect";
+}
+
+std::vector<segnet::OracleInstance> TrackDetectPipeline::build_oracle(
+    const scene::RenderedFrame& frame) const {
+  return oracle_from_frame(frame, instance_class_);
+}
+
+FrameOutput TrackDetectPipeline::process(const scene::RenderedFrame& frame) {
+  const double now_ms = frame.timestamp * 1000.0;
+  const auto& cam = scene_config_.camera;
+  FrameOutput out;
+  out.frame_index = frame.index;
+
+  // Deliver due responses: the cached masks are replaced wholesale.
+  {
+    auto it = pending_.begin();
+    while (it != pending_.end()) {
+      if (it->deliver_at_ms <= now_ms) {
+        cached_masks_ = std::move(it->response.masks);
+        it = pending_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  auto features = orb_.extract(frame.intensity);
+  double latency_ms =
+      cost_model_.feature_extract_base_ms +
+      cost_model_.feature_extract_us_per_feature *
+          static_cast<double>(features.size()) / 1000.0 +
+      cost_model_.render_ms;
+
+  // ---- Local mask update. -------------------------------------------------
+  const bool use_motion_vector =
+      policy_ == TrackDetectPolicy::kEaar ||
+      (policy_ == TrackDetectPolicy::kBestEffort && best_effort_motion_vector_);
+  if (use_motion_vector && !prev_features_.empty()) {
+    const auto matches = feat::match_brute_force(prev_features_, features);
+    for (auto& m : cached_masks_) {
+      const auto mv =
+          motion_vector(prev_features_, features, matches, m);
+      if (mv) {
+        m = translate_mask(m, static_cast<int>(std::lround(mv->x)),
+                           static_cast<int>(std::lround(mv->y)));
+      }
+    }
+    latency_ms += 2.0 + 1.2 * static_cast<double>(cached_masks_.size());
+  } else if (policy_ == TrackDetectPolicy::kEdgeDuet &&
+             !prev_image_.empty()) {
+    for (auto& m : cached_masks_) {
+      const auto box = m.bounding_box();
+      if (!box) continue;
+      const auto shift = kcf_.track(prev_image_, frame.intensity, *box);
+      latency_ms += kcf_.cost_ms(*box) * config_.mobile.cpu_scale;
+      if (shift) {
+        m = translate_mask(m, static_cast<int>(std::lround(shift->x)),
+                           static_cast<int>(std::lround(shift->y)));
+      }
+    }
+  }
+
+  // ---- Transmission policy. -----------------------------------------------
+  bool want_tx = false;
+  switch (policy_) {
+    case TrackDetectPolicy::kBestEffort:
+      want_tx = true;  // every frame offered
+      break;
+    case TrackDetectPolicy::kEaar:
+    case TrackDetectPolicy::kEdgeDuet:
+      want_tx = frame.index - last_tx_frame_ >= 5;  // keyframe cadence
+      break;
+  }
+  if (!pending_.empty()) want_tx = false;  // client drops while busy
+
+  if (want_tx) {
+    enc::EncodedFrame encoded;
+    std::vector<mask::Box> boxes;
+    for (const auto& m : cached_masks_) {
+      if (auto b = m.bounding_box()) {
+        boxes.push_back(b->inflated(24, cam.width, cam.height));
+      }
+    }
+    switch (policy_) {
+      case TrackDetectPolicy::kBestEffort:
+        encoded = enc::encode_uniform(frame.index, cam.width, cam.height,
+                                      enc::CompressionLevel::kHigh);
+        break;
+      case TrackDetectPolicy::kEaar:
+        if (boxes.empty()) {
+          encoded = enc::encode_uniform(frame.index, cam.width, cam.height,
+                                        enc::CompressionLevel::kHigh);
+        } else {
+          encoded = enc::encode_eaar(frame.index, cam.width, cam.height,
+                                     boxes);
+        }
+        break;
+      case TrackDetectPolicy::kEdgeDuet:
+        if (boxes.empty()) {
+          encoded = enc::encode_uniform(frame.index, cam.width, cam.height,
+                                        enc::CompressionLevel::kHigh);
+        } else {
+          encoded = enc::encode_edgeduet(frame.index, cam.width, cam.height,
+                                         boxes);
+        }
+        break;
+    }
+
+    segnet::InferenceRequest req;
+    req.width = cam.width;
+    req.height = cam.height;
+    req.oracle = build_oracle(frame);
+    req.content_quality = encoded.content_quality;
+    // No CIIA: these systems run the unmodified model.
+    const double up_ms =
+        net::transmit_ms(config_.link, encoded.total_bytes, rng_);
+    edge_.submit(frame.index, now_ms + up_ms, req);
+    auto responses = edge_.poll(1e18);
+    for (auto& r : responses) {
+      const double down_ms =
+          net::transmit_ms(config_.link, r.payload_bytes, rng_);
+      pending_.push_back({r.ready_ms + down_ms, std::move(r)});
+    }
+    out.transmitted = true;
+    out.tx_bytes = encoded.total_bytes;
+    last_tx_frame_ = frame.index;
+    const int tiles = (cam.width / 64 + 1) * (cam.height / 64 + 1);
+    latency_ms += cost_model_.encode_us_per_tile * tiles / 1000.0;
+  }
+
+  prev_features_ = std::move(features);
+  prev_image_ = frame.intensity;
+  out.mobile_latency_ms = latency_ms;
+  out.rendered_masks = render_queue_.push_and_render(
+      frame.index, cached_masks_, latency_ms);
+  out.tracking_ok = true;
+  return out;
+}
+
+}  // namespace edgeis::core

@@ -1,0 +1,65 @@
+#include "core/edge_server.hpp"
+
+#include <algorithm>
+
+namespace edgeis::core {
+
+void EdgeServer::submit(int frame_index, double arrive_ms,
+                        const segnet::InferenceRequest& request) {
+  const double start = std::max(arrive_ms, free_at_ms_);
+  segnet::InferenceResult result = model_.infer(request);
+  const double compute_ms =
+      result.stats.total_ms() * device_.model_compute_scale;
+
+  Response r;
+  r.frame_index = frame_index;
+  r.ready_ms = start + compute_ms;
+  r.stats = result.stats;
+  r.masks.reserve(result.instances.size());
+  for (auto& inst : result.instances) {
+    r.masks.push_back(std::move(inst.mask));
+  }
+  r.payload_bytes = mask_payload_bytes(r.masks);
+  free_at_ms_ = r.ready_ms;
+  completed_.push_back(std::move(r));
+}
+
+std::vector<EdgeServer::Response> EdgeServer::poll(double now_ms) {
+  std::vector<Response> ready;
+  auto it = completed_.begin();
+  while (it != completed_.end()) {
+    if (it->ready_ms <= now_ms) {
+      ready.push_back(std::move(*it));
+      it = completed_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  std::sort(ready.begin(), ready.end(),
+            [](const Response& a, const Response& b) {
+              return a.ready_ms < b.ready_ms;
+            });
+  return ready;
+}
+
+int EdgeServer::pending(double now_ms) const {
+  int n = 0;
+  for (const auto& r : completed_) {
+    if (r.ready_ms > now_ms) ++n;
+  }
+  return n;
+}
+
+std::size_t mask_payload_bytes(const std::vector<mask::InstanceMask>& masks) {
+  std::size_t bytes = 16;  // framing
+  for (const auto& m : masks) {
+    const auto contours = mask::find_contours(m);
+    std::size_t vertices = 0;
+    for (const auto& c : contours) vertices += c.size();
+    // 2x uint16 per vertex + class/instance header.
+    bytes += 8 + vertices * 4;
+  }
+  return bytes;
+}
+
+}  // namespace edgeis::core

@@ -1,0 +1,60 @@
+// The edge node: a single-server FIFO queue in front of the (simulated)
+// segmentation model, with compute time scaled by the edge device profile.
+// Pipelines submit inference requests stamped with their uplink arrival
+// time and poll for responses; downlink latency is applied by the caller.
+#pragma once
+
+#include <vector>
+
+#include "mask/mask.hpp"
+#include "runtime/rng.hpp"
+#include "segnet/model.hpp"
+#include "sim/device.hpp"
+
+namespace edgeis::core {
+
+class EdgeServer {
+ public:
+  EdgeServer(segnet::ModelProfile model, sim::DeviceProfile device,
+             rt::Rng rng)
+      : model_(std::move(model), rng), device_(std::move(device)) {}
+
+  struct Response {
+    int frame_index = 0;
+    double ready_ms = 0.0;  // completion time at the server
+    std::vector<mask::InstanceMask> masks;
+    segnet::InferenceStats stats;
+    std::size_t payload_bytes = 0;  // serialized contour payload size
+  };
+
+  /// Submit a request arriving at the server at `arrive_ms`. Inference is
+  /// evaluated immediately (the simulation is deterministic) but its result
+  /// is stamped with the queue-aware completion time.
+  void submit(int frame_index, double arrive_ms,
+              const segnet::InferenceRequest& request);
+
+  /// Pop all responses completed by `now_ms` (server-side; caller adds
+  /// downlink latency).
+  std::vector<Response> poll(double now_ms);
+
+  /// Number of requests not yet completed by `now_ms`.
+  [[nodiscard]] int pending(double now_ms) const;
+
+  [[nodiscard]] double busy_until_ms() const { return free_at_ms_; }
+  [[nodiscard]] const segnet::SegmentationModel& model() const {
+    return model_;
+  }
+
+ private:
+  segnet::SegmentationModel model_;
+  sim::DeviceProfile device_;
+  double free_at_ms_ = 0.0;
+  std::vector<Response> completed_;
+};
+
+/// Approximate serialized size of a mask set shipped back to the mobile
+/// device as labeled contour vertex lists (Section VI-A uses Boost
+/// serialization for "information such as vertices of the contour").
+std::size_t mask_payload_bytes(const std::vector<mask::InstanceMask>& masks);
+
+}  // namespace edgeis::core

@@ -1,0 +1,565 @@
+#include "core/edgeis_pipeline.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/local_trackers.hpp"
+#include "encoding/tiles.hpp"
+#include "features/matcher.hpp"
+
+namespace edgeis::core {
+
+EdgeISPipeline::EdgeISPipeline(const scene::SceneConfig& scene_config,
+                               PipelineConfig config)
+    : scene_config_(scene_config),
+      config_(std::move(config)),
+      rng_(config_.seed ^ 0xed9e15ULL),
+      edge_(config_.model, config_.edge, rt::Rng(config_.seed ^ 0x5e7fULL)),
+      render_queue_(scene_config.fps) {
+  for (const auto& obj : scene_config_.objects) {
+    instance_class_[obj.instance_id] = static_cast<int>(obj.cls);
+  }
+}
+
+EdgeISPipeline::~EdgeISPipeline() = default;
+
+std::vector<segnet::OracleInstance> EdgeISPipeline::build_oracle(
+    const scene::RenderedFrame& frame) const {
+  std::vector<segnet::OracleInstance> oracle;
+  for (const auto& [instance_id, class_id] : instance_class_) {
+    auto m = mask::mask_from_id_image(frame.instance_ids,
+                                      static_cast<std::uint16_t>(instance_id));
+    if (m.pixel_count() == 0) continue;
+    m.class_id = class_id;
+    segnet::OracleInstance oi;
+    oi.box = *m.bounding_box();
+    oi.class_id = class_id;
+    oi.instance_id = instance_id;
+    oi.mask = std::move(m);
+    oracle.push_back(std::move(oi));
+  }
+  return oracle;
+}
+
+void EdgeISPipeline::deliver_due_responses(double now_ms) {
+  auto it = pending_.begin();
+  while (it != pending_.end()) {
+    if (it->deliver_at_ms > now_ms) {
+      ++it;
+      continue;
+    }
+    EdgeServer::Response resp = std::move(it->response);
+    it = pending_.erase(it);
+    edge_stats_.push_back(resp.stats);
+
+    if (phase_ == Phase::kAwaitInitMasks) {
+      if (init_ref_ && resp.frame_index == init_ref_->frame_index) {
+        init_ref_->edge_masks = std::move(resp.masks);
+      } else if (init_pair_second_ &&
+                 resp.frame_index == init_pair_second_->frame_index) {
+        init_pair_second_->edge_masks = std::move(resp.masks);
+      }
+      try_initialize();
+    } else if (phase_ == Phase::kRunning) {
+      if (getenv("EDGEIS_DEBUG")) {
+        fprintf(stderr, "resp kf=%d masks=[", resp.frame_index);
+        for (auto& m : resp.masks) fprintf(stderr, "%d ", m.instance_id);
+        fprintf(stderr, "]\n");
+      }
+      tracker_->annotate_keyframe(resp.frame_index, resp.masks);
+      cached_masks_ = std::move(resp.masks);  // MAMT-off fallback cache
+    }
+  }
+}
+
+bool EdgeISPipeline::pair_geometry_ok(
+    const StoredFrame& f0, int frame_index1, const img::GrayImage& image1,
+    const std::vector<feat::Feature>& features1) {
+  // Run the initializer into a scratch map with no masks: a success means
+  // the pair has enough matches, parallax and cheirality agreement. The
+  // real (labeled) initialization happens once edge masks arrive.
+  vo::Map scratch;
+  vo::InitializationInput input;
+  input.frame_index0 = f0.frame_index;
+  input.frame_index1 = frame_index1;
+  input.image0 = &f0.image;
+  input.image1 = &image1;
+  input.features0 = f0.features;
+  input.features1 = features1;
+  // Same per-pair seed as the labeled initialization, and *stricter*
+  // acceptance margins: the labeled run selects a slightly different
+  // feature set (mask-aware selection), so the probe must pass with room
+  // to spare for its success to predict the labeled run's.
+  rt::Rng probe(config_.seed ^
+                (static_cast<std::uint64_t>(bootstrap_attempts_) << 40) ^
+                (static_cast<std::uint64_t>(f0.frame_index) << 20) ^
+                static_cast<std::uint64_t>(frame_index1));
+  vo::InitializerOptions strict;
+  strict.min_cheirality_ratio = 0.95;
+  strict.min_median_parallax_deg = 1.5;
+  strict.min_matches = 80;
+  strict.min_median_displacement_px = 0.0;
+  const auto result = vo::initialize_map(scene_config_.camera, input,
+                                         scratch, probe, strict);
+  if (!result) return false;
+
+  // Third-frame validation: a structurally wrong map (the twisted
+  // essential-matrix solution occasionally survives the cheirality gate
+  // under noise) cannot localize an *independent* frame. Solve PnP for the
+  // previously probed bootstrap frame against the scratch map; the pose
+  // must land near the interpolated motion of the pair.
+  auto adopt = [&]() {
+    probe_map_ = std::move(scratch);
+    probe_result_ = *result;
+    return true;
+  };
+  // Never adopt unvalidated geometry: the twisted solution shows up in
+  // every preset sooner or later.
+  if (!probe_mid_) return false;
+  const double alpha =
+      static_cast<double>(probe_mid_->frame_index - f0.frame_index) /
+      static_cast<double>(frame_index1 - f0.frame_index);
+  if (alpha <= 0.05 || alpha >= 0.95) return false;
+  const geom::SE3 rel = result->t_cw1 * result->t_cw0.inverse();
+  const geom::SE3 guess = rel.pow(alpha) * result->t_cw0;
+
+  std::vector<feat::Feature> point_feats;
+  std::vector<const vo::MapPoint*> points;
+  for (const vo::MapPoint* mp : scratch.all_points()) {
+    feat::Feature f;
+    f.desc = mp->descriptor;
+    point_feats.push_back(f);
+    points.push_back(mp);
+  }
+  const auto matches =
+      feat::match_brute_force(point_feats, probe_mid_->features);
+  std::vector<geom::PnpCorrespondence> corrs;
+  for (const auto& m : matches) {
+    corrs.push_back({points[m.index0]->position,
+                     probe_mid_->features[m.index1].kp.pixel});
+  }
+  const auto pnp = geom::solve_pnp(scene_config_.camera, corrs, guess);
+  if (!pnp || pnp->inlier_count < 25) return false;
+  const double rot_err_deg =
+      pnp->t_cw.rotation_angle_to(guess) * 180.0 / M_PI;
+  if (rot_err_deg >= 10.0) return false;
+  // Adopt this validated geometry outright: when the edge masks arrive,
+  // they only add labels. Re-estimating the pose from the mask-aware
+  // feature selection could flip to the twisted solution, so we never do.
+  return adopt();
+}
+
+void EdgeISPipeline::try_initialize() {
+  if (!init_ref_ || !init_pair_second_) return;
+  if (!init_ref_->edge_masks || !init_pair_second_->edge_masks) return;
+  if (!probe_map_ || !probe_result_) {
+    phase_ = Phase::kBootstrap;
+    init_pair_second_.reset();
+    ++bootstrap_attempts_;
+    return;
+  }
+
+  // Adopt the probe's validated map; the arrived masks only annotate it.
+  map_ = std::move(*probe_map_);
+  probe_map_.reset();
+  const vo::InitializationResult result = *probe_result_;
+  probe_result_.reset();
+
+  vo::TrackerOptions topts;
+  topts.search_radius = 24.0;
+  tracker_ = std::make_unique<vo::Tracker>(scene_config_.camera, &map_,
+                                           rng_.fork(), topts);
+  tracker_->annotate_keyframe(init_ref_->frame_index,
+                              *init_ref_->edge_masks);
+  tracker_->annotate_keyframe(init_pair_second_->frame_index,
+                              *init_pair_second_->edge_masks);
+
+  // Seed the constant-velocity model with the per-frame motion of the init
+  // pair: the edge round trip took many frames, and at fast gaits the
+  // camera has moved far beyond the search window by now. process()
+  // extrapolates from these to the current frame.
+  const int gap =
+      std::max(1, init_pair_second_->frame_index - init_ref_->frame_index);
+  init_velocity_ =
+      (result.t_cw1 * result.t_cw0.inverse()).pow(1.0 / gap);
+  init_pose_ = result.t_cw1;
+  init_pose_frame_ = init_pair_second_->frame_index;
+  just_initialized_ = true;
+  mamt_ = std::make_unique<transfer::MaskTransfer>(scene_config_.camera,
+                                                   &map_);
+  phase_ = Phase::kRunning;
+  if (getenv("EDGEIS_DEBUG")) {
+    fprintf(stderr, "initialized from probe map: pair (%d,%d), %zu points\n",
+            init_ref_->frame_index, init_pair_second_->frame_index,
+            map_.point_count());
+  }
+}
+
+std::vector<mask::Box> EdgeISPipeline::new_area_boxes(
+    const vo::FrameObservation& obs) const {
+  // Bounding box of features matched to not-yet-annotated map points: the
+  // "newly emerging scene" region that needs pixel-level annotation.
+  int count = 0;
+  mask::Box box{scene_config_.camera.width, scene_config_.camera.height, 0, 0};
+  for (std::size_t i = 0; i < obs.features.size(); ++i) {
+    const int pid = obs.matched_point_ids[i];
+    if (pid < 0) continue;
+    const vo::MapPoint* mp = map_.find(pid);
+    if (mp == nullptr || mp->annotated) continue;
+    const auto& px = obs.features[i].kp.pixel;
+    box.x0 = std::min(box.x0, static_cast<int>(px.x));
+    box.y0 = std::min(box.y0, static_cast<int>(px.y));
+    box.x1 = std::max(box.x1, static_cast<int>(px.x) + 1);
+    box.y1 = std::max(box.y1, static_cast<int>(px.y) + 1);
+    ++count;
+  }
+  if (count < 10 || box.empty()) return {};
+  return {box.inflated(16, scene_config_.camera.width,
+                       scene_config_.camera.height)};
+}
+
+std::size_t EdgeISPipeline::transmit(
+    const scene::RenderedFrame& frame,
+    const std::vector<feat::Feature>& features,
+    const std::vector<transfer::TransferredMask>& priors,
+    const std::vector<mask::Box>& new_areas, double now_ms,
+    bool full_quality) {
+  (void)features;
+  const auto& cam = scene_config_.camera;
+
+  enc::EncodedFrame encoded;
+  if (config_.enable_cfrs && !full_quality) {
+    std::vector<mask::InstanceMask> prior_masks;
+    prior_masks.reserve(priors.size());
+    for (const auto& p : priors) prior_masks.push_back(p.mask);
+    encoded = enc::encode_cfrs(frame.index, cam.width, cam.height,
+                               prior_masks, new_areas);
+  } else {
+    encoded = enc::encode_uniform(frame.index, cam.width, cam.height,
+                                  enc::CompressionLevel::kHigh);
+  }
+
+  segnet::InferenceRequest req;
+  req.width = cam.width;
+  req.height = cam.height;
+  req.oracle = build_oracle(frame);
+  req.content_quality = encoded.content_quality;
+  if (config_.enable_ciia && !full_frame_refresh_) {
+    for (const auto& p : priors) {
+      req.priors.push_back({*p.mask.bounding_box(), p.class_id,
+                            p.instance_id});
+    }
+    req.new_areas = new_areas;
+    req.use_dynamic_anchor_placement = !req.priors.empty();
+    req.use_roi_pruning = !req.priors.empty();
+  }
+
+  const double up_ms = net::transmit_ms(config_.link, encoded.total_bytes,
+                                        rng_);
+  edge_.submit(frame.index, now_ms + up_ms, req);
+  // The server result and completion time are deterministic at submission;
+  // stamp the downlink and queue the delivery.
+  auto responses = edge_.poll(1e18);
+  for (auto& r : responses) {
+    const double down_ms = net::transmit_ms(config_.link, r.payload_bytes,
+                                            rng_);
+    pending_.push_back({r.ready_ms + down_ms, std::move(r)});
+  }
+  last_tx_frame_ = frame.index;
+  return encoded.total_bytes;
+}
+
+FrameOutput EdgeISPipeline::process(const scene::RenderedFrame& frame) {
+  const double now_ms = frame.timestamp * 1000.0;
+  FrameOutput out;
+  out.frame_index = frame.index;
+
+  deliver_due_responses(now_ms);
+
+  auto features = orb_.extract(frame.intensity);
+  double latency_ms =
+      cost_model_.feature_extract_base_ms +
+      cost_model_.feature_extract_us_per_feature *
+          static_cast<double>(features.size()) / 1000.0 +
+      cost_model_.render_ms;
+
+  // ---------------- Bootstrap / await phases. ----------------------------
+  if (phase_ == Phase::kBootstrap) {
+    if (!init_ref_ ||
+        frame.index - init_ref_->frame_index > bootstrap_reset_interval_) {
+      init_ref_ = StoredFrame{frame.index, frame.intensity, features,
+                              build_oracle(frame), std::nullopt};
+      probe_mid_.reset();
+    } else if (frame.index - init_ref_->frame_index >= 20 &&
+               pair_geometry_ok(*init_ref_, frame.index, frame.intensity,
+                                features)) {
+      init_pair_second_ = StoredFrame{frame.index, frame.intensity, features,
+                                      build_oracle(frame), std::nullopt};
+      // Send both chosen frames to the edge for accurate masks
+      // (Section III-A), full quality: annotation precision matters most.
+      for (const StoredFrame* sf : {&*init_ref_, &*init_pair_second_}) {
+        segnet::InferenceRequest req;
+        req.width = scene_config_.camera.width;
+        req.height = scene_config_.camera.height;
+        req.oracle = sf->oracle;
+        req.content_quality = 1.0;
+        const auto encoded = enc::encode_uniform(
+            sf->frame_index, req.width, req.height,
+            enc::CompressionLevel::kHigh);
+        const double up_ms =
+            net::transmit_ms(config_.link, encoded.total_bytes, rng_);
+        edge_.submit(sf->frame_index, now_ms + up_ms, req);
+        out.tx_bytes += encoded.total_bytes;
+      }
+      auto responses = edge_.poll(1e18);
+      for (auto& r : responses) {
+        const double down_ms =
+            net::transmit_ms(config_.link, r.payload_bytes, rng_);
+        pending_.push_back({r.ready_ms + down_ms, std::move(r)});
+      }
+      out.transmitted = true;
+      phase_ = Phase::kAwaitInitMasks;
+    }
+    if (phase_ == Phase::kBootstrap && init_ref_ &&
+        frame.index == init_ref_->frame_index + 10) {
+      // The independent validation frame: halfway into the minimum pair
+      // gap, so every frozen pair is validated at alpha ~ 0.3-0.5.
+      probe_mid_ = StoredFrame{frame.index, frame.intensity, features,
+                               {}, std::nullopt};
+    }
+    out.mobile_latency_ms = latency_ms;
+    out.rendered_masks =
+        render_queue_.push_and_render(frame.index, {}, latency_ms);
+    return out;
+  }
+  if (phase_ == Phase::kAwaitInitMasks) {
+    out.mobile_latency_ms = latency_ms;
+    out.rendered_masks =
+        render_queue_.push_and_render(frame.index, {}, latency_ms);
+    return out;
+  }
+
+  // ---------------- Running. ----------------------------------------------
+  if (just_initialized_) {
+    // Extrapolate the initialization-pair velocity over the edge round
+    // trip so the first tracked frame's prediction lands near the truth.
+    const int elapsed = std::max(1, frame.index - init_pose_frame_);
+    const geom::SE3 now_est = init_velocity_.pow(elapsed) * init_pose_;
+    const geom::SE3 prev_est =
+        init_velocity_.pow(elapsed - 1) * init_pose_;
+    tracker_->set_initial_poses(prev_est, now_est);
+    just_initialized_ = false;
+  }
+  vo::FrameObservation obs = tracker_->track(frame.index, std::move(features));
+  out.tracking_ok = obs.tracking_ok;
+  if (!obs.tracking_ok && getenv("EDGEIS_DEBUG")) {
+    fprintf(stderr, "track fail f%d: matched=%d inliers=%d feats=%zu\n",
+            frame.index, obs.matched_total, obs.pose_inliers,
+            obs.features.size());
+  }
+  // Sustained tracking loss (fast motion, scene change beyond the search
+  // window): discard the map and re-initialize from scratch, as a real
+  // deployment would. Cached masks keep rendering meanwhile.
+  consecutive_lost_frames_ = obs.tracking_ok ? 0 : consecutive_lost_frames_ + 1;
+  if (consecutive_lost_frames_ > 25) {
+    map_ = vo::Map{};
+    tracker_.reset();
+    mamt_.reset();
+    pending_.clear();
+    init_ref_.reset();
+    init_pair_second_.reset();
+    phase_ = Phase::kBootstrap;
+    consecutive_lost_frames_ = 0;
+    ++bootstrap_attempts_;
+    tx_count_ = 0;
+    out.mobile_latency_ms = latency_ms;
+    out.rendered_masks = render_queue_.push_and_render(
+        frame.index, cached_masks_, latency_ms);
+    return out;
+  }
+  latency_ms += cost_model_.track_us_per_matched_point *
+                    static_cast<double>(obs.matched_total) / 1000.0 +
+                cost_model_.pnp_ms_per_solve *
+                    (1.0 + static_cast<double>(obs.tracked_objects.size()));
+
+  // Masks for this frame: MAMT transfer, or the motion-vector fallback for
+  // the ablation with MAMT disabled.
+  std::vector<transfer::TransferredMask> preds;
+  std::vector<mask::InstanceMask> frame_masks;
+  if (config_.enable_mamt) {
+    preds = mamt_->predict(obs);
+    if (getenv("EDGEIS_DEBUG") && frame.index % 15 == 0) {
+      fprintf(stderr, "f%d visible=[", frame.index);
+      for (int v : mamt_->visible_instances(obs)) fprintf(stderr, "%d ", v);
+      fprintf(stderr, "] preds=[");
+      for (auto& p : preds) fprintf(stderr, "%d ", p.instance_id);
+      fprintf(stderr, "] objpts=[");
+      for (auto& [oid, trk] : map_.objects())
+        fprintf(stderr, "%d:%d%s ", oid, trk.point_count,
+                trk.is_moving ? "M" : "");
+      fprintf(stderr, "]\n");
+    }
+    int contour_points = 0;
+    for (const auto& p : preds) {
+      frame_masks.push_back(p.mask);
+      contour_points += p.contour_points;
+    }
+    latency_ms += cost_model_.transfer_us_per_contour_point *
+                  contour_points / 1000.0;
+
+    // Continuity fallback: a visible object whose contour transfer failed
+    // this frame (no eligible source, too few depth features) keeps its
+    // previous mask, advanced by the motion vector of its own features —
+    // better a slightly stale mask than none at all.
+    if (!prev_features_.empty() && !last_rendered_.empty()) {
+      std::vector<feat::Match> mv_matches;
+      bool matched_once = false;
+      for (int instance_id : mamt_->visible_instances(obs)) {
+        bool has = false;
+        for (const auto& p : preds) {
+          if (p.instance_id == instance_id) has = true;
+        }
+        if (has) continue;
+        auto it = last_rendered_.find(instance_id);
+        if (it == last_rendered_.end()) continue;
+        if (!matched_once) {
+          mv_matches = feat::match_brute_force(prev_features_, obs.features);
+          matched_once = true;
+          latency_ms += 2.0;
+        }
+        const auto mv = motion_vector(prev_features_, obs.features,
+                                      mv_matches, it->second);
+        mask::InstanceMask moved =
+            mv ? it->second.translated(static_cast<int>(std::lround(mv->x)),
+                                       static_cast<int>(std::lround(mv->y)))
+               : it->second;
+        frame_masks.push_back(std::move(moved));
+      }
+    }
+    last_rendered_.clear();
+    for (const auto& m : frame_masks) {
+      last_rendered_[m.instance_id] = m;
+    }
+  } else {
+    // Motion-vector local update of the cached edge masks.
+    if (!prev_features_.empty() && !cached_masks_.empty()) {
+      const auto matches =
+          feat::match_brute_force(prev_features_, obs.features);
+      for (auto& m : cached_masks_) {
+        const auto mv = motion_vector(prev_features_, obs.features, matches,
+                                      m);
+        if (mv) {
+          m = translate_mask(m, static_cast<int>(std::lround(mv->x)),
+                             static_cast<int>(std::lround(mv->y)));
+        }
+      }
+      latency_ms += 2.0;  // motion-vector estimation cost
+    }
+    frame_masks = cached_masks_;
+  }
+
+  // ---------------- CFRS transmission decision. ---------------------------
+  bool want_tx = false;
+  if (obs.created_keyframe) {
+    if (config_.enable_cfrs) {
+      const bool new_content =
+          obs.unlabeled_fraction > config_.new_content_threshold;
+      bool object_moved = false;
+      for (auto& [instance_id, track] : map_.objects()) {
+        const geom::SE3 delta =
+            track.displacement_at_last_tx.inverse() * track.displacement;
+        if (delta.t.norm() > config_.object_motion_tx_threshold ||
+            geom::so3_log(delta.R).norm() * 180.0 / M_PI > 6.0) {
+          object_moved = true;
+          break;
+        }
+      }
+      const bool refresh_due =
+          frame.index - last_tx_frame_ >= config_.max_tx_interval_frames;
+      want_tx = new_content || object_moved || refresh_due;
+      // Periodic refreshes and the first few transmissions after
+      // initialization run without priors (full-frame inference): objects
+      // the mobile side has too few labeled points to box would otherwise
+      // never gain (or regain) anchor coverage.
+      full_frame_refresh_ =
+          (refresh_due && !new_content && !object_moved) || tx_count_ < 3;
+    } else {
+      want_tx = true;  // no selection: every keyframe goes to the edge
+    }
+    // Half-duplex: keep at most one request in flight.
+    if (!pending_.empty()) want_tx = false;
+    if (getenv("EDGEIS_DEBUG")) {
+      fprintf(stderr, "kf@%d unlab=%.2f last_tx=%d pending=%zu want=%d\n",
+              frame.index, obs.unlabeled_fraction, last_tx_frame_,
+              pending_.size(), (int)want_tx);
+    }
+  }
+
+  if (want_tx) {
+    auto new_areas = new_area_boxes(obs);
+    // With MAMT disabled (ablation), CIIA still needs priors to instruct
+    // the edge model: the motion-vector-updated cached masks stand in for
+    // transferred masks, as the compared "track+detect" variant would use.
+    if (!config_.enable_mamt) {
+      for (const auto& m : frame_masks) {
+        if (m.pixel_count() == 0) continue;
+        transfer::TransferredMask pseudo;
+        pseudo.mask = m;
+        pseudo.instance_id = m.instance_id;
+        pseudo.class_id = m.class_id;
+        preds.push_back(std::move(pseudo));
+      }
+    }
+    // Visible objects without a transferred mask still need anchor
+    // coverage on the edge, otherwise dynamic anchor placement would never
+    // re-detect them: box them from their matched feature pixels.
+    if (config_.enable_mamt && mamt_) {
+      for (int instance_id : mamt_->visible_instances(obs)) {
+        bool has_pred = false;
+        for (const auto& p : preds) {
+          if (p.instance_id == instance_id) has_pred = true;
+        }
+        if (has_pred) continue;
+        mask::Box box{scene_config_.camera.width,
+                      scene_config_.camera.height, 0, 0};
+        int count = 0;
+        for (std::size_t i = 0; i < obs.features.size(); ++i) {
+          const int pid = obs.matched_point_ids[i];
+          if (pid < 0) continue;
+          const vo::MapPoint* mp = map_.find(pid);
+          if (mp == nullptr || mp->object_instance != instance_id) continue;
+          const auto& px = obs.features[i].kp.pixel;
+          box.x0 = std::min(box.x0, static_cast<int>(px.x));
+          box.y0 = std::min(box.y0, static_cast<int>(px.y));
+          box.x1 = std::max(box.x1, static_cast<int>(px.x) + 1);
+          box.y1 = std::max(box.y1, static_cast<int>(px.y) + 1);
+          ++count;
+        }
+        if (count >= 3 && !box.empty()) {
+          new_areas.push_back(box.inflated(48, scene_config_.camera.width,
+                                           scene_config_.camera.height));
+        }
+      }
+    }
+    out.tx_bytes = transmit(
+        frame, obs.features, preds, new_areas, now_ms,
+        /*full_quality=*/!config_.enable_cfrs || full_frame_refresh_);
+    out.transmitted = true;
+    ++tx_count_;
+    const int tiles = (scene_config_.camera.width / 64 + 1) *
+                      (scene_config_.camera.height / 64 + 1);
+    latency_ms += cost_model_.encode_us_per_tile * tiles / 1000.0;
+    for (auto& [instance_id, track] : map_.objects()) {
+      track.displacement_at_last_tx = track.displacement;
+    }
+  }
+
+  prev_features_ = obs.features;
+  out.map_memory_bytes = map_.memory_bytes();
+  out.mobile_latency_ms = latency_ms;
+  out.rendered_masks = render_queue_.push_and_render(
+      frame.index, std::move(frame_masks), latency_ms);
+  return out;
+}
+
+}  // namespace edgeis::core

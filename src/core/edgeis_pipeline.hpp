@@ -1,0 +1,119 @@
+// The edgeIS system (Fig. 4): VO-driven mask transfer on the mobile side
+// (MAMT), contour-instructed acceleration on the edge (CIIA), and content-
+// based transmission selection in between (CFRS). Each module can be
+// toggled independently for the Fig. 16 ablation.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "core/edge_server.hpp"
+#include "core/pipeline.hpp"
+#include "core/render_queue.hpp"
+#include "features/orb.hpp"
+#include "scene/scene.hpp"
+#include "transfer/mask_transfer.hpp"
+#include "vo/initializer.hpp"
+#include "vo/tracker.hpp"
+
+namespace edgeis::core {
+
+class EdgeISPipeline : public Pipeline {
+ public:
+  EdgeISPipeline(const scene::SceneConfig& scene_config,
+                 PipelineConfig config);
+  ~EdgeISPipeline() override;
+
+  [[nodiscard]] std::string name() const override { return "edgeis"; }
+  FrameOutput process(const scene::RenderedFrame& frame) override;
+
+  /// Edge-side inference statistics of the most recent completed request
+  /// (for the Fig. 14 acceleration study).
+  [[nodiscard]] const std::vector<segnet::InferenceStats>& edge_stats() const {
+    return edge_stats_;
+  }
+
+  [[nodiscard]] bool initialized() const { return phase_ == Phase::kRunning; }
+
+ private:
+  enum class Phase { kBootstrap, kAwaitInitMasks, kRunning };
+
+  struct StoredFrame {
+    int frame_index = 0;
+    img::GrayImage image;
+    std::vector<feat::Feature> features;
+    std::vector<segnet::OracleInstance> oracle;
+    std::optional<std::vector<mask::InstanceMask>> edge_masks;
+  };
+
+  struct PendingResponse {
+    double deliver_at_ms = 0.0;
+    EdgeServer::Response response;
+  };
+
+  std::vector<segnet::OracleInstance> build_oracle(
+      const scene::RenderedFrame& frame) const;
+  void deliver_due_responses(double now_ms);
+  void try_initialize();
+  /// Geometry-only feasibility check for an initialization pair.
+  bool pair_geometry_ok(const StoredFrame& f0, int frame_index1,
+                        const img::GrayImage& image1,
+                        const std::vector<feat::Feature>& features1);
+  /// Submit a frame to the edge. Returns bytes put on the uplink.
+  std::size_t transmit(const scene::RenderedFrame& frame,
+                       const std::vector<feat::Feature>& features,
+                       const std::vector<transfer::TransferredMask>& priors,
+                       const std::vector<mask::Box>& new_areas, double now_ms,
+                       bool full_quality);
+  std::vector<mask::Box> new_area_boxes(
+      const vo::FrameObservation& obs) const;
+
+  scene::SceneConfig scene_config_;
+  PipelineConfig config_;
+  std::unordered_map<int, int> instance_class_;  // instance id -> class id
+
+  feat::OrbExtractor orb_;
+  rt::Rng rng_;
+  EdgeServer edge_;
+  RenderQueue render_queue_;
+  sim::MobileCostModel cost_model_;
+
+  Phase phase_ = Phase::kBootstrap;
+  std::optional<StoredFrame> init_ref_;
+  std::optional<StoredFrame> init_pair_second_;
+  /// Most recent bootstrap frame before the current one: the independent
+  /// third frame the probe validates initialization geometry against.
+  std::optional<StoredFrame> probe_mid_;
+  /// The probe's validated scratch map and poses — adopted wholesale when
+  /// the edge masks arrive (labels only; geometry is never re-estimated).
+  std::optional<vo::Map> probe_map_;
+  std::optional<vo::InitializationResult> probe_result_;
+  int bootstrap_reset_interval_ = 60;
+  int bootstrap_attempts_ = 0;
+
+  vo::Map map_;
+  std::unique_ptr<vo::Tracker> tracker_;
+  std::unique_ptr<transfer::MaskTransfer> mamt_;
+
+  std::vector<PendingResponse> pending_;
+  int last_tx_frame_ = -1000;
+  bool full_frame_refresh_ = false;
+  int tx_count_ = 0;
+  int consecutive_lost_frames_ = 0;
+  // Velocity-model seeding across the initialization round trip.
+  bool just_initialized_ = false;
+  geom::SE3 init_velocity_;
+  geom::SE3 init_pose_;
+  int init_pose_frame_ = 0;
+  std::vector<segnet::InferenceStats> edge_stats_;
+
+  // Fallback local tracking state for the MAMT-off ablation and for the
+  // per-object continuity fallback.
+  std::vector<feat::Feature> prev_features_;
+  std::vector<mask::InstanceMask> cached_masks_;
+  std::unordered_map<int, mask::InstanceMask> last_rendered_;
+};
+
+}  // namespace edgeis::core

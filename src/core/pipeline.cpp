@@ -1,0 +1,37 @@
+#include "core/pipeline.hpp"
+
+namespace edgeis::core {
+
+RunResult run_pipeline(const scene::SceneSimulator& sim, Pipeline& pipeline,
+                       int warmup_frames, int memory_sample) {
+  RunResult result;
+  sim::ResourceMonitor monitor(sim::iphone11(), sim.config().fps);
+
+  for (int i = 0; i < sim.total_frames(); ++i) {
+    const scene::RenderedFrame frame = sim.render(i);
+    FrameOutput out = pipeline.process(frame);
+
+    monitor.record_frame(out.mobile_latency_ms, out.map_memory_bytes,
+                         out.tx_bytes);
+    if (out.transmitted) {
+      ++result.transmissions;
+      result.total_tx_bytes += out.tx_bytes;
+    }
+    if (memory_sample > 0 && i % memory_sample == 0) {
+      result.memory_curve.emplace_back(i, out.map_memory_bytes);
+    }
+
+    if (i < warmup_frames) continue;
+    const auto gts = sim.ground_truth_masks(frame);
+    result.evaluator.add(eval::score_frame(i, out.rendered_masks, gts,
+                                           out.mobile_latency_ms));
+  }
+
+  result.summary = result.evaluator.summarize();
+  result.mean_cpu_utilization = monitor.mean_cpu_utilization();
+  result.peak_memory_bytes = monitor.peak_memory_bytes();
+  result.battery_percent = monitor.battery_percent();
+  return result;
+}
+
+}  // namespace edgeis::core

@@ -1,0 +1,74 @@
+// Pipeline interface and run harness. Each compared system (edgeIS and the
+// four baselines of Section VI-B) implements Pipeline; run_pipeline()
+// drives it over a scene, scores rendered masks against ground truth per
+// frame, and aggregates accuracy / latency / resource statistics.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "eval/metrics.hpp"
+#include "net/link.hpp"
+#include "scene/scene.hpp"
+#include "segnet/model.hpp"
+#include "sim/device.hpp"
+
+namespace edgeis::core {
+
+struct PipelineConfig {
+  net::LinkProfile link = net::wifi_5ghz();
+  sim::DeviceProfile mobile = sim::iphone11();
+  sim::DeviceProfile edge = sim::jetson_tx2();
+  segnet::ModelProfile model = segnet::mask_rcnn_profile();
+  std::uint64_t seed = 42;
+
+  // Module toggles (ablation, Fig. 16). All three on = full edgeIS.
+  bool enable_mamt = true;  // motion aware mobile mask transfer
+  bool enable_ciia = true;  // contour instructed inference acceleration
+  bool enable_cfrs = true;  // content-based fine-grained RoI selection
+
+  // CFRS parameters (Section V).
+  double new_content_threshold = 0.25;  // t
+  double object_motion_tx_threshold = 0.15;  // displacement since last tx
+  int max_tx_interval_frames = 15;      // refresh cadence upper bound
+};
+
+struct FrameOutput {
+  int frame_index = 0;
+  std::vector<mask::InstanceMask> rendered_masks;
+  double mobile_latency_ms = 0.0;  // per-frame processing cost on device
+  bool transmitted = false;
+  std::size_t tx_bytes = 0;
+  std::size_t map_memory_bytes = 0;
+  bool tracking_ok = true;
+};
+
+class Pipeline {
+ public:
+  virtual ~Pipeline() = default;
+  [[nodiscard]] virtual std::string name() const = 0;
+  virtual FrameOutput process(const scene::RenderedFrame& frame) = 0;
+};
+
+struct RunResult {
+  eval::Summary summary;
+  eval::Evaluator evaluator;
+  // Resource accounting over the run.
+  double mean_cpu_utilization = 0.0;
+  std::size_t peak_memory_bytes = 0;
+  double battery_percent = 0.0;
+  std::size_t total_tx_bytes = 0;
+  int transmissions = 0;
+  // Memory trajectory (frame index, bytes) sampled every `memory_sample`.
+  std::vector<std::pair<int, std::size_t>> memory_curve;
+};
+
+/// Drive `pipeline` over all frames of `sim`'s scene. Scoring starts after
+/// `warmup_frames` (initialization / first edge round trip); resource
+/// accounting covers the whole run.
+RunResult run_pipeline(const scene::SceneSimulator& sim, Pipeline& pipeline,
+                       int warmup_frames = 45, int memory_sample = 10);
+
+}  // namespace edgeis::core

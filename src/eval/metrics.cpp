@@ -1,0 +1,89 @@
+#include "eval/metrics.hpp"
+
+#include <cstdio>
+
+namespace edgeis::eval {
+
+FrameScore score_frame(int frame_index,
+                       const std::vector<mask::InstanceMask>& predictions,
+                       const std::vector<mask::InstanceMask>& ground_truth,
+                       double latency_ms, long long min_gt_pixels) {
+  FrameScore score;
+  score.frame_index = frame_index;
+  score.latency_ms = latency_ms;
+  for (const auto& gt : ground_truth) {
+    if (gt.pixel_count() < min_gt_pixels) continue;
+    ObjectScore os;
+    os.instance_id = gt.instance_id;
+    for (const auto& pred : predictions) {
+      if (pred.instance_id == gt.instance_id) {
+        os.iou = pred.iou(gt);
+        os.predicted = true;
+        break;
+      }
+    }
+    score.objects.push_back(os);
+  }
+  return score;
+}
+
+void Evaluator::add(FrameScore score) {
+  ++frames_;
+  latencies_.add(score.latency_ms);
+  for (const auto& o : score.objects) {
+    ious_.add(o.iou);
+  }
+}
+
+Summary Evaluator::summarize() const {
+  Summary s;
+  s.frames = frames_;
+  s.object_frames = static_cast<int>(ious_.count());
+  s.mean_iou = ious_.mean();
+  s.false_rate_loose = ious_.fraction_below(kLooseThreshold);
+  s.false_rate_strict = ious_.fraction_below(kStrictThreshold);
+  s.mean_latency_ms = latencies_.mean();
+  s.p95_latency_ms = latencies_.percentile(95.0);
+  return s;
+}
+
+std::vector<std::pair<double, double>> Evaluator::iou_cdf(
+    std::size_t points) const {
+  return ious_.cdf(0.0, 1.0, points);
+}
+
+namespace {
+constexpr int kColumnWidth = 14;
+}
+
+void print_table_header(const std::vector<std::string>& columns) {
+  for (const auto& c : columns) {
+    std::printf("%-*s", kColumnWidth, c.c_str());
+  }
+  std::printf("\n");
+  for (std::size_t i = 0; i < columns.size() * kColumnWidth; ++i) {
+    std::putchar('-');
+  }
+  std::printf("\n");
+}
+
+void print_table_row(const std::vector<std::string>& cells) {
+  for (const auto& c : cells) {
+    std::printf("%-*s", kColumnWidth, c.c_str());
+  }
+  std::printf("\n");
+}
+
+std::string fmt(double value, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
+  return buf;
+}
+
+std::string fmt_percent(double fraction, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f%%", decimals, fraction * 100.0);
+  return buf;
+}
+
+}  // namespace edgeis::eval

@@ -1,0 +1,81 @@
+// Evaluation harness: per-frame mask scoring against ground truth (Eq. 8),
+// false-rate accounting at the paper's loose (0.5) and strict (0.75)
+// thresholds, latency aggregation and CDF export for the figures.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "mask/mask.hpp"
+#include "runtime/stats.hpp"
+
+namespace edgeis::eval {
+
+inline constexpr double kLooseThreshold = 0.5;
+inline constexpr double kStrictThreshold = 0.75;
+
+struct ObjectScore {
+  int instance_id = 0;
+  double iou = 0.0;
+  bool predicted = false;  // false = object present in GT but no prediction
+};
+
+struct FrameScore {
+  int frame_index = 0;
+  std::vector<ObjectScore> objects;
+  double latency_ms = 0.0;  // end-to-end per-frame processing latency
+};
+
+/// Ground-truth instances smaller than this many pixels (tiny slivers at
+/// the frame border, objects about to leave the view) are not scoreable
+/// targets and are skipped — the same convention the paper's datasets use
+/// for truncated instances.
+inline constexpr long long kMinScorablePixels = 1200;
+
+/// Score one frame: each ground-truth instance is matched to the predicted
+/// mask with the same instance id (identity is tracked through the
+/// pipeline); a missing prediction scores IoU 0.
+FrameScore score_frame(int frame_index,
+                       const std::vector<mask::InstanceMask>& predictions,
+                       const std::vector<mask::InstanceMask>& ground_truth,
+                       double latency_ms,
+                       long long min_gt_pixels = kMinScorablePixels);
+
+struct Summary {
+  double mean_iou = 0.0;
+  double false_rate_loose = 0.0;   // fraction of object-frames with IoU < 0.5
+  double false_rate_strict = 0.0;  // IoU < 0.75
+  double mean_latency_ms = 0.0;
+  double p95_latency_ms = 0.0;
+  int object_frames = 0;
+  int frames = 0;
+};
+
+/// Accumulates frame scores across a run and produces the summary numbers
+/// and the IoU CDF the figures plot.
+class Evaluator {
+ public:
+  void add(FrameScore score);
+
+  [[nodiscard]] Summary summarize() const;
+  /// (iou, P[IoU <= iou]) pairs for CDF plots (Fig. 9).
+  [[nodiscard]] std::vector<std::pair<double, double>> iou_cdf(
+      std::size_t points = 50) const;
+  [[nodiscard]] const rt::SampleSet& iou_samples() const { return ious_; }
+  [[nodiscard]] const rt::SampleSet& latency_samples() const {
+    return latencies_;
+  }
+
+ private:
+  rt::SampleSet ious_;       // one sample per object-frame
+  rt::SampleSet latencies_;  // one sample per frame
+  int frames_ = 0;
+};
+
+/// Fixed-width table-row printing used by every bench so outputs align.
+void print_table_header(const std::vector<std::string>& columns);
+void print_table_row(const std::vector<std::string>& cells);
+std::string fmt(double value, int decimals = 3);
+std::string fmt_percent(double fraction, int decimals = 1);
+
+}  // namespace edgeis::eval

@@ -1,0 +1,62 @@
+#include "features/descriptor.hpp"
+
+#include <cmath>
+
+#include "runtime/rng.hpp"
+
+namespace edgeis::feat {
+
+BriefDescriptorExtractor::BriefDescriptorExtractor(int patch_radius)
+    : patch_radius_(patch_radius) {
+  // Fixed seed: the pattern is part of the descriptor definition, not a
+  // per-run random choice.
+  rt::Rng rng(0xb51ef5eedULL);
+  pattern_.reserve(256);
+  const double sigma = patch_radius / 2.5;
+  auto draw = [&]() {
+    double v;
+    do {
+      v = rng.normal(0.0, sigma);
+    } while (std::abs(v) > patch_radius - 1);
+    return static_cast<float>(v);
+  };
+  for (int i = 0; i < 256; ++i) {
+    pattern_.push_back({draw(), draw(), draw(), draw()});
+  }
+}
+
+Descriptor BriefDescriptorExtractor::compute(const img::GrayImage& image,
+                                             const Keypoint& kp) const {
+  Descriptor d;
+  const float c = std::cos(kp.angle);
+  const float s = std::sin(kp.angle);
+  const double x0 = kp.pixel.x;
+  const double y0 = kp.pixel.y;
+
+  for (std::size_t i = 0; i < pattern_.size(); ++i) {
+    const auto& t = pattern_[i];
+    // Rotate both sample points by the keypoint orientation.
+    const double ax = x0 + c * t.ax - s * t.ay;
+    const double ay = y0 + s * t.ax + c * t.ay;
+    const double bx = x0 + c * t.bx - s * t.by;
+    const double by = y0 + s * t.bx + c * t.by;
+    const double va = image.sample_bilinear(ax, ay);
+    const double vb = image.sample_bilinear(bx, by);
+    if (va < vb) {
+      d.bits[i / 64] |= (1ULL << (i % 64));
+    }
+  }
+  return d;
+}
+
+std::vector<Feature> BriefDescriptorExtractor::compute_all(
+    const img::GrayImage& image, const std::vector<Keypoint>& kps) const {
+  std::vector<Feature> out;
+  out.reserve(kps.size());
+  for (const auto& kp : kps) {
+    out.push_back({kp, compute(image, kp)});
+  }
+  return out;
+}
+
+}  // namespace edgeis::feat

@@ -1,0 +1,38 @@
+// Oriented BRIEF (rBRIEF-style) 256-bit descriptors. The comparison-point
+// pattern is generated once from a fixed seed so descriptors are stable
+// across runs and across the two devices comparing them.
+#pragma once
+
+#include <vector>
+
+#include "features/feature.hpp"
+#include "image/image.hpp"
+
+namespace edgeis::feat {
+
+class BriefDescriptorExtractor {
+ public:
+  /// `patch_radius` bounds the sampled pattern; pattern is drawn from an
+  /// isotropic Gaussian truncated to the patch, per the BRIEF paper.
+  explicit BriefDescriptorExtractor(int patch_radius = 15);
+
+  /// Compute the descriptor for a keypoint on the image it was detected on
+  /// (pyramid-level coordinates). Samples are rotated by kp.angle.
+  [[nodiscard]] Descriptor compute(const img::GrayImage& image,
+                                   const Keypoint& kp) const;
+
+  /// Convenience: describe all keypoints.
+  [[nodiscard]] std::vector<Feature> compute_all(
+      const img::GrayImage& image, const std::vector<Keypoint>& kps) const;
+
+  [[nodiscard]] int patch_radius() const noexcept { return patch_radius_; }
+
+ private:
+  struct TestPair {
+    float ax, ay, bx, by;
+  };
+  int patch_radius_;
+  std::vector<TestPair> pattern_;  // 256 comparison pairs
+};
+
+}  // namespace edgeis::feat

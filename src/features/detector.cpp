@@ -1,0 +1,134 @@
+#include "features/detector.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace edgeis::feat {
+namespace {
+
+// Bresenham circle of radius 3 used by FAST (16 offsets, clockwise).
+constexpr int kCircle[16][2] = {
+    {0, -3}, {1, -3}, {2, -2}, {3, -1}, {3, 0},  {3, 1},  {2, 2},  {1, 3},
+    {0, 3},  {-1, 3}, {-2, 2}, {-3, 1}, {-3, 0}, {-3, -1}, {-2, -2}, {-1, -3}};
+
+// Corner score: sum of absolute differences of contiguous arc pixels vs
+// center, a cheap stand-in for the exact FAST score.
+float corner_score(const img::GrayImage& im, int x, int y, int threshold) {
+  const int c = im.at(x, y);
+  float score = 0.0f;
+  for (const auto& off : kCircle) {
+    const int v = im.at(x + off[0], y + off[1]);
+    const int d = std::abs(v - c);
+    if (d > threshold) score += static_cast<float>(d - threshold);
+  }
+  return score;
+}
+
+bool is_corner(const img::GrayImage& im, int x, int y, int threshold,
+               int min_consecutive) {
+  const int c = im.at(x, y);
+  const int hi = c + threshold;
+  const int lo = c - threshold;
+
+  // Quick reject using the 4 compass points: at least 3 of them must be
+  // consistently brighter or darker for a 9-consecutive arc to exist.
+  int brighter4 = 0, darker4 = 0;
+  for (int i : {0, 4, 8, 12}) {
+    const int v = im.at(x + kCircle[i][0], y + kCircle[i][1]);
+    brighter4 += (v > hi) ? 1 : 0;
+    darker4 += (v < lo) ? 1 : 0;
+  }
+  if (brighter4 < 3 && darker4 < 3) return false;
+
+  // Full segment test over the doubled circle to handle wrap-around.
+  int run_bright = 0, run_dark = 0;
+  for (int i = 0; i < 32; ++i) {
+    const auto& off = kCircle[i % 16];
+    const int v = im.at(x + off[0], y + off[1]);
+    run_bright = (v > hi) ? run_bright + 1 : 0;
+    run_dark = (v < lo) ? run_dark + 1 : 0;
+    if (run_bright >= min_consecutive || run_dark >= min_consecutive) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+float compute_orientation(const img::GrayImage& image, int x, int y,
+                          int radius) {
+  double m01 = 0.0, m10 = 0.0;
+  for (int dy = -radius; dy <= radius; ++dy) {
+    for (int dx = -radius; dx <= radius; ++dx) {
+      if (dx * dx + dy * dy > radius * radius) continue;
+      const double v = image.at_clamped(x + dx, y + dy);
+      m10 += dx * v;
+      m01 += dy * v;
+    }
+  }
+  return static_cast<float>(std::atan2(m01, m10));
+}
+
+std::vector<Keypoint> detect_fast(const img::GrayImage& image,
+                                  const DetectorOptions& opts) {
+  std::vector<Keypoint> raw;
+  const int border = 4;
+  for (int y = border; y < image.height() - border; ++y) {
+    for (int x = border; x < image.width() - border; ++x) {
+      if (!is_corner(image, x, y, opts.threshold, opts.min_consecutive)) {
+        continue;
+      }
+      Keypoint kp;
+      kp.pixel = {static_cast<double>(x), static_cast<double>(y)};
+      kp.score = corner_score(image, x, y, opts.threshold);
+      raw.push_back(kp);
+    }
+  }
+
+  // Non-maximum suppression on a score grid.
+  std::sort(raw.begin(), raw.end(),
+            [](const Keypoint& a, const Keypoint& b) { return a.score > b.score; });
+  img::Image<std::uint8_t> taken(image.width(), image.height(), 0);
+  std::vector<Keypoint> nms;
+  nms.reserve(raw.size());
+  for (const auto& kp : raw) {
+    const int x = static_cast<int>(kp.pixel.x);
+    const int y = static_cast<int>(kp.pixel.y);
+    if (taken.at(x, y)) continue;
+    nms.push_back(kp);
+    const int r = opts.nms_radius;
+    for (int dy = -r; dy <= r; ++dy) {
+      for (int dx = -r; dx <= r; ++dx) {
+        if (taken.contains(x + dx, y + dy)) taken.at(x + dx, y + dy) = 1;
+      }
+    }
+  }
+
+  // Grid-bucketed retention: keep the strongest per cell so features cover
+  // the whole frame rather than clustering on the most textured object.
+  const double cell_w =
+      static_cast<double>(image.width()) / opts.grid_cols;
+  const double cell_h =
+      static_cast<double>(image.height()) / opts.grid_rows;
+  std::vector<int> cell_counts(
+      static_cast<std::size_t>(opts.grid_cols * opts.grid_rows), 0);
+  std::vector<Keypoint> kept;
+  kept.reserve(nms.size());
+  for (const auto& kp : nms) {  // already sorted by score desc
+    const int cx = std::min(opts.grid_cols - 1,
+                            static_cast<int>(kp.pixel.x / cell_w));
+    const int cy = std::min(opts.grid_rows - 1,
+                            static_cast<int>(kp.pixel.y / cell_h));
+    int& count = cell_counts[static_cast<std::size_t>(cy * opts.grid_cols + cx)];
+    if (count >= opts.max_per_cell) continue;
+    ++count;
+    Keypoint k = kp;
+    k.angle = compute_orientation(image, static_cast<int>(kp.pixel.x),
+                                  static_cast<int>(kp.pixel.y));
+    kept.push_back(k);
+  }
+  return kept;
+}
+
+}  // namespace edgeis::feat

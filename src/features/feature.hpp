@@ -1,0 +1,36 @@
+// Feature types shared by the detector, descriptor and matcher.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "geometry/vec.hpp"
+
+namespace edgeis::feat {
+
+/// 256-bit binary descriptor (BRIEF-style, as in ORB).
+struct Descriptor {
+  std::array<std::uint64_t, 4> bits{};
+
+  [[nodiscard]] int hamming_distance(const Descriptor& o) const noexcept {
+    int d = 0;
+    for (int i = 0; i < 4; ++i) {
+      d += __builtin_popcountll(bits[static_cast<std::size_t>(i)] ^ o.bits[static_cast<std::size_t>(i)]);
+    }
+    return d;
+  }
+};
+
+struct Keypoint {
+  geom::Vec2 pixel;       // position at full image resolution
+  float score = 0.0f;     // corner response
+  float angle = 0.0f;     // orientation in radians (intensity centroid)
+  std::uint8_t octave = 0;  // pyramid level the point was detected at
+};
+
+struct Feature {
+  Keypoint kp;
+  Descriptor desc;
+};
+
+}  // namespace edgeis::feat

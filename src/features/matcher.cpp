@@ -1,0 +1,147 @@
+#include "features/matcher.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace edgeis::feat {
+
+std::vector<Match> match_brute_force(std::span<const Feature> set0,
+                                     std::span<const Feature> set1,
+                                     const MatchOptions& opts) {
+  if (set0.empty() || set1.empty()) return {};
+
+  // Forward pass: best + second-best per query.
+  std::vector<int> best1(set0.size());
+  std::vector<int> best_dist(set0.size());
+  std::vector<bool> accepted(set0.size(), false);
+  for (std::size_t i = 0; i < set0.size(); ++i) {
+    int b = -1, bd = 1 << 30, sd = 1 << 30;
+    for (std::size_t j = 0; j < set1.size(); ++j) {
+      const int d = set0[i].desc.hamming_distance(set1[j].desc);
+      if (d < bd) {
+        sd = bd;
+        bd = d;
+        b = static_cast<int>(j);
+      } else if (d < sd) {
+        sd = d;
+      }
+    }
+    best1[i] = b;
+    best_dist[i] = bd;
+    accepted[i] = b >= 0 && bd <= opts.max_distance &&
+                  static_cast<double>(bd) < opts.ratio * static_cast<double>(sd);
+  }
+
+  // Cross check: j's best query must be i.
+  std::vector<int> best0(set1.size(), -1);
+  std::vector<int> best0_dist(set1.size(), 1 << 30);
+  for (std::size_t i = 0; i < set0.size(); ++i) {
+    if (!accepted[i]) continue;
+    const auto j = static_cast<std::size_t>(best1[i]);
+    if (best_dist[i] < best0_dist[j]) {
+      best0_dist[j] = best_dist[i];
+      best0[j] = static_cast<int>(i);
+    }
+  }
+
+  std::vector<Match> out;
+  for (std::size_t j = 0; j < set1.size(); ++j) {
+    if (best0[j] >= 0) {
+      out.push_back({static_cast<std::size_t>(best0[j]), j, best0_dist[j]});
+    }
+  }
+  return out;
+}
+
+FeatureGrid::FeatureGrid(std::span<const Feature> features, int image_width,
+                         int image_height, int cell_size)
+    : cell_size_(cell_size),
+      cols_(std::max(1, (image_width + cell_size - 1) / cell_size)),
+      rows_(std::max(1, (image_height + cell_size - 1) / cell_size)),
+      cells_(static_cast<std::size_t>(cols_) * static_cast<std::size_t>(rows_)) {
+  positions_.reserve(features.size());
+  for (std::size_t i = 0; i < features.size(); ++i) {
+    const auto& p = features[i].kp.pixel;
+    positions_.push_back(p);
+    const int cx = std::clamp(static_cast<int>(p.x) / cell_size_, 0, cols_ - 1);
+    const int cy = std::clamp(static_cast<int>(p.y) / cell_size_, 0, rows_ - 1);
+    cells_[static_cast<std::size_t>(cy * cols_ + cx)].push_back(i);
+  }
+}
+
+std::vector<std::size_t> FeatureGrid::query(const geom::Vec2& center,
+                                            double radius) const {
+  std::vector<std::size_t> out;
+  const int cx0 = std::clamp(
+      static_cast<int>((center.x - radius)) / cell_size_, 0, cols_ - 1);
+  const int cx1 = std::clamp(
+      static_cast<int>((center.x + radius)) / cell_size_, 0, cols_ - 1);
+  const int cy0 = std::clamp(
+      static_cast<int>((center.y - radius)) / cell_size_, 0, rows_ - 1);
+  const int cy1 = std::clamp(
+      static_cast<int>((center.y + radius)) / cell_size_, 0, rows_ - 1);
+  const double r2 = radius * radius;
+  for (int cy = cy0; cy <= cy1; ++cy) {
+    for (int cx = cx0; cx <= cx1; ++cx) {
+      for (std::size_t i : cells_[static_cast<std::size_t>(cy * cols_ + cx)]) {
+        if ((positions_[i] - center).squared_norm() <= r2) {
+          out.push_back(i);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<Match> match_windowed(
+    std::span<const Feature> queries,
+    std::span<const std::optional<geom::Vec2>> predictions,
+    std::span<const Feature> train, const MatchOptions& opts) {
+  if (train.empty()) return {};
+  int maxx = 0, maxy = 0;
+  for (const auto& f : train) {
+    maxx = std::max(maxx, static_cast<int>(f.kp.pixel.x) + 1);
+    maxy = std::max(maxy, static_cast<int>(f.kp.pixel.y) + 1);
+  }
+  const FeatureGrid grid(train, maxx, maxy);
+
+  std::vector<Match> out;
+  std::vector<int> train_claimed(train.size(), -1);  // best query distance
+  std::vector<std::size_t> train_claim_slot(train.size(), 0);
+
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    if (i >= predictions.size() || !predictions[i]) continue;
+    const auto cand = grid.query(*predictions[i], opts.search_radius);
+    int bd = 1 << 30, sd = 1 << 30;
+    int bj = -1;
+    for (std::size_t j : cand) {
+      const int d = queries[i].desc.hamming_distance(train[j].desc);
+      if (d < bd) {
+        sd = bd;
+        bd = d;
+        bj = static_cast<int>(j);
+      } else if (d < sd) {
+        sd = d;
+      }
+    }
+    if (bj < 0 || bd > opts.max_distance) continue;
+    if (static_cast<double>(bd) >= opts.ratio * static_cast<double>(sd)) {
+      continue;
+    }
+    // Resolve train-side conflicts in favor of the smaller distance.
+    const auto j = static_cast<std::size_t>(bj);
+    if (train_claimed[j] >= 0) {
+      if (bd >= train_claimed[j]) continue;
+      // Replace the previous claim.
+      out[train_claim_slot[j]] = {i, j, bd};
+      train_claimed[j] = bd;
+      continue;
+    }
+    train_claimed[j] = bd;
+    train_claim_slot[j] = out.size();
+    out.push_back({i, j, bd});
+  }
+  return out;
+}
+
+}  // namespace edgeis::feat

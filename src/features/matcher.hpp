@@ -1,0 +1,58 @@
+// Descriptor matching. Two strategies:
+//  - brute-force with Lowe ratio test (initialization, small sets),
+//  - windowed matching around predicted pixel positions (tracking), which
+//    is both faster and more robust because the VO supplies a strong
+//    position prior.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "features/feature.hpp"
+
+namespace edgeis::feat {
+
+struct MatchOptions {
+  int max_distance = 64;       // Hamming; 256-bit descriptors
+  double ratio = 0.8;          // Lowe ratio: best < ratio * second-best
+  double search_radius = 24.0; // pixels, for windowed matching
+};
+
+struct Match {
+  std::size_t index0;  // into the first feature set (or query set)
+  std::size_t index1;  // into the second feature set (or train set)
+  int distance;
+};
+
+/// Brute-force matching with ratio test and mutual-best cross check.
+std::vector<Match> match_brute_force(std::span<const Feature> set0,
+                                     std::span<const Feature> set1,
+                                     const MatchOptions& opts = {});
+
+/// Match each query feature against train features within `search_radius`
+/// of its predicted pixel position. `predictions[i]` is the expected pixel
+/// of query i in the train image; entries without a prediction are skipped.
+std::vector<Match> match_windowed(
+    std::span<const Feature> queries,
+    std::span<const std::optional<geom::Vec2>> predictions,
+    std::span<const Feature> train, const MatchOptions& opts = {});
+
+/// Spatial grid over train features to accelerate windowed matching.
+class FeatureGrid {
+ public:
+  FeatureGrid(std::span<const Feature> features, int image_width,
+              int image_height, int cell_size = 32);
+
+  /// Indices of features within `radius` of `center`.
+  [[nodiscard]] std::vector<std::size_t> query(const geom::Vec2& center,
+                                               double radius) const;
+
+ private:
+  int cell_size_;
+  int cols_, rows_;
+  std::vector<std::vector<std::size_t>> cells_;
+  std::vector<geom::Vec2> positions_;
+};
+
+}  // namespace edgeis::feat

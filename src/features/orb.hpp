@@ -1,0 +1,55 @@
+// Combined ORB-style extractor: pyramid + FAST + oriented BRIEF. Keypoint
+// positions are reported at full-image resolution regardless of the octave
+// they were detected at (Section VI-A: "we use ORB feature for its
+// efficiency in computing and robustness against the change of viewpoints").
+#pragma once
+
+#include <vector>
+
+#include "features/descriptor.hpp"
+#include "features/detector.hpp"
+#include "image/image.hpp"
+
+namespace edgeis::feat {
+
+struct OrbOptions {
+  DetectorOptions detector;
+  int pyramid_levels = 3;
+};
+
+class OrbExtractor {
+ public:
+  explicit OrbExtractor(OrbOptions opts = {}) : opts_(opts) {}
+
+  [[nodiscard]] std::vector<Feature> extract(const img::GrayImage& image) const {
+    // Light blur suppresses point-sampling shimmer so FAST corners and
+    // BRIEF bits are stable across frames.
+    const auto pyramid =
+        img::build_pyramid(img::box_blur3(image), opts_.pyramid_levels);
+    std::vector<Feature> all;
+    double scale = 1.0;
+    for (std::size_t level = 0; level < pyramid.size(); ++level) {
+      DetectorOptions d = opts_.detector;
+      // Fewer keypoints at coarser levels.
+      d.max_per_cell = std::max(1, d.max_per_cell >> level);
+      auto kps = detect_fast(pyramid[level], d);
+      for (auto& kp : kps) {
+        kp.octave = static_cast<std::uint8_t>(level);
+        Feature f;
+        f.kp = kp;
+        f.desc = brief_.compute(pyramid[level], kp);
+        // Report position at full resolution.
+        f.kp.pixel = kp.pixel * scale;
+        all.push_back(f);
+      }
+      scale *= 2.0;
+    }
+    return all;
+  }
+
+ private:
+  OrbOptions opts_;
+  BriefDescriptorExtractor brief_;
+};
+
+}  // namespace edgeis::feat

@@ -1,0 +1,60 @@
+// Pinhole camera model. Projects camera-frame 3-D points to pixels and
+// back-projects pixels to unit-depth rays. Mirrors the paper's use of the
+// intrinsic matrix K in Eq. (2)-(5).
+#pragma once
+
+#include <optional>
+
+#include "geometry/se3.hpp"
+#include "geometry/vec.hpp"
+
+namespace edgeis::geom {
+
+struct PinholeCamera {
+  double fx = 500.0, fy = 500.0;
+  double cx = 320.0, cy = 240.0;
+  int width = 640, height = 480;
+
+  [[nodiscard]] Mat3 k_matrix() const {
+    Mat3 K = Mat3::zero();
+    K(0, 0) = fx;
+    K(1, 1) = fy;
+    K(0, 2) = cx;
+    K(1, 2) = cy;
+    K(2, 2) = 1.0;
+    return K;
+  }
+
+  /// Project a point in the camera frame; returns nullopt when behind the
+  /// camera (z <= min_depth).
+  [[nodiscard]] std::optional<Vec2> project(const Vec3& p_cam,
+                                            double min_depth = 1e-6) const {
+    if (p_cam.z <= min_depth) return std::nullopt;
+    return Vec2{fx * p_cam.x / p_cam.z + cx, fy * p_cam.y / p_cam.z + cy};
+  }
+
+  /// Project a world point through pose T_cw (Eq. 5 in the paper).
+  [[nodiscard]] std::optional<Vec2> project_world(const SE3& T_cw,
+                                                  const Vec3& p_world) const {
+    return project(T_cw * p_world);
+  }
+
+  /// Back-project pixel to the normalized image plane (z = 1 ray direction
+  /// in the camera frame): K^{-1} [u v 1]^T.
+  [[nodiscard]] Vec3 unproject(const Vec2& px) const {
+    return {(px.x - cx) / fx, (px.y - cy) / fy, 1.0};
+  }
+
+  /// Back-project pixel at a known depth to a camera-frame point.
+  [[nodiscard]] Vec3 unproject_depth(const Vec2& px, double depth) const {
+    return unproject(px) * depth;
+  }
+
+  [[nodiscard]] bool in_image(const Vec2& px, double border = 0.0) const {
+    return px.x >= border && px.y >= border &&
+           px.x < static_cast<double>(width) - border &&
+           px.y < static_cast<double>(height) - border;
+  }
+};
+
+}  // namespace edgeis::geom

@@ -1,0 +1,261 @@
+#include "geometry/epipolar.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "geometry/linalg.hpp"
+
+namespace edgeis::geom {
+namespace {
+
+struct Normalization {
+  Mat3 t;  // similarity transform applied to pixels
+};
+
+// Hartley normalization: translate to centroid, scale mean distance to
+// sqrt(2). Returns the transform; degenerate input gives identity.
+Normalization normalize_points(std::span<const PixelMatch> matches,
+                               bool first, std::vector<Vec2>& out) {
+  Vec2 centroid{0, 0};
+  for (const auto& m : matches) centroid += first ? m.p0 : m.p1;
+  centroid = centroid / static_cast<double>(matches.size());
+
+  double mean_dist = 0.0;
+  for (const auto& m : matches) {
+    mean_dist += ((first ? m.p0 : m.p1) - centroid).norm();
+  }
+  mean_dist /= static_cast<double>(matches.size());
+  const double scale = mean_dist > 1e-12 ? std::sqrt(2.0) / mean_dist : 1.0;
+
+  out.clear();
+  out.reserve(matches.size());
+  for (const auto& m : matches) {
+    const Vec2 p = first ? m.p0 : m.p1;
+    out.push_back({(p.x - centroid.x) * scale, (p.y - centroid.y) * scale});
+  }
+
+  Normalization n;
+  n.t = Mat3::zero();
+  n.t(0, 0) = scale;
+  n.t(1, 1) = scale;
+  n.t(0, 2) = -scale * centroid.x;
+  n.t(1, 2) = -scale * centroid.y;
+  n.t(2, 2) = 1.0;
+  return n;
+}
+
+Mat3 enforce_rank2(const Mat3& f) {
+  Svd3 svd = svd3(f);
+  // Zero the smallest singular value: F <- U diag(s0, s1, 0) V^T.
+  Mat3 s = Mat3::zero();
+  s(0, 0) = svd.sigma.x;
+  s(1, 1) = svd.sigma.y;
+  return svd.u * s * svd.v.transpose();
+}
+
+}  // namespace
+
+std::optional<Mat3> estimate_fundamental(std::span<const PixelMatch> matches) {
+  if (matches.size() < 8) return std::nullopt;
+
+  std::vector<Vec2> n0, n1;
+  const Normalization t0 = normalize_points(matches, true, n0);
+  const Normalization t1 = normalize_points(matches, false, n1);
+
+  // Each match contributes one row of the p1^T F p0 = 0 constraint.
+  MatX a(matches.size(), 9);
+  for (std::size_t i = 0; i < matches.size(); ++i) {
+    const Vec2& x0 = n0[i];
+    const Vec2& x1 = n1[i];
+    a(i, 0) = x1.x * x0.x;
+    a(i, 1) = x1.x * x0.y;
+    a(i, 2) = x1.x;
+    a(i, 3) = x1.y * x0.x;
+    a(i, 4) = x1.y * x0.y;
+    a(i, 5) = x1.y;
+    a(i, 6) = x0.x;
+    a(i, 7) = x0.y;
+    a(i, 8) = 1.0;
+  }
+
+  const std::vector<double> fvec = smallest_singular_vector(a);
+  Mat3 fn;
+  for (int i = 0; i < 9; ++i) fn.m[static_cast<std::size_t>(i)] = fvec[static_cast<std::size_t>(i)];
+  fn = enforce_rank2(fn);
+
+  // De-normalize: F = T1^T Fn T0.
+  Mat3 f = t1.t.transpose() * fn * t0.t;
+  const double norm = f.frobenius_norm();
+  if (norm < 1e-15) return std::nullopt;
+  return f * (1.0 / norm);
+}
+
+double sampson_distance(const Mat3& f, const PixelMatch& m) {
+  const Vec3 x0{m.p0.x, m.p0.y, 1.0};
+  const Vec3 x1{m.p1.x, m.p1.y, 1.0};
+  const Vec3 fx0 = f * x0;
+  const Vec3 ftx1 = f.transpose() * x1;
+  const double num = x1.dot(fx0);
+  const double denom =
+      fx0.x * fx0.x + fx0.y * fx0.y + ftx1.x * ftx1.x + ftx1.y * ftx1.y;
+  if (denom < 1e-15) return 1e18;
+  return num * num / denom;
+}
+
+std::optional<FundamentalRansacResult> estimate_fundamental_ransac(
+    std::span<const PixelMatch> matches, edgeis::rt::Rng& rng, int iterations,
+    double threshold) {
+  if (matches.size() < 8) return std::nullopt;
+
+  FundamentalRansacResult best;
+  best.inlier_count = -1;
+
+  std::vector<PixelMatch> sample(8);
+  for (int it = 0; it < iterations; ++it) {
+    // Draw 8 distinct indices.
+    std::vector<std::size_t> idx;
+    idx.reserve(8);
+    while (idx.size() < 8) {
+      const std::size_t j = rng.uniform_int(matches.size());
+      if (std::find(idx.begin(), idx.end(), j) == idx.end()) idx.push_back(j);
+    }
+    for (int k = 0; k < 8; ++k) sample[static_cast<std::size_t>(k)] = matches[idx[static_cast<std::size_t>(k)]];
+
+    const auto f = estimate_fundamental(sample);
+    if (!f) continue;
+
+    int inliers = 0;
+    std::vector<bool> mask(matches.size(), false);
+    for (std::size_t i = 0; i < matches.size(); ++i) {
+      if (sampson_distance(*f, matches[i]) < threshold) {
+        mask[i] = true;
+        ++inliers;
+      }
+    }
+    if (inliers > best.inlier_count) {
+      best.f = *f;
+      best.inliers = std::move(mask);
+      best.inlier_count = inliers;
+    }
+  }
+
+  if (best.inlier_count < 8) return std::nullopt;
+
+  // Refit on all inliers for the final model.
+  std::vector<PixelMatch> inlier_matches;
+  inlier_matches.reserve(static_cast<std::size_t>(best.inlier_count));
+  for (std::size_t i = 0; i < matches.size(); ++i) {
+    if (best.inliers[i]) inlier_matches.push_back(matches[i]);
+  }
+  if (const auto refined = estimate_fundamental(inlier_matches)) {
+    best.f = *refined;
+    best.inlier_count = 0;
+    for (std::size_t i = 0; i < matches.size(); ++i) {
+      best.inliers[i] = sampson_distance(best.f, matches[i]) < threshold;
+      best.inlier_count += best.inliers[i] ? 1 : 0;
+    }
+  }
+  return best;
+}
+
+Mat3 essential_from_fundamental(const Mat3& f, const Mat3& k) {
+  return k.transpose() * f * k;
+}
+
+double parallax_deg(const Vec3& point, const SE3& t_cw0, const SE3& t_cw1) {
+  const Vec3 c0 = -(t_cw0.R.transpose() * t_cw0.t);
+  const Vec3 c1 = -(t_cw1.R.transpose() * t_cw1.t);
+  const Vec3 r0 = (point - c0).normalized();
+  const Vec3 r1 = (point - c1).normalized();
+  const double c = std::clamp(r0.dot(r1), -1.0, 1.0);
+  return std::acos(c) * 180.0 / M_PI;
+}
+
+std::optional<Vec3> triangulate(const PinholeCamera& cam, const SE3& t_cw0,
+                                const SE3& t_cw1, const Vec2& px0,
+                                const Vec2& px1, double min_parallax_deg) {
+  // DLT on normalized rays: rows of A from x ^ (P X) = 0 for both views.
+  const Vec3 r0 = cam.unproject(px0);
+  const Vec3 r1 = cam.unproject(px1);
+
+  // P = [R | t] rows for each view.
+  auto row = [](const SE3& t, int r) {
+    return Vec3{t.R(r, 0), t.R(r, 1), t.R(r, 2)};
+  };
+  MatX a(4, 4);
+  auto fill = [&](std::size_t base, const SE3& t, const Vec3& ray) {
+    const Vec3 p0 = row(t, 0), p1 = row(t, 1), p2 = row(t, 2);
+    // ray.x * P.row(2) - P.row(0), ray.y * P.row(2) - P.row(1)
+    const Vec3 ra = p2 * ray.x - p0;
+    const Vec3 rb = p2 * ray.y - p1;
+    a(base, 0) = ra.x;
+    a(base, 1) = ra.y;
+    a(base, 2) = ra.z;
+    a(base, 3) = ray.x * t.t.z - t.t.x;
+    a(base + 1, 0) = rb.x;
+    a(base + 1, 1) = rb.y;
+    a(base + 1, 2) = rb.z;
+    a(base + 1, 3) = ray.y * t.t.z - t.t.y;
+  };
+  fill(0, t_cw0, r0);
+  fill(2, t_cw1, r1);
+
+  const std::vector<double> h = smallest_singular_vector(a);
+  if (std::abs(h[3]) < 1e-12) return std::nullopt;
+  const Vec3 p{h[0] / h[3], h[1] / h[3], h[2] / h[3]};
+
+  // Cheirality: positive depth in both cameras.
+  const Vec3 c0 = t_cw0 * p;
+  const Vec3 c1 = t_cw1 * p;
+  if (c0.z <= 1e-6 || c1.z <= 1e-6) return std::nullopt;
+  if (parallax_deg(p, t_cw0, t_cw1) < min_parallax_deg) return std::nullopt;
+  return p;
+}
+
+std::optional<RelativePose> recover_pose(const Mat3& essential,
+                                         const PinholeCamera& cam,
+                                         std::span<const PixelMatch> matches) {
+  const Svd3 svd = svd3(essential);
+  Mat3 w = Mat3::zero();
+  w(0, 1) = -1;
+  w(1, 0) = 1;
+  w(2, 2) = 1;
+
+  Mat3 r_a = svd.u * w * svd.v.transpose();
+  Mat3 r_b = svd.u * w.transpose() * svd.v.transpose();
+  if (r_a.det() < 0) r_a = r_a * -1.0;
+  if (r_b.det() < 0) r_b = r_b * -1.0;
+  r_a = orthonormalize(r_a);
+  r_b = orthonormalize(r_b);
+  const Vec3 t = svd.u.col(2).normalized();
+
+  const SE3 candidates[4] = {
+      SE3{r_a, t}, SE3{r_a, -t}, SE3{r_b, t}, SE3{r_b, -t}};
+
+  RelativePose best;
+  best.good_count = -1;
+  const SE3 identity = SE3::identity();
+
+  for (const SE3& cand : candidates) {
+    RelativePose rp;
+    rp.t_10 = cand;
+    rp.points.resize(matches.size());
+    rp.valid.assign(matches.size(), false);
+    rp.good_count = 0;
+    for (std::size_t i = 0; i < matches.size(); ++i) {
+      const auto p =
+          triangulate(cam, identity, cand, matches[i].p0, matches[i].p1);
+      if (p) {
+        rp.points[i] = *p;
+        rp.valid[i] = true;
+        ++rp.good_count;
+      }
+    }
+    if (rp.good_count > best.good_count) best = std::move(rp);
+  }
+
+  if (best.good_count < 8) return std::nullopt;
+  return best;
+}
+
+}  // namespace edgeis::geom

@@ -1,0 +1,74 @@
+// Two-view epipolar geometry: normalized 8-point fundamental-matrix
+// estimation with RANSAC, essential-matrix decomposition with cheirality
+// disambiguation, and DLT triangulation. Implements Eq. (1)-(3) of the
+// paper, which the VO initializer (Section III-A) relies on.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "geometry/camera.hpp"
+#include "geometry/se3.hpp"
+#include "geometry/vec.hpp"
+#include "runtime/rng.hpp"
+
+namespace edgeis::geom {
+
+/// A pair of matched pixel observations of the same 3-D point in two frames.
+struct PixelMatch {
+  Vec2 p0;  // pixel in frame 0
+  Vec2 p1;  // pixel in frame 1
+};
+
+/// Estimate the fundamental matrix from >= 8 matches using the normalized
+/// 8-point algorithm with rank-2 enforcement. Returns nullopt if the
+/// problem is degenerate.
+std::optional<Mat3> estimate_fundamental(std::span<const PixelMatch> matches);
+
+/// Sampson distance of a match w.r.t. a fundamental matrix — the standard
+/// first-order geometric error used for inlier classification.
+double sampson_distance(const Mat3& f, const PixelMatch& m);
+
+struct FundamentalRansacResult {
+  Mat3 f;
+  std::vector<bool> inliers;
+  int inlier_count = 0;
+};
+
+/// RANSAC wrapper around estimate_fundamental. `threshold` is the Sampson
+/// distance (pixels^2-ish) below which a match counts as an inlier.
+std::optional<FundamentalRansacResult> estimate_fundamental_ransac(
+    std::span<const PixelMatch> matches, edgeis::rt::Rng& rng,
+    int iterations = 200, double threshold = 3.84);
+
+/// Essential matrix from fundamental and intrinsics: E = K^T F K (Eq. 2).
+Mat3 essential_from_fundamental(const Mat3& f, const Mat3& k);
+
+struct RelativePose {
+  SE3 t_10;              // pose of frame 1 relative to frame 0 (X1 = R X0 + t)
+  std::vector<Vec3> points;       // triangulated points (frame-0 coordinates)
+  std::vector<bool> valid;        // per-match: triangulation succeeded
+  int good_count = 0;
+};
+
+/// Decompose the essential matrix into the four (R, t) candidates and pick
+/// the one with the most points in front of both cameras (cheirality test),
+/// triangulating the inlier matches along the way. Translation has unit
+/// norm (monocular scale ambiguity).
+std::optional<RelativePose> recover_pose(const Mat3& essential,
+                                         const PinholeCamera& cam,
+                                         std::span<const PixelMatch> matches);
+
+/// DLT triangulation of one match given the two camera poses (world->cam).
+/// Returns nullopt when the point is behind either camera or the parallax
+/// is too small for a stable solve.
+std::optional<Vec3> triangulate(const PinholeCamera& cam, const SE3& t_cw0,
+                                const SE3& t_cw1, const Vec2& px0,
+                                const Vec2& px1,
+                                double min_parallax_deg = 0.5);
+
+/// Parallax angle (degrees) subtended at a 3-D point by two camera centers.
+double parallax_deg(const Vec3& point, const SE3& t_cw0, const SE3& t_cw1);
+
+}  // namespace edgeis::geom

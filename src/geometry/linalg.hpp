@@ -1,0 +1,217 @@
+// Small dense linear-algebra kernels the geometry stack needs:
+//  - symmetric Jacobi eigendecomposition (for null-space extraction in the
+//    8-point algorithm and for 3x3 SVD),
+//  - Gaussian elimination with partial pivoting (for the 6x6 Gauss–Newton
+//    normal equations in PnP),
+//  - 3x3 SVD (for rank-2 enforcement of F and essential-matrix
+//    decomposition).
+// These operate on tiny matrices, so clarity beats cleverness.
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "geometry/vec.hpp"
+
+namespace edgeis::geom {
+
+/// Dense row-major dynamic matrix for the small problems above.
+class MatX {
+ public:
+  MatX() = default;
+  MatX(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+  double& operator()(std::size_t r, std::size_t c) {
+    return data_[r * cols_ + c];
+  }
+  double operator()(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+
+  /// A^T * A, the Gram matrix (cols x cols).
+  [[nodiscard]] MatX gram() const {
+    MatX g(cols_, cols_);
+    for (std::size_t i = 0; i < cols_; ++i) {
+      for (std::size_t j = i; j < cols_; ++j) {
+        double s = 0.0;
+        for (std::size_t r = 0; r < rows_; ++r) {
+          s += (*this)(r, i) * (*this)(r, j);
+        }
+        g(i, j) = s;
+        g(j, i) = s;
+      }
+    }
+    return g;
+  }
+
+ private:
+  std::size_t rows_ = 0, cols_ = 0;
+  std::vector<double> data_;
+};
+
+struct EigenResult {
+  std::vector<double> values;          // ascending
+  std::vector<std::vector<double>> vectors;  // vectors[k] pairs values[k]
+};
+
+/// Cyclic Jacobi eigendecomposition of a symmetric matrix. Robust and
+/// adequate for the <=9x9 problems in this project.
+inline EigenResult symmetric_eigen(MatX a, int max_sweeps = 64) {
+  const std::size_t n = a.rows();
+  std::vector<std::vector<double>> v(n, std::vector<double>(n, 0.0));
+  for (std::size_t i = 0; i < n; ++i) v[i][i] = 1.0;
+
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    double off = 0.0;
+    for (std::size_t p = 0; p < n; ++p)
+      for (std::size_t q = p + 1; q < n; ++q) off += a(p, q) * a(p, q);
+    if (off < 1e-24) break;
+
+    for (std::size_t p = 0; p < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        if (std::abs(a(p, q)) < 1e-300) continue;
+        const double theta = (a(q, q) - a(p, p)) / (2.0 * a(p, q));
+        const double sign = theta >= 0.0 ? 1.0 : -1.0;
+        const double t =
+            sign / (std::abs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+
+        for (std::size_t k = 0; k < n; ++k) {
+          const double akp = a(k, p), akq = a(k, q);
+          a(k, p) = c * akp - s * akq;
+          a(k, q) = s * akp + c * akq;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double apk = a(p, k), aqk = a(q, k);
+          a(p, k) = c * apk - s * aqk;
+          a(q, k) = s * apk + c * aqk;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double vkp = v[k][p], vkq = v[k][q];
+          v[k][p] = c * vkp - s * vkq;
+          v[k][q] = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+
+  // Sort ascending by eigenvalue.
+  std::vector<std::size_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = i;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (a(order[j], order[j]) < a(order[i], order[i])) {
+        std::swap(order[i], order[j]);
+      }
+    }
+  }
+
+  EigenResult res;
+  res.values.resize(n);
+  res.vectors.assign(n, std::vector<double>(n));
+  for (std::size_t k = 0; k < n; ++k) {
+    res.values[k] = a(order[k], order[k]);
+    for (std::size_t i = 0; i < n; ++i) res.vectors[k][i] = v[i][order[k]];
+  }
+  return res;
+}
+
+/// Unit-norm null vector of A (rows >= cols): the eigenvector of A^T A with
+/// the smallest eigenvalue.
+inline std::vector<double> smallest_singular_vector(const MatX& a) {
+  const EigenResult e = symmetric_eigen(a.gram());
+  return e.vectors.front();
+}
+
+/// Solve A x = b via Gaussian elimination with partial pivoting.
+/// Returns false on (near-)singular A.
+inline bool solve_linear(MatX a, std::vector<double> b,
+                         std::vector<double>& x) {
+  const std::size_t n = a.rows();
+  for (std::size_t col = 0; col < n; ++col) {
+    std::size_t piv = col;
+    for (std::size_t r = col + 1; r < n; ++r) {
+      if (std::abs(a(r, col)) > std::abs(a(piv, col))) piv = r;
+    }
+    if (std::abs(a(piv, col)) < 1e-12) return false;
+    if (piv != col) {
+      for (std::size_t c = 0; c < n; ++c) std::swap(a(col, c), a(piv, c));
+      std::swap(b[col], b[piv]);
+    }
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double f = a(r, col) / a(col, col);
+      for (std::size_t c = col; c < n; ++c) a(r, c) -= f * a(col, c);
+      b[r] -= f * b[col];
+    }
+  }
+  x.assign(n, 0.0);
+  for (std::size_t ri = n; ri-- > 0;) {
+    double s = b[ri];
+    for (std::size_t c = ri + 1; c < n; ++c) s -= a(ri, c) * x[c];
+    x[ri] = s / a(ri, ri);
+  }
+  return true;
+}
+
+struct Svd3 {
+  Mat3 u;          // left singular vectors (columns)
+  Vec3 sigma;      // singular values, descending
+  Mat3 v;          // right singular vectors (columns)
+};
+
+/// SVD of a 3x3 matrix via eigendecomposition of A^T A. U columns for
+/// near-zero singular values are completed by cross products so U is always
+/// a full orthonormal basis (needed for essential-matrix decomposition).
+inline Svd3 svd3(const Mat3& a) {
+  MatX ata(3, 3);
+  const Mat3 g = a.transpose() * a;
+  for (int i = 0; i < 3; ++i)
+    for (int j = 0; j < 3; ++j) ata(i, j) = g(i, j);
+
+  const EigenResult e = symmetric_eigen(ata);
+  // Descending order of singular values.
+  Svd3 out;
+  Vec3 vcols[3];
+  double svals[3];
+  for (int k = 0; k < 3; ++k) {
+    const auto& vec = e.vectors[2 - k];
+    vcols[k] = Vec3{vec[0], vec[1], vec[2]}.normalized();
+    svals[k] = std::sqrt(std::max(0.0, e.values[2 - k]));
+  }
+  out.sigma = {svals[0], svals[1], svals[2]};
+  for (int k = 0; k < 3; ++k) {
+    out.v(0, k) = vcols[k].x;
+    out.v(1, k) = vcols[k].y;
+    out.v(2, k) = vcols[k].z;
+  }
+
+  Vec3 ucols[3];
+  for (int k = 0; k < 3; ++k) {
+    if (svals[k] > 1e-10) {
+      ucols[k] = (a * vcols[k]) / svals[k];
+    } else if (k == 2) {
+      ucols[2] = ucols[0].cross(ucols[1]).normalized();
+    } else if (k == 1) {
+      // Rank-1 input: pick any unit vector orthogonal to ucols[0].
+      Vec3 ref = std::abs(ucols[0].x) < 0.9 ? Vec3{1, 0, 0} : Vec3{0, 1, 0};
+      ucols[1] = ucols[0].cross(ref).normalized();
+    } else {
+      ucols[0] = {1, 0, 0};
+    }
+  }
+  for (int k = 0; k < 3; ++k) {
+    out.u(0, k) = ucols[k].x;
+    out.u(1, k) = ucols[k].y;
+    out.u(2, k) = ucols[k].z;
+  }
+  return out;
+}
+
+}  // namespace edgeis::geom

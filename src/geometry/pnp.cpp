@@ -1,0 +1,116 @@
+#include "geometry/pnp.hpp"
+
+#include <cmath>
+
+#include "geometry/linalg.hpp"
+
+namespace edgeis::geom {
+namespace {
+
+// Jacobian of the projection of camera-frame point p w.r.t. the left-
+// multiplied se(3) increment [w, v] (rotation first):
+//   d(pi(exp(xi) * T * X)) / d(xi) at xi = 0.
+// With p = T * X = (X_c, Y_c, Z_c):
+//   d(pi)/d(p) = [fx/Z, 0, -fx X/Z^2; 0, fy/Z, -fy Y/Z^2]
+//   d(p)/d(v) = I, d(p)/d(w) = -[p]_x
+void projection_jacobian(const PinholeCamera& cam, const Vec3& p_cam,
+                         double jac[2][6]) {
+  const double z_inv = 1.0 / p_cam.z;
+  const double z_inv2 = z_inv * z_inv;
+  const double du_dp[3] = {cam.fx * z_inv, 0.0, -cam.fx * p_cam.x * z_inv2};
+  const double dv_dp[3] = {0.0, cam.fy * z_inv, -cam.fy * p_cam.y * z_inv2};
+
+  const Mat3 neg_hat = Mat3::hat(p_cam) * -1.0;
+  // Columns 0..2: rotation (w), columns 3..5: translation (v).
+  for (int c = 0; c < 3; ++c) {
+    double dp_dw[3] = {neg_hat(0, c), neg_hat(1, c), neg_hat(2, c)};
+    jac[0][c] = du_dp[0] * dp_dw[0] + du_dp[1] * dp_dw[1] + du_dp[2] * dp_dw[2];
+    jac[1][c] = dv_dp[0] * dp_dw[0] + dv_dp[1] * dp_dw[1] + dv_dp[2] * dp_dw[2];
+  }
+  for (int c = 0; c < 3; ++c) {
+    jac[0][3 + c] = du_dp[c];
+    jac[1][3 + c] = dv_dp[c];
+  }
+}
+
+}  // namespace
+
+std::optional<PnpResult> solve_pnp(const PinholeCamera& cam,
+                                   std::span<const PnpCorrespondence> corrs,
+                                   const SE3& initial_guess,
+                                   const PnpOptions& opts) {
+  if (corrs.size() < 3) return std::nullopt;
+
+  SE3 t_cw = initial_guess;
+
+  for (int iter = 0; iter < opts.max_iterations; ++iter) {
+    MatX h(6, 6);
+    std::vector<double> b(6, 0.0);
+    int valid = 0;
+
+    for (const auto& c : corrs) {
+      const Vec3 p_cam = t_cw * c.point_world;
+      if (p_cam.z <= 1e-6) continue;
+      const auto proj = cam.project(p_cam);
+      if (!proj) continue;
+      ++valid;
+
+      const Vec2 r{proj->x - c.pixel.x, proj->y - c.pixel.y};
+      const double err = r.norm();
+      // Huber weight: quadratic near zero, linear in the tails.
+      const double w =
+          err <= opts.huber_delta ? 1.0 : opts.huber_delta / err;
+
+      double jac[2][6];
+      projection_jacobian(cam, p_cam, jac);
+
+      for (int i = 0; i < 6; ++i) {
+        for (int j = i; j < 6; ++j) {
+          const double hij =
+              w * (jac[0][i] * jac[0][j] + jac[1][i] * jac[1][j]);
+          h(static_cast<std::size_t>(i), static_cast<std::size_t>(j)) += hij;
+          if (i != j) h(static_cast<std::size_t>(j), static_cast<std::size_t>(i)) += hij;
+        }
+        b[static_cast<std::size_t>(i)] -= w * (jac[0][i] * r.x + jac[1][i] * r.y);
+      }
+    }
+
+    if (valid < 3) return std::nullopt;
+
+    // Levenberg-style damping keeps early iterations stable.
+    for (int i = 0; i < 6; ++i) h(static_cast<std::size_t>(i), static_cast<std::size_t>(i)) *= 1.0 + 1e-6;
+
+    std::vector<double> dx;
+    if (!solve_linear(h, b, dx)) return std::nullopt;
+
+    const Vec3 w{dx[0], dx[1], dx[2]};
+    const Vec3 v{dx[3], dx[4], dx[5]};
+    t_cw.update_left(w, v);
+
+    double step = 0.0;
+    for (double d : dx) step += d * d;
+    if (step < opts.convergence_eps) break;
+  }
+
+  // Final inlier classification and RMSE.
+  PnpResult res;
+  res.t_cw = t_cw;
+  res.inliers.assign(corrs.size(), false);
+  double sse = 0.0;
+  for (std::size_t i = 0; i < corrs.size(); ++i) {
+    const auto proj = cam.project_world(t_cw, corrs[i].point_world);
+    if (!proj) continue;
+    const Vec2 r{proj->x - corrs[i].pixel.x, proj->y - corrs[i].pixel.y};
+    const double e2 = r.squared_norm();
+    if (e2 < opts.outlier_threshold) {
+      res.inliers[i] = true;
+      ++res.inlier_count;
+      sse += e2;
+    }
+  }
+  if (res.inlier_count < 3) return std::nullopt;
+  res.final_rmse = std::sqrt(sse / static_cast<double>(res.inlier_count));
+  return res;
+}
+
+}  // namespace edgeis::geom

@@ -1,0 +1,46 @@
+// Pose estimation from 3-D/2-D correspondences by Gauss–Newton minimization
+// of reprojection error (the bundle-adjustment style solve of Eq. (4) in the
+// paper, restricted to the current frame's pose — "motion-only BA").
+// Used both for device pose tracking and for per-object relative poses.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "geometry/camera.hpp"
+#include "geometry/se3.hpp"
+#include "geometry/vec.hpp"
+
+namespace edgeis::geom {
+
+/// One 3-D point with its observed pixel in the current frame.
+struct PnpCorrespondence {
+  Vec3 point_world;
+  Vec2 pixel;
+};
+
+struct PnpOptions {
+  int max_iterations = 10;
+  double huber_delta = 2.0;      // pixels; robustifies against outliers
+  double convergence_eps = 1e-8; // stop when squared step norm is below this
+  double outlier_threshold = 5.99;  // chi2(2 dof, 95%): final inlier check
+};
+
+struct PnpResult {
+  SE3 t_cw;                    // estimated world->camera pose
+  std::vector<bool> inliers;   // per-correspondence inlier flags
+  int inlier_count = 0;
+  double final_rmse = 0.0;     // pixels, over inliers
+};
+
+/// Solve for T_cw given an initial guess. Requires >= 3 correspondences
+/// (the paper notes BA needs at least 3 point/feature pairs); in practice
+/// >= 6 gives stable results. Returns nullopt on divergence or a singular
+/// normal system.
+std::optional<PnpResult> solve_pnp(const PinholeCamera& cam,
+                                   std::span<const PnpCorrespondence> corrs,
+                                   const SE3& initial_guess,
+                                   const PnpOptions& opts = {});
+
+}  // namespace edgeis::geom

@@ -1,0 +1,177 @@
+// Small fixed-size vector and 3x3 matrix types used throughout the VO and
+// mask-transfer pipelines. Value types, constexpr-friendly, no dynamic
+// allocation.
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstddef>
+
+namespace edgeis::geom {
+
+struct Vec2 {
+  double x = 0.0, y = 0.0;
+
+  constexpr Vec2() = default;
+  constexpr Vec2(double x_, double y_) : x(x_), y(y_) {}
+
+  constexpr Vec2 operator+(const Vec2& o) const { return {x + o.x, y + o.y}; }
+  constexpr Vec2 operator-(const Vec2& o) const { return {x - o.x, y - o.y}; }
+  constexpr Vec2 operator*(double s) const { return {x * s, y * s}; }
+  constexpr Vec2 operator/(double s) const { return {x / s, y / s}; }
+  constexpr Vec2& operator+=(const Vec2& o) {
+    x += o.x;
+    y += o.y;
+    return *this;
+  }
+  constexpr double dot(const Vec2& o) const { return x * o.x + y * o.y; }
+  constexpr double squared_norm() const { return x * x + y * y; }
+  double norm() const { return std::sqrt(squared_norm()); }
+};
+
+struct Vec3 {
+  double x = 0.0, y = 0.0, z = 0.0;
+
+  constexpr Vec3() = default;
+  constexpr Vec3(double x_, double y_, double z_) : x(x_), y(y_), z(z_) {}
+
+  constexpr Vec3 operator+(const Vec3& o) const {
+    return {x + o.x, y + o.y, z + o.z};
+  }
+  constexpr Vec3 operator-(const Vec3& o) const {
+    return {x - o.x, y - o.y, z - o.z};
+  }
+  constexpr Vec3 operator-() const { return {-x, -y, -z}; }
+  constexpr Vec3 operator*(double s) const { return {x * s, y * s, z * s}; }
+  constexpr Vec3 operator/(double s) const { return {x / s, y / s, z / s}; }
+  constexpr Vec3& operator+=(const Vec3& o) {
+    x += o.x;
+    y += o.y;
+    z += o.z;
+    return *this;
+  }
+  constexpr Vec3& operator-=(const Vec3& o) {
+    x -= o.x;
+    y -= o.y;
+    z -= o.z;
+    return *this;
+  }
+  constexpr double dot(const Vec3& o) const {
+    return x * o.x + y * o.y + z * o.z;
+  }
+  constexpr Vec3 cross(const Vec3& o) const {
+    return {y * o.z - z * o.y, z * o.x - x * o.z, x * o.y - y * o.x};
+  }
+  constexpr double squared_norm() const { return x * x + y * y + z * z; }
+  double norm() const { return std::sqrt(squared_norm()); }
+  Vec3 normalized() const {
+    const double n = norm();
+    return n > 0.0 ? (*this) / n : Vec3{};
+  }
+  /// Perspective division to the image plane (assumes z != 0).
+  constexpr Vec2 hnormalized() const { return {x / z, y / z}; }
+};
+
+constexpr Vec3 operator*(double s, const Vec3& v) { return v * s; }
+constexpr Vec2 operator*(double s, const Vec2& v) { return v * s; }
+
+/// Row-major 3x3 matrix.
+struct Mat3 {
+  std::array<double, 9> m{};  // m[3*r + c]
+
+  constexpr double& operator()(int r, int c) { return m[3 * r + c]; }
+  constexpr double operator()(int r, int c) const { return m[3 * r + c]; }
+
+  static constexpr Mat3 identity() {
+    Mat3 I;
+    I.m = {1, 0, 0, 0, 1, 0, 0, 0, 1};
+    return I;
+  }
+  static constexpr Mat3 zero() { return Mat3{}; }
+
+  /// Skew-symmetric matrix [v]_x such that [v]_x w = v × w.
+  static constexpr Mat3 hat(const Vec3& v) {
+    Mat3 S;
+    S.m = {0, -v.z, v.y, v.z, 0, -v.x, -v.y, v.x, 0};
+    return S;
+  }
+
+  static constexpr Mat3 outer(const Vec3& a, const Vec3& b) {
+    Mat3 R;
+    R.m = {a.x * b.x, a.x * b.y, a.x * b.z, a.y * b.x, a.y * b.y,
+           a.y * b.z, a.z * b.x, a.z * b.y, a.z * b.z};
+    return R;
+  }
+
+  constexpr Mat3 operator+(const Mat3& o) const {
+    Mat3 r;
+    for (std::size_t i = 0; i < 9; ++i) r.m[i] = m[i] + o.m[i];
+    return r;
+  }
+  constexpr Mat3 operator-(const Mat3& o) const {
+    Mat3 r;
+    for (std::size_t i = 0; i < 9; ++i) r.m[i] = m[i] - o.m[i];
+    return r;
+  }
+  constexpr Mat3 operator*(double s) const {
+    Mat3 r;
+    for (std::size_t i = 0; i < 9; ++i) r.m[i] = m[i] * s;
+    return r;
+  }
+  constexpr Mat3 operator*(const Mat3& o) const {
+    Mat3 r;
+    for (int i = 0; i < 3; ++i) {
+      for (int j = 0; j < 3; ++j) {
+        double s = 0.0;
+        for (int k = 0; k < 3; ++k) s += (*this)(i, k) * o(k, j);
+        r(i, j) = s;
+      }
+    }
+    return r;
+  }
+  constexpr Vec3 operator*(const Vec3& v) const {
+    return {m[0] * v.x + m[1] * v.y + m[2] * v.z,
+            m[3] * v.x + m[4] * v.y + m[5] * v.z,
+            m[6] * v.x + m[7] * v.y + m[8] * v.z};
+  }
+
+  constexpr Mat3 transpose() const {
+    Mat3 r;
+    for (int i = 0; i < 3; ++i)
+      for (int j = 0; j < 3; ++j) r(i, j) = (*this)(j, i);
+    return r;
+  }
+
+  constexpr double det() const {
+    return m[0] * (m[4] * m[8] - m[5] * m[7]) -
+           m[1] * (m[3] * m[8] - m[5] * m[6]) +
+           m[2] * (m[3] * m[7] - m[4] * m[6]);
+  }
+
+  /// Inverse via adjugate; caller must ensure the matrix is invertible.
+  constexpr Mat3 inverse() const {
+    const double d = det();
+    Mat3 r;
+    r.m = {(m[4] * m[8] - m[5] * m[7]) / d, (m[2] * m[7] - m[1] * m[8]) / d,
+           (m[1] * m[5] - m[2] * m[4]) / d, (m[5] * m[6] - m[3] * m[8]) / d,
+           (m[0] * m[8] - m[2] * m[6]) / d, (m[2] * m[3] - m[0] * m[5]) / d,
+           (m[3] * m[7] - m[4] * m[6]) / d, (m[1] * m[6] - m[0] * m[7]) / d,
+           (m[0] * m[4] - m[1] * m[3]) / d};
+    return r;
+  }
+
+  constexpr double trace() const { return m[0] + m[4] + m[8]; }
+
+  [[nodiscard]] double frobenius_norm() const {
+    double s = 0.0;
+    for (double v : m) s += v * v;
+    return std::sqrt(s);
+  }
+
+  constexpr Vec3 row(int r) const {
+    return {m[3 * r], m[3 * r + 1], m[3 * r + 2]};
+  }
+  constexpr Vec3 col(int c) const { return {m[c], m[c + 3], m[c + 6]}; }
+};
+
+}  // namespace edgeis::geom

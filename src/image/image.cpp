@@ -1,0 +1,77 @@
+#include "image/image.hpp"
+
+namespace edgeis::img {
+
+GrayImage box_blur3(const GrayImage& src) {
+  GrayImage out(src.width(), src.height());
+  for (int y = 0; y < src.height(); ++y) {
+    for (int x = 0; x < src.width(); ++x) {
+      int sum = 0;
+      for (int dy = -1; dy <= 1; ++dy) {
+        for (int dx = -1; dx <= 1; ++dx) {
+          sum += src.at_clamped(x + dx, y + dy);
+        }
+      }
+      out.at(x, y) = static_cast<std::uint8_t>(sum / 9);
+    }
+  }
+  return out;
+}
+
+GrayImage downsample2(const GrayImage& src) {
+  const int w = std::max(1, src.width() / 2);
+  const int h = std::max(1, src.height() / 2);
+  GrayImage out(w, h);
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      const int sx = 2 * x, sy = 2 * y;
+      const int sum = src.at_clamped(sx, sy) + src.at_clamped(sx + 1, sy) +
+                      src.at_clamped(sx, sy + 1) +
+                      src.at_clamped(sx + 1, sy + 1);
+      out.at(x, y) = static_cast<std::uint8_t>(sum / 4);
+    }
+  }
+  return out;
+}
+
+std::vector<GrayImage> build_pyramid(const GrayImage& src, int levels) {
+  std::vector<GrayImage> pyr;
+  pyr.reserve(static_cast<std::size_t>(levels));
+  pyr.push_back(src);
+  for (int l = 1; l < levels; ++l) {
+    if (pyr.back().width() < 16 || pyr.back().height() < 16) break;
+    pyr.push_back(downsample2(pyr.back()));
+  }
+  return pyr;
+}
+
+GrayImage sobel_magnitude(const GrayImage& src) {
+  GrayImage out(src.width(), src.height());
+  for (int y = 0; y < src.height(); ++y) {
+    for (int x = 0; x < src.width(); ++x) {
+      const int gx = -src.at_clamped(x - 1, y - 1) - 2 * src.at_clamped(x - 1, y) -
+                     src.at_clamped(x - 1, y + 1) + src.at_clamped(x + 1, y - 1) +
+                     2 * src.at_clamped(x + 1, y) + src.at_clamped(x + 1, y + 1);
+      const int gy = -src.at_clamped(x - 1, y - 1) - 2 * src.at_clamped(x, y - 1) -
+                     src.at_clamped(x + 1, y - 1) + src.at_clamped(x - 1, y + 1) +
+                     2 * src.at_clamped(x, y + 1) + src.at_clamped(x + 1, y + 1);
+      const int mag = (std::abs(gx) + std::abs(gy)) / 4;
+      out.at(x, y) = static_cast<std::uint8_t>(std::min(mag, 255));
+    }
+  }
+  return out;
+}
+
+double local_sharpness(const GrayImage& grad, int x, int y, int radius) {
+  double sum = 0.0;
+  int count = 0;
+  for (int dy = -radius; dy <= radius; ++dy) {
+    for (int dx = -radius; dx <= radius; ++dx) {
+      sum += grad.at_clamped(x + dx, y + dy);
+      ++count;
+    }
+  }
+  return count > 0 ? sum / count : 0.0;
+}
+
+}  // namespace edgeis::img

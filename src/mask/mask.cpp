@@ -1,0 +1,216 @@
+#include "mask/mask.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace edgeis::mask {
+
+std::optional<Box> InstanceMask::bounding_box() const {
+  Box b{width(), height(), 0, 0};
+  bool any = false;
+  for (int y = 0; y < height(); ++y) {
+    const auto* r = bits_.row(y);
+    for (int x = 0; x < width(); ++x) {
+      if (!r[x]) continue;
+      any = true;
+      b.x0 = std::min(b.x0, x);
+      b.y0 = std::min(b.y0, y);
+      b.x1 = std::max(b.x1, x + 1);
+      b.y1 = std::max(b.y1, y + 1);
+    }
+  }
+  if (!any) return std::nullopt;
+  return b;
+}
+
+double InstanceMask::iou(const InstanceMask& o) const {
+  long long inter = 0, uni = 0;
+  const int w = std::max(width(), o.width());
+  const int h = std::max(height(), o.height());
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      const bool a = get(x, y);
+      const bool b = o.get(x, y);
+      inter += (a && b) ? 1 : 0;
+      uni += (a || b) ? 1 : 0;
+    }
+  }
+  return uni > 0 ? static_cast<double>(inter) / static_cast<double>(uni) : 0.0;
+}
+
+InstanceMask InstanceMask::dilated(int r) const {
+  InstanceMask out = *this;
+  for (int pass = 0; pass < r; ++pass) {
+    InstanceMask next = out;
+    for (int y = 0; y < height(); ++y) {
+      for (int x = 0; x < width(); ++x) {
+        if (out.get(x, y)) continue;
+        if (out.get(x - 1, y) || out.get(x + 1, y) || out.get(x, y - 1) ||
+            out.get(x, y + 1)) {
+          next.set(x, y);
+        }
+      }
+    }
+    out = std::move(next);
+  }
+  return out;
+}
+
+InstanceMask InstanceMask::eroded(int r) const {
+  InstanceMask out = *this;
+  for (int pass = 0; pass < r; ++pass) {
+    InstanceMask next = out;
+    for (int y = 0; y < height(); ++y) {
+      for (int x = 0; x < width(); ++x) {
+        if (!out.get(x, y)) continue;
+        // Border pixels erode too (treat outside as unset).
+        const bool interior = x > 0 && y > 0 && x < width() - 1 &&
+                              y < height() - 1 && out.get(x - 1, y) &&
+                              out.get(x + 1, y) && out.get(x, y - 1) &&
+                              out.get(x, y + 1);
+        if (!interior) next.set(x, y, false);
+      }
+    }
+    out = std::move(next);
+  }
+  return out;
+}
+
+InstanceMask InstanceMask::translated(int dx, int dy) const {
+  InstanceMask out(width(), height());
+  out.class_id = class_id;
+  out.instance_id = instance_id;
+  for (int y = 0; y < height(); ++y) {
+    for (int x = 0; x < width(); ++x) {
+      if (get(x, y)) out.set(x + dx, y + dy);
+    }
+  }
+  return out;
+}
+
+namespace {
+
+// Moore neighborhood, clockwise starting from W.
+constexpr int kMoore[8][2] = {{-1, 0}, {-1, -1}, {0, -1}, {1, -1},
+                              {1, 0},  {1, 1},   {0, 1},  {-1, 1}};
+
+Contour trace_boundary(const InstanceMask& m, int sx, int sy) {
+  Contour contour;
+  contour.push_back({static_cast<double>(sx), static_cast<double>(sy)});
+
+  int cx = sx, cy = sy;
+  // Backtrack starts at W of the start pixel (we scan left-to-right, so the
+  // pixel to the left of the first foreground pixel is background).
+  int backtrack = 0;
+
+  const std::size_t max_steps =
+      static_cast<std::size_t>(m.width()) * static_cast<std::size_t>(m.height()) * 4 + 16;
+  for (std::size_t step = 0; step < max_steps; ++step) {
+    // Search clockwise from the pixel after the backtrack direction.
+    bool found = false;
+    int nx = 0, ny = 0, ndir = 0;
+    for (int k = 1; k <= 8; ++k) {
+      const int dir = (backtrack + k) % 8;
+      const int tx = cx + kMoore[dir][0];
+      const int ty = cy + kMoore[dir][1];
+      if (m.get(tx, ty)) {
+        nx = tx;
+        ny = ty;
+        ndir = dir;
+        found = true;
+        break;
+      }
+    }
+    if (!found) break;  // isolated pixel
+
+    // Jacob's stopping criterion: back at start entered from the same
+    // direction as the initial entry.
+    if (nx == sx && ny == sy && contour.size() > 2) break;
+
+    contour.push_back({static_cast<double>(nx), static_cast<double>(ny)});
+    // New backtrack: two steps counter-clockwise from the direction we
+    // moved in, so the next clockwise search starts just past the last
+    // background pixel we examined.
+    backtrack = (ndir + 6) % 8;
+    cx = nx;
+    cy = ny;
+  }
+  return contour;
+}
+
+}  // namespace
+
+std::vector<Contour> find_contours(const InstanceMask& mask) {
+  std::vector<Contour> contours;
+  img::Image<std::uint8_t> visited(mask.width(), mask.height(), 0);
+
+  for (int y = 0; y < mask.height(); ++y) {
+    for (int x = 0; x < mask.width(); ++x) {
+      if (!mask.get(x, y) || visited.at(x, y)) continue;
+      const bool is_boundary_start = !mask.get(x - 1, y);
+      if (!is_boundary_start) continue;
+
+      // Skip components we already traced: check visited along this row.
+      if (visited.at(x, y)) continue;
+
+      Contour c = trace_boundary(mask, x, y);
+      // Mark the whole component visited via flood fill so inner starts on
+      // the same blob don't retrace.
+      std::vector<std::pair<int, int>> stack{{x, y}};
+      while (!stack.empty()) {
+        auto [px, py] = stack.back();
+        stack.pop_back();
+        if (!mask.get(px, py) || visited.at(px, py)) continue;
+        visited.at(px, py) = 1;
+        stack.push_back({px - 1, py});
+        stack.push_back({px + 1, py});
+        stack.push_back({px, py - 1});
+        stack.push_back({px, py + 1});
+      }
+      if (c.size() >= 3) contours.push_back(std::move(c));
+    }
+  }
+  return contours;
+}
+
+InstanceMask rasterize_polygon(const Contour& polygon, int width, int height) {
+  InstanceMask out(width, height);
+  if (polygon.size() < 3) return out;
+
+  // Even-odd scanline fill.
+  for (int y = 0; y < height; ++y) {
+    const double fy = static_cast<double>(y) + 0.5;
+    std::vector<double> xs;
+    const std::size_t n = polygon.size();
+    for (std::size_t i = 0; i < n; ++i) {
+      const geom::Vec2& a = polygon[i];
+      const geom::Vec2& b = polygon[(i + 1) % n];
+      if ((a.y <= fy && b.y > fy) || (b.y <= fy && a.y > fy)) {
+        const double t = (fy - a.y) / (b.y - a.y);
+        xs.push_back(a.x + t * (b.x - a.x));
+      }
+    }
+    std::sort(xs.begin(), xs.end());
+    for (std::size_t i = 0; i + 1 < xs.size(); i += 2) {
+      const int x0 = std::max(0, static_cast<int>(std::ceil(xs[i] - 0.5)));
+      const int x1 =
+          std::min(width - 1, static_cast<int>(std::floor(xs[i + 1] - 0.5)));
+      for (int x = x0; x <= x1; ++x) out.set(x, y);
+    }
+  }
+
+  return out;
+}
+
+InstanceMask mask_from_id_image(const img::IdImage& ids, std::uint16_t id) {
+  InstanceMask out(ids.width(), ids.height());
+  out.instance_id = id;
+  for (int y = 0; y < ids.height(); ++y) {
+    for (int x = 0; x < ids.width(); ++x) {
+      if (ids.at(x, y) == id) out.set(x, y);
+    }
+  }
+  return out;
+}
+
+}  // namespace edgeis::mask

@@ -1,0 +1,52 @@
+#include "net/link.hpp"
+
+#include <cmath>
+
+namespace edgeis::net {
+
+LinkProfile wifi_5ghz() {
+  LinkProfile p;
+  p.name = "wifi-5ghz";
+  p.bandwidth_mbps = 160.0;
+  p.base_latency_ms = 2.5;
+  p.jitter_ms = 1.0;
+  p.congestion_probability = 0.01;
+  p.congestion_penalty_ms = 25.0;
+  return p;
+}
+
+LinkProfile wifi_24ghz() {
+  LinkProfile p;
+  p.name = "wifi-2.4ghz";
+  p.bandwidth_mbps = 40.0;
+  p.base_latency_ms = 5.0;
+  p.jitter_ms = 3.0;
+  p.congestion_probability = 0.04;
+  p.congestion_penalty_ms = 50.0;
+  return p;
+}
+
+LinkProfile lte() {
+  LinkProfile p;
+  p.name = "lte";
+  p.bandwidth_mbps = 18.0;   // uplink-limited
+  p.base_latency_ms = 28.0;
+  p.jitter_ms = 8.0;
+  p.congestion_probability = 0.05;
+  p.congestion_penalty_ms = 80.0;
+  return p;
+}
+
+double transmit_ms(const LinkProfile& link, std::size_t bytes,
+                   edgeis::rt::Rng& rng) {
+  const double serialization_ms =
+      static_cast<double>(bytes) * 8.0 / (link.bandwidth_mbps * 1000.0);
+  double latency = link.base_latency_ms + serialization_ms +
+                   std::abs(rng.normal(0.0, link.jitter_ms));
+  if (rng.chance(link.congestion_probability)) {
+    latency += rng.uniform(0.5, 1.5) * link.congestion_penalty_ms;
+  }
+  return latency;
+}
+
+}  // namespace edgeis::net

@@ -1,0 +1,69 @@
+// Network link models for the mobile<->edge channel: WiFi 2.4 GHz,
+// WiFi 5 GHz and LTE profiles with bandwidth, base latency, jitter and a
+// congestion-probability tail — the knobs the paper varies in Section
+// VI-C2 and the field study.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "runtime/rng.hpp"
+
+namespace edgeis::net {
+
+struct LinkProfile {
+  std::string name;
+  double bandwidth_mbps = 100.0;  // effective goodput
+  double base_latency_ms = 3.0;   // one-way
+  double jitter_ms = 1.0;         // half-normal added per message
+  double congestion_probability = 0.02;  // chance of a stalled burst
+  double congestion_penalty_ms = 40.0;
+};
+
+LinkProfile wifi_5ghz();
+LinkProfile wifi_24ghz();
+LinkProfile lte();
+
+/// Simulated one-way message delivery time for `bytes` over the link.
+double transmit_ms(const LinkProfile& link, std::size_t bytes,
+                   edgeis::rt::Rng& rng);
+
+/// A half-duplex request/response channel with in-order delivery and at
+/// most `capacity` requests in flight (the transmission-module thread of
+/// Section VI-A sends frames and receives masks asynchronously).
+template <typename Payload>
+class Channel {
+ public:
+  struct InFlight {
+    double deliver_at_ms;
+    Payload payload;
+  };
+
+  void send(double now_ms, double latency_ms, Payload payload) {
+    queue_.push_back({now_ms + latency_ms, std::move(payload)});
+  }
+
+  /// Pop the next message delivered by `now_ms`, oldest first.
+  [[nodiscard]] bool try_receive(double now_ms, Payload& out) {
+    std::size_t best = queue_.size();
+    double best_time = now_ms;
+    for (std::size_t i = 0; i < queue_.size(); ++i) {
+      if (queue_[i].deliver_at_ms <= best_time) {
+        best_time = queue_[i].deliver_at_ms;
+        best = i;
+      }
+    }
+    if (best == queue_.size()) return false;
+    out = std::move(queue_[best].payload);
+    queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(best));
+    return true;
+  }
+
+  [[nodiscard]] std::size_t in_flight() const { return queue_.size(); }
+
+ private:
+  std::vector<InFlight> queue_;
+};
+
+}  // namespace edgeis::net

@@ -1,0 +1,196 @@
+#include "net/protocol.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace edgeis::net {
+
+namespace {
+constexpr std::uint32_t kKeyframeMagic = 0xED9E15F1u;
+constexpr std::uint32_t kMaskResultMagic = 0xED9E15F2u;
+}  // namespace
+
+std::vector<std::uint8_t> serialize(const KeyframeMessage& msg) {
+  rt::ByteWriter w;
+  w.put<std::uint32_t>(kKeyframeMagic);
+  w.put<std::int32_t>(msg.frame_index);
+  w.put<std::int32_t>(msg.width);
+  w.put<std::int32_t>(msg.height);
+  w.put<std::uint8_t>(msg.tile_size);
+  w.put_vector(msg.tile_classes);
+  w.put_vector(msg.tile_levels);
+  w.put<std::uint64_t>(msg.tile_payload_bytes);
+  w.put<std::uint32_t>(static_cast<std::uint32_t>(msg.priors.size()));
+  for (const auto& p : msg.priors) {
+    w.put<std::int32_t>(p.x0);
+    w.put<std::int32_t>(p.y0);
+    w.put<std::int32_t>(p.x1);
+    w.put<std::int32_t>(p.y1);
+    w.put<std::int32_t>(p.class_id);
+    w.put<std::int32_t>(p.instance_id);
+  }
+  w.put<std::uint32_t>(static_cast<std::uint32_t>(msg.new_areas.size()));
+  for (const auto& b : msg.new_areas) {
+    w.put<std::int32_t>(b.x0);
+    w.put<std::int32_t>(b.y0);
+    w.put<std::int32_t>(b.x1);
+    w.put<std::int32_t>(b.y1);
+  }
+  return w.take();
+}
+
+KeyframeMessage parse_keyframe(std::span<const std::uint8_t> bytes) {
+  rt::ByteReader r(bytes);
+  if (r.get<std::uint32_t>() != kKeyframeMagic) {
+    throw rt::DeserializeError("bad keyframe magic");
+  }
+  KeyframeMessage msg;
+  msg.frame_index = r.get<std::int32_t>();
+  msg.width = r.get<std::int32_t>();
+  msg.height = r.get<std::int32_t>();
+  msg.tile_size = r.get<std::uint8_t>();
+  msg.tile_classes = r.get_vector<std::uint8_t>();
+  msg.tile_levels = r.get_vector<std::uint8_t>();
+  msg.tile_payload_bytes = r.get<std::uint64_t>();
+  const auto n_priors = r.get<std::uint32_t>();
+  for (std::uint32_t i = 0; i < n_priors; ++i) {
+    KeyframeMessage::Prior p;
+    p.x0 = r.get<std::int32_t>();
+    p.y0 = r.get<std::int32_t>();
+    p.x1 = r.get<std::int32_t>();
+    p.y1 = r.get<std::int32_t>();
+    p.class_id = r.get<std::int32_t>();
+    p.instance_id = r.get<std::int32_t>();
+    msg.priors.push_back(p);
+  }
+  const auto n_areas = r.get<std::uint32_t>();
+  for (std::uint32_t i = 0; i < n_areas; ++i) {
+    mask::Box b;
+    b.x0 = r.get<std::int32_t>();
+    b.y0 = r.get<std::int32_t>();
+    b.x1 = r.get<std::int32_t>();
+    b.y1 = r.get<std::int32_t>();
+    msg.new_areas.push_back(b);
+  }
+  return msg;
+}
+
+std::vector<std::uint8_t> serialize(const MaskResultMessage& msg) {
+  rt::ByteWriter w;
+  w.put<std::uint32_t>(kMaskResultMagic);
+  w.put<std::int32_t>(msg.frame_index);
+  w.put<std::int32_t>(msg.width);
+  w.put<std::int32_t>(msg.height);
+  w.put<std::uint32_t>(static_cast<std::uint32_t>(msg.instances.size()));
+  for (const auto& inst : msg.instances) {
+    w.put<std::int32_t>(inst.class_id);
+    w.put<std::int32_t>(inst.instance_id);
+    w.put_vector(inst.xs);
+    w.put_vector(inst.ys);
+  }
+  return w.take();
+}
+
+MaskResultMessage parse_mask_result(std::span<const std::uint8_t> bytes) {
+  rt::ByteReader r(bytes);
+  if (r.get<std::uint32_t>() != kMaskResultMagic) {
+    throw rt::DeserializeError("bad mask-result magic");
+  }
+  MaskResultMessage msg;
+  msg.frame_index = r.get<std::int32_t>();
+  msg.width = r.get<std::int32_t>();
+  msg.height = r.get<std::int32_t>();
+  const auto n = r.get<std::uint32_t>();
+  for (std::uint32_t i = 0; i < n; ++i) {
+    MaskResultMessage::Instance inst;
+    inst.class_id = r.get<std::int32_t>();
+    inst.instance_id = r.get<std::int32_t>();
+    inst.xs = r.get_vector<std::uint16_t>();
+    inst.ys = r.get_vector<std::uint16_t>();
+    if (inst.xs.size() != inst.ys.size()) {
+      throw rt::DeserializeError("contour coordinate count mismatch");
+    }
+    msg.instances.push_back(std::move(inst));
+  }
+  return msg;
+}
+
+KeyframeMessage build_keyframe_message(
+    const enc::EncodedFrame& encoded,
+    const std::vector<KeyframeMessage::Prior>& priors,
+    const std::vector<mask::Box>& new_areas) {
+  KeyframeMessage msg;
+  msg.frame_index = encoded.frame_index;
+  msg.width = encoded.width;
+  msg.height = encoded.height;
+  msg.tile_size = static_cast<std::uint8_t>(
+      std::min(255, encoded.tile_size));
+  msg.tile_classes.reserve(encoded.tiles.size());
+  msg.tile_levels.reserve(encoded.tiles.size());
+  for (const auto& t : encoded.tiles) {
+    msg.tile_classes.push_back(static_cast<std::uint8_t>(t.cls));
+    msg.tile_levels.push_back(static_cast<std::uint8_t>(t.level));
+  }
+  msg.tile_payload_bytes = encoded.total_bytes;
+  msg.priors = priors;
+  msg.new_areas = new_areas;
+  return msg;
+}
+
+MaskResultMessage build_mask_result(
+    int frame_index, int width, int height,
+    const std::vector<mask::InstanceMask>& masks) {
+  MaskResultMessage msg;
+  msg.frame_index = frame_index;
+  msg.width = width;
+  msg.height = height;
+  for (const auto& m : masks) {
+    const auto contours = mask::find_contours(m);
+    if (contours.empty()) continue;
+    const mask::Contour* longest = &contours[0];
+    for (const auto& c : contours) {
+      if (c.size() > longest->size()) longest = &c;
+    }
+    MaskResultMessage::Instance inst;
+    inst.class_id = m.class_id;
+    inst.instance_id = m.instance_id;
+    inst.xs.reserve(longest->size());
+    inst.ys.reserve(longest->size());
+    for (const auto& p : *longest) {
+      inst.xs.push_back(static_cast<std::uint16_t>(
+          std::clamp(p.x, 0.0, 65535.0)));
+      inst.ys.push_back(static_cast<std::uint16_t>(
+          std::clamp(p.y, 0.0, 65535.0)));
+    }
+    msg.instances.push_back(std::move(inst));
+  }
+  return msg;
+}
+
+std::vector<mask::InstanceMask> reconstruct_masks(
+    const MaskResultMessage& msg) {
+  std::vector<mask::InstanceMask> out;
+  for (const auto& inst : msg.instances) {
+    mask::Contour contour;
+    contour.reserve(inst.xs.size());
+    for (std::size_t i = 0; i < inst.xs.size(); ++i) {
+      contour.push_back({static_cast<double>(inst.xs[i]),
+                         static_cast<double>(inst.ys[i])});
+    }
+    auto m = mask::rasterize_polygon(contour, msg.width, msg.height);
+    m.class_id = inst.class_id;
+    m.instance_id = inst.instance_id;
+    if (m.pixel_count() > 0) out.push_back(std::move(m));
+  }
+  return out;
+}
+
+std::size_t wire_bytes(const KeyframeMessage& msg) {
+  return serialize(msg).size() + msg.tile_payload_bytes;
+}
+
+std::size_t wire_bytes(const MaskResultMessage& msg) {
+  return serialize(msg).size();
+}
+
+}  // namespace edgeis::net

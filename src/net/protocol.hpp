@@ -1,0 +1,86 @@
+// Wire protocol of the mobile<->edge link: the uplink keyframe message
+// (tile-encoded frame + transferred-mask priors + new areas) and the
+// downlink result message (labeled contour vertex lists, as the paper's
+// implementation serializes with Boost — Section VI-A). Sizes put on the
+// simulated link come from actually serializing these messages.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "encoding/tiles.hpp"
+#include "mask/mask.hpp"
+#include "runtime/serialize.hpp"
+
+namespace edgeis::net {
+
+/// Uplink: one encoded keyframe plus the priors that instruct CIIA.
+struct KeyframeMessage {
+  std::int32_t frame_index = 0;
+  std::int32_t width = 0;
+  std::int32_t height = 0;
+  std::uint8_t tile_size = 64;
+  // Per-tile (class, level) pairs in row-major order; tile payload bytes
+  // are accounted separately via the rate model (the simulated "HEVC
+  // bitstream" itself carries no information our models need).
+  std::vector<std::uint8_t> tile_classes;
+  std::vector<std::uint8_t> tile_levels;
+  std::size_t tile_payload_bytes = 0;
+
+  struct Prior {
+    std::int32_t x0, y0, x1, y1;
+    std::int32_t class_id;
+    std::int32_t instance_id;
+  };
+  std::vector<Prior> priors;
+  std::vector<mask::Box> new_areas;
+};
+
+/// Downlink: per-instance labeled contours (vertex lists), enough for the
+/// mobile side to rasterize the masks and annotate its map.
+struct MaskResultMessage {
+  std::int32_t frame_index = 0;
+  std::int32_t width = 0;
+  std::int32_t height = 0;
+
+  struct Instance {
+    std::int32_t class_id = 0;
+    std::int32_t instance_id = 0;
+    // Contour vertices, quantized to pixels.
+    std::vector<std::uint16_t> xs;
+    std::vector<std::uint16_t> ys;
+  };
+  std::vector<Instance> instances;
+};
+
+/// Serialize / parse. Parsing throws rt::DeserializeError on malformed
+/// input (truncated or corrupt messages).
+std::vector<std::uint8_t> serialize(const KeyframeMessage& msg);
+KeyframeMessage parse_keyframe(std::span<const std::uint8_t> bytes);
+
+std::vector<std::uint8_t> serialize(const MaskResultMessage& msg);
+MaskResultMessage parse_mask_result(std::span<const std::uint8_t> bytes);
+
+/// Build the uplink message for an encoded frame + CIIA priors.
+KeyframeMessage build_keyframe_message(
+    const enc::EncodedFrame& encoded,
+    const std::vector<KeyframeMessage::Prior>& priors,
+    const std::vector<mask::Box>& new_areas);
+
+/// Build the downlink message from inference-result masks (extracts and
+/// quantizes the contours).
+MaskResultMessage build_mask_result(
+    int frame_index, int width, int height,
+    const std::vector<mask::InstanceMask>& masks);
+
+/// Reconstruct masks from a result message (rasterizes the contours) — the
+/// mobile side of the downlink.
+std::vector<mask::InstanceMask> reconstruct_masks(
+    const MaskResultMessage& msg);
+
+/// Total bytes this message puts on the link (serialized header/payload
+/// plus, for keyframes, the tile bitstream bytes).
+std::size_t wire_bytes(const KeyframeMessage& msg);
+std::size_t wire_bytes(const MaskResultMessage& msg);
+
+}  // namespace edgeis::net

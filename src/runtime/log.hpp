@@ -1,0 +1,56 @@
+// Tiny leveled logger. Off by default in benchmarks; experiments flip the
+// level to Info for progress lines. Not thread-safe by design: the project
+// is a single-threaded discrete-time simulation.
+#pragma once
+
+#include <cstdio>
+#include <string_view>
+#include <utility>
+
+namespace edgeis::rt {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+class Log {
+ public:
+  static LogLevel& level() noexcept {
+    static LogLevel lvl = LogLevel::kWarn;
+    return lvl;
+  }
+
+  template <typename... Args>
+  static void debug(const char* fmt, Args&&... args) {
+    write(LogLevel::kDebug, "D", fmt, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  static void info(const char* fmt, Args&&... args) {
+    write(LogLevel::kInfo, "I", fmt, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  static void warn(const char* fmt, Args&&... args) {
+    write(LogLevel::kWarn, "W", fmt, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  static void error(const char* fmt, Args&&... args) {
+    write(LogLevel::kError, "E", fmt, std::forward<Args>(args)...);
+  }
+
+ private:
+  template <typename... Args>
+  static void write(LogLevel lvl, const char* tag, const char* fmt,
+                    Args&&... args) {
+    if (lvl < level()) return;
+    std::fprintf(stderr, "[%s] ", tag);
+    if constexpr (sizeof...(args) == 0) {
+      std::fputs(fmt, stderr);
+    } else {
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wformat-security"
+      std::fprintf(stderr, fmt, std::forward<Args>(args)...);
+#pragma GCC diagnostic pop
+    }
+    std::fputc('\n', stderr);
+  }
+};
+
+}  // namespace edgeis::rt

@@ -1,0 +1,65 @@
+// Fixed-capacity ring buffer used for frame queues and recent-history
+// windows (e.g., object-motion history for the CFRS transmission trigger).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <stdexcept>
+#include <vector>
+
+namespace edgeis::rt {
+
+template <typename T>
+class RingBuffer {
+ public:
+  explicit RingBuffer(std::size_t capacity) : buf_(capacity) {
+    if (capacity == 0) {
+      throw std::invalid_argument("RingBuffer capacity must be > 0");
+    }
+  }
+
+  /// Append, overwriting the oldest element when full.
+  void push(T value) {
+    buf_[(head_ + size_) % buf_.size()] = std::move(value);
+    if (size_ == buf_.size()) {
+      head_ = (head_ + 1) % buf_.size();
+    } else {
+      ++size_;
+    }
+  }
+
+  /// Remove and return the oldest element.
+  std::optional<T> pop() {
+    if (size_ == 0) return std::nullopt;
+    T v = std::move(buf_[head_]);
+    head_ = (head_ + 1) % buf_.size();
+    --size_;
+    return v;
+  }
+
+  /// i = 0 is the oldest retained element.
+  [[nodiscard]] const T& operator[](std::size_t i) const {
+    if (i >= size_) throw std::out_of_range("RingBuffer index");
+    return buf_[(head_ + i) % buf_.size()];
+  }
+
+  [[nodiscard]] const T& front() const { return (*this)[0]; }
+  [[nodiscard]] const T& back() const { return (*this)[size_ - 1]; }
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] std::size_t capacity() const noexcept { return buf_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+  [[nodiscard]] bool full() const noexcept { return size_ == buf_.size(); }
+
+  void clear() noexcept {
+    head_ = 0;
+    size_ = 0;
+  }
+
+ private:
+  std::vector<T> buf_;
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace edgeis::rt

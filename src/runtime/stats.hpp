@@ -1,0 +1,122 @@
+// Streaming and batch statistics used across the evaluation harness:
+// running mean/variance, percentiles, histograms and empirical CDFs.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace edgeis::rt {
+
+/// Welford's online mean/variance accumulator.
+class RunningStats {
+ public:
+  void add(double x) noexcept {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = n_ == 1 ? x : std::min(min_, x);
+    max_ = n_ == 1 ? x : std::max(max_, x);
+  }
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  [[nodiscard]] double variance() const noexcept {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  [[nodiscard]] double stddev() const noexcept {
+    return std::sqrt(variance());
+  }
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Batch sample collection with percentile queries and CDF export.
+class SampleSet {
+ public:
+  void add(double x) { samples_.push_back(x); }
+  void reserve(std::size_t n) { samples_.reserve(n); }
+
+  [[nodiscard]] std::size_t count() const noexcept { return samples_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return samples_.empty(); }
+
+  [[nodiscard]] double mean() const noexcept {
+    if (samples_.empty()) return 0.0;
+    double s = 0.0;
+    for (double x : samples_) s += x;
+    return s / static_cast<double>(samples_.size());
+  }
+
+  /// Linear-interpolated percentile; p in [0, 100].
+  [[nodiscard]] double percentile(double p) const {
+    if (samples_.empty()) return 0.0;
+    std::vector<double> s = samples_;
+    std::sort(s.begin(), s.end());
+    const double rank =
+        p / 100.0 * static_cast<double>(s.size() - 1);
+    const auto lo = static_cast<std::size_t>(rank);
+    const auto hi = std::min(lo + 1, s.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return s[lo] + frac * (s[hi] - s[lo]);
+  }
+
+  [[nodiscard]] double min() const {
+    return samples_.empty()
+               ? 0.0
+               : *std::min_element(samples_.begin(), samples_.end());
+  }
+  [[nodiscard]] double max() const {
+    return samples_.empty()
+               ? 0.0
+               : *std::max_element(samples_.begin(), samples_.end());
+  }
+
+  /// Fraction of samples strictly below `threshold`.
+  [[nodiscard]] double fraction_below(double threshold) const noexcept {
+    if (samples_.empty()) return 0.0;
+    std::size_t c = 0;
+    for (double x : samples_) c += (x < threshold) ? 1 : 0;
+    return static_cast<double>(c) / static_cast<double>(samples_.size());
+  }
+
+  /// Empirical CDF sampled at `points` evenly spaced values across
+  /// [lo, hi]. Returns (x, P[X <= x]) pairs.
+  [[nodiscard]] std::vector<std::pair<double, double>> cdf(
+      double lo, double hi, std::size_t points) const {
+    std::vector<double> s = samples_;
+    std::sort(s.begin(), s.end());
+    std::vector<std::pair<double, double>> out;
+    out.reserve(points);
+    for (std::size_t i = 0; i < points; ++i) {
+      const double x =
+          lo + (hi - lo) * static_cast<double>(i) /
+                   static_cast<double>(points > 1 ? points - 1 : 1);
+      const auto it = std::upper_bound(s.begin(), s.end(), x);
+      const double frac =
+          s.empty() ? 0.0
+                    : static_cast<double>(it - s.begin()) /
+                          static_cast<double>(s.size());
+      out.emplace_back(x, frac);
+    }
+    return out;
+  }
+
+  [[nodiscard]] const std::vector<double>& samples() const noexcept {
+    return samples_;
+  }
+
+ private:
+  std::vector<double> samples_;
+};
+
+}  // namespace edgeis::rt

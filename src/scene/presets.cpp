@@ -1,0 +1,246 @@
+#include "scene/presets.hpp"
+
+#include <cmath>
+#include <span>
+#include <stdexcept>
+
+#include "runtime/rng.hpp"
+
+namespace edgeis::scene {
+namespace {
+
+SceneObject make_object(ObjectClass cls, int instance_id,
+                        const geom::Vec3& position, std::uint64_t seed,
+                        double yaw = 0.0) {
+  SceneObject o;
+  o.cls = cls;
+  o.instance_id = instance_id;
+  o.motion.base_position = position;
+  o.motion.yaw0 = yaw;
+  o.texture_seed = seed * 0x9e3779b9ULL + static_cast<std::uint64_t>(instance_id);
+  switch (cls) {
+    case ObjectClass::kPerson:
+      o.mesh = make_cylinder(0.28, 1.7, 10);
+      // Cylinder is centered; lift so feet touch the floor.
+      for (auto& v : o.mesh.vertices) v.y += 0.85;
+      o.texture_scale = 7.0;
+      break;
+    case ObjectClass::kCar:
+      o.mesh = make_car();
+      o.texture_scale = 4.0;
+      break;
+    case ObjectClass::kCrate:
+      o.mesh = make_box(0.9, 0.9, 0.9);
+      for (auto& v : o.mesh.vertices) v.y += 0.45;
+      o.texture_scale = 6.0;
+      break;
+    case ObjectClass::kSeparator:
+      o.mesh = make_separator();
+      o.texture_scale = 5.0;
+      break;
+    case ObjectClass::kTube:
+      o.mesh = make_tube(0.22, 2.4, 10);
+      for (auto& v : o.mesh.vertices) v.y += 0.5;
+      o.texture_scale = 8.0;
+      break;
+    case ObjectClass::kCabinet:
+      o.mesh = make_box(0.8, 1.7, 0.5);
+      for (auto& v : o.mesh.vertices) v.y += 0.85;
+      o.texture_scale = 5.0;
+      break;
+    case ObjectClass::kBackground:
+      throw std::invalid_argument("background is not an object class");
+  }
+  return o;
+}
+
+SceneConfig base_config(std::uint64_t seed, int frames) {
+  SceneConfig cfg;
+  cfg.camera.width = 640;
+  cfg.camera.height = 480;
+  cfg.camera.fx = 520.0;
+  cfg.camera.fy = 520.0;
+  cfg.camera.cx = 320.0;
+  cfg.camera.cy = 240.0;
+  cfg.noise_seed = seed;
+  cfg.total_frames = frames;
+  return cfg;
+}
+
+/// Place `count` objects on a ring of radius `ring`, jittered. Instance
+/// ids continue from any objects already placed.
+void place_ring(SceneConfig& cfg, std::span<const ObjectClass> classes,
+                double ring, rt::Rng& rng) {
+  int id = static_cast<int>(cfg.objects.size()) + 1;
+  const auto count = classes.size();
+  for (std::size_t i = 0; i < count; ++i) {
+    const double angle =
+        2.0 * M_PI * static_cast<double>(i) / static_cast<double>(count) +
+        rng.uniform(-0.15, 0.15);
+    const double r = ring * rng.uniform(0.75, 1.15);
+    const geom::Vec3 pos{r * std::cos(angle), 0.0, r * std::sin(angle)};
+    cfg.objects.push_back(make_object(classes[i], id, pos,
+                                      cfg.noise_seed + static_cast<std::uint64_t>(id),
+                                      rng.uniform(0.0, 2.0 * M_PI)));
+    ++id;
+  }
+}
+
+}  // namespace
+
+SceneConfig make_davis_scene(std::uint64_t seed, int frames) {
+  SceneConfig cfg = base_config(seed, frames);
+  cfg.name = "davis";
+  rt::Rng rng(seed ^ 0xda715ULL);
+  const ObjectClass classes[] = {ObjectClass::kPerson, ObjectClass::kCrate,
+                                 ObjectClass::kCabinet};
+  place_ring(cfg, classes, 2.2, rng);
+  // DAVIS-style: the person moves slowly through the scene.
+  cfg.objects[0].motion.velocity = {0.12, 0.0, 0.08};
+  cfg.objects[0].motion.start_move_time = 2.0;
+  cfg.path.kind = CameraPathKind::kOrbit;
+  cfg.path.orbit_radius = 5.0;
+  cfg.path.speed = 0.5;
+  return cfg;
+}
+
+SceneConfig make_kitti_scene(std::uint64_t seed, int frames) {
+  SceneConfig cfg = base_config(seed, frames);
+  cfg.name = "kitti";
+  cfg.room_size = 26.0;
+  rt::Rng rng(seed ^ 0x817715ULL);
+  const ObjectClass classes[] = {ObjectClass::kCar, ObjectClass::kCar,
+                                 ObjectClass::kPerson, ObjectClass::kCrate,
+                                 ObjectClass::kCar};
+  place_ring(cfg, classes, 3.4, rng);
+  // One car drives across the scene (KITTI-style traffic).
+  cfg.objects[1].motion.velocity = {-0.3, 0.0, 0.15};
+  cfg.objects[1].motion.start_move_time = 1.5;
+  cfg.path.kind = CameraPathKind::kWalk;
+  cfg.path.speed = 0.8;
+  cfg.path.orbit_radius = 6.0;  // lateral offset of the walk path
+  cfg.path.bob_amplitude = 0.01;
+  return cfg;
+}
+
+SceneConfig make_xiph_scene(std::uint64_t seed, int frames) {
+  SceneConfig cfg = base_config(seed, frames);
+  cfg.name = "xiph";
+  rt::Rng rng(seed ^ 0x1f4ULL);
+  const ObjectClass classes[] = {ObjectClass::kCrate, ObjectClass::kCabinet,
+                                 ObjectClass::kPerson, ObjectClass::kCrate};
+  place_ring(cfg, classes, 2.5, rng);
+  cfg.path.kind = CameraPathKind::kOrbit;
+  cfg.path.orbit_radius = 4.5;
+  cfg.path.speed = 0.35;
+  return cfg;
+}
+
+SceneConfig make_field_scene(std::uint64_t seed, int frames) {
+  SceneConfig cfg = base_config(seed, frames);
+  cfg.name = "field";
+  cfg.room_size = 20.0;
+  rt::Rng rng(seed ^ 0xf1e1dULL);
+  const ObjectClass classes[] = {ObjectClass::kSeparator, ObjectClass::kTube,
+                                 ObjectClass::kSeparator, ObjectClass::kCabinet,
+                                 ObjectClass::kTube};
+  place_ring(cfg, classes, 3.0, rng);
+  cfg.path.kind = CameraPathKind::kInspect;
+  cfg.path.orbit_radius = 5.5;
+  cfg.path.speed = 0.45;
+  cfg.pixel_noise_sigma = 3.0;  // harsher outdoor imaging
+  return cfg;
+}
+
+SceneConfig make_motion_scene(Gait gait, std::uint64_t seed, int frames) {
+  SceneConfig cfg = base_config(seed, frames);
+  rt::Rng rng(seed ^ 0x90a17ULL);
+  const ObjectClass classes[] = {ObjectClass::kCrate, ObjectClass::kCabinet,
+                                 ObjectClass::kPerson};
+  place_ring(cfg, classes, 2.2, rng);
+  cfg.path.kind = CameraPathKind::kWalk;
+  cfg.path.orbit_radius = 5.0;
+  cfg.path.walk_center_time = frames / cfg.fps / 2.0;
+  switch (gait) {
+    case Gait::kWalk:
+      cfg.name = "motion-walk";
+      cfg.path.speed = 0.7;
+      cfg.path.bob_amplitude = 0.012;
+      cfg.path.bob_frequency = 1.8;
+      break;
+    case Gait::kStride:
+      cfg.name = "motion-stride";
+      cfg.path.speed = 1.4;
+      cfg.path.bob_amplitude = 0.03;
+      cfg.path.bob_frequency = 2.2;
+      break;
+    case Gait::kJog:
+      cfg.name = "motion-jog";
+      cfg.path.speed = 2.6;
+      cfg.path.bob_amplitude = 0.07;
+      cfg.path.bob_frequency = 2.8;
+      break;
+  }
+  return cfg;
+}
+
+SceneConfig make_complexity_scene(Complexity level, std::uint64_t seed,
+                                  int frames) {
+  SceneConfig cfg = base_config(seed, frames);
+  rt::Rng rng(seed ^ 0xc0deULL);
+  cfg.path.kind = CameraPathKind::kOrbit;
+  cfg.path.orbit_radius = 5.2;
+  cfg.path.speed = 0.5;
+  switch (level) {
+    case Complexity::kEasy: {
+      cfg.name = "complexity-easy";
+      const ObjectClass classes[] = {ObjectClass::kCrate,
+                                     ObjectClass::kCabinet,
+                                     ObjectClass::kPerson};
+      place_ring(cfg, classes, 2.4, rng);
+      break;
+    }
+    case Complexity::kMedium: {
+      cfg.name = "complexity-medium";
+      // Two staggered rings: with nine objects on one ring, an orbiting
+      // camera sees near objects permanently occluding far ones.
+      const ObjectClass inner[] = {ObjectClass::kCrate, ObjectClass::kCabinet,
+                                   ObjectClass::kPerson,
+                                   ObjectClass::kCrate};
+      const ObjectClass outer[] = {ObjectClass::kTube, ObjectClass::kCabinet,
+                                   ObjectClass::kPerson, ObjectClass::kCrate,
+                                   ObjectClass::kCabinet};
+      place_ring(cfg, inner, 1.8, rng);
+      place_ring(cfg, outer, 3.8, rng);
+      cfg.path.orbit_radius = 6.0;
+      break;
+    }
+    case Complexity::kHard: {
+      cfg.name = "complexity-hard";
+      const ObjectClass classes[] = {
+          ObjectClass::kCrate, ObjectClass::kCabinet, ObjectClass::kPerson,
+          ObjectClass::kCrate, ObjectClass::kPerson,  ObjectClass::kTube};
+      place_ring(cfg, classes, 2.8, rng);
+      // Hard: several objects move during the clip.
+      cfg.objects[2].motion.velocity = {0.18, 0.0, -0.10};
+      cfg.objects[2].motion.start_move_time = 2.0;
+      cfg.objects[4].motion.velocity = {-0.12, 0.0, 0.14};
+      cfg.objects[4].motion.start_move_time = 3.0;
+      cfg.objects[0].motion.yaw_rate = 0.15;
+      cfg.objects[0].motion.start_move_time = 2.5;
+      break;
+    }
+  }
+  return cfg;
+}
+
+SceneConfig make_dataset_scene(std::string_view name, std::uint64_t seed,
+                               int frames) {
+  if (name == "davis") return make_davis_scene(seed, frames);
+  if (name == "kitti") return make_kitti_scene(seed, frames);
+  if (name == "xiph") return make_xiph_scene(seed, frames);
+  if (name == "field") return make_field_scene(seed, frames);
+  throw std::invalid_argument("unknown dataset preset: " + std::string(name));
+}
+
+}  // namespace edgeis::scene

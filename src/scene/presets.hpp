@@ -1,0 +1,38 @@
+// Dataset and scenario presets. Each preset mirrors the *regime* of the
+// corresponding evaluation workload in the paper:
+//  - davis: a few prominent objects, at least one dynamic (video object
+//    segmentation style),
+//  - kitti: driving-style scene, cars at street scale, fast translating
+//    camera,
+//  - xiph:  generic static-scene video clips, slow camera,
+//  - field: oil-field inspection — separators/tubes, inspect-style path
+//    (the self-labeled dataset and the Section VI-G case study),
+//  - motion: same route at walking / striding / jogging gait (Fig. 12),
+//  - complexity: easy (<=3 static) / medium (<=10 static) / hard (moving
+//    objects) (Fig. 13).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "scene/scene.hpp"
+
+namespace edgeis::scene {
+
+enum class Gait { kWalk, kStride, kJog };
+enum class Complexity { kEasy, kMedium, kHard };
+
+SceneConfig make_davis_scene(std::uint64_t seed, int frames = 240);
+SceneConfig make_kitti_scene(std::uint64_t seed, int frames = 240);
+SceneConfig make_xiph_scene(std::uint64_t seed, int frames = 240);
+SceneConfig make_field_scene(std::uint64_t seed, int frames = 240);
+
+SceneConfig make_motion_scene(Gait gait, std::uint64_t seed, int frames = 240);
+SceneConfig make_complexity_scene(Complexity level, std::uint64_t seed,
+                                  int frames = 240);
+
+/// Lookup by name ("davis", "kitti", "xiph", "field"); throws on unknown.
+SceneConfig make_dataset_scene(std::string_view name, std::uint64_t seed,
+                               int frames = 240);
+
+}  // namespace edgeis::scene

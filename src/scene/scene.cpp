@@ -1,0 +1,283 @@
+#include "scene/scene.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "runtime/rng.hpp"
+
+namespace edgeis::scene {
+
+const char* class_name(ObjectClass c) {
+  switch (c) {
+    case ObjectClass::kBackground: return "background";
+    case ObjectClass::kPerson: return "person";
+    case ObjectClass::kCar: return "car";
+    case ObjectClass::kCrate: return "crate";
+    case ObjectClass::kSeparator: return "separator";
+    case ObjectClass::kTube: return "tube";
+    case ObjectClass::kCabinet: return "cabinet";
+  }
+  return "unknown";
+}
+
+geom::SE3 MotionScript::pose_at(double t) const {
+  const double tm = std::max(0.0, t - start_move_time);
+  const double yaw = yaw0 + yaw_rate * tm;
+  geom::Mat3 r = geom::Mat3::identity();
+  r(0, 0) = std::cos(yaw);
+  r(0, 2) = std::sin(yaw);
+  r(2, 0) = -std::sin(yaw);
+  r(2, 2) = std::cos(yaw);
+  const geom::Vec3 pos = base_position + velocity * tm;
+  return geom::SE3{r, pos};
+}
+
+namespace {
+
+// World->camera pose looking from `pos` toward `target` with world-up
+// (0, 1, 0), using the computer-vision convention (z forward, y down).
+geom::SE3 look_at(const geom::Vec3& pos, const geom::Vec3& target) {
+  const geom::Vec3 f = (target - pos).normalized();
+  geom::Vec3 up{0, 1, 0};
+  geom::Vec3 r = f.cross(up);
+  if (r.squared_norm() < 1e-9) {
+    r = {1, 0, 0};  // looking straight up/down: pick an arbitrary right
+  }
+  r = r.normalized();
+  const geom::Vec3 d = f.cross(r);
+  geom::Mat3 r_wc;  // columns are camera axes in world coordinates
+  r_wc.m = {r.x, d.x, f.x, r.y, d.y, f.y, r.z, d.z, f.z};
+  const geom::Mat3 r_cw = r_wc.transpose();
+  return geom::SE3{r_cw, -(r_cw * pos)};
+}
+
+// Deterministic 3-D integer hash -> [0, 1).
+double hash3(std::int64_t x, std::int64_t y, std::int64_t z,
+             std::uint64_t seed) {
+  std::uint64_t h = seed;
+  h ^= static_cast<std::uint64_t>(x) * 0x9e3779b97f4a7c15ULL;
+  h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  h ^= static_cast<std::uint64_t>(y) * 0xc2b2ae3d27d4eb4fULL;
+  h = (h ^ (h >> 27)) * 0x94d049bb133111ebULL;
+  h ^= static_cast<std::uint64_t>(z) * 0x165667b19e3779f9ULL;
+  h ^= h >> 31;
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+// Procedural texture: cells whose brightness is an independent hash of the
+// cell coordinates, plus a finer second octave. Neighboring cells differ
+// sharply (FAST corners at every cell boundary) while the pattern is
+// aperiodic, so BRIEF descriptors are locally unique — a periodic pattern
+// (e.g. a plain checkerboard) would alias feature matches coherently and
+// poison RANSAC with a self-consistent false consensus.
+std::uint8_t texture_value(const geom::Vec3& p_obj, std::uint64_t seed,
+                           double scale) {
+  const auto cx = static_cast<std::int64_t>(std::floor(p_obj.x * scale));
+  const auto cy = static_cast<std::int64_t>(std::floor(p_obj.y * scale));
+  const auto cz = static_cast<std::int64_t>(std::floor(p_obj.z * scale));
+  const double coarse = hash3(cx, cy, cz, seed);
+  const double f = 3.1;  // non-commensurate with the coarse lattice
+  const auto fx = static_cast<std::int64_t>(std::floor(p_obj.x * scale * f));
+  const auto fy = static_cast<std::int64_t>(std::floor(p_obj.y * scale * f));
+  const auto fz = static_cast<std::int64_t>(std::floor(p_obj.z * scale * f));
+  const double fine = hash3(fx, fy, fz, seed ^ 0xf1e5ULL);
+  const double v = 45.0 + 170.0 * coarse + 16.0 * (fine - 0.5);
+  return static_cast<std::uint8_t>(std::clamp(v, 15.0, 240.0));
+}
+
+struct ClipVertex {
+  geom::Vec3 cam;  // camera-space position
+  geom::Vec3 obj;  // object-space position (texture coordinate)
+};
+
+// Clip a triangle against the near plane z = near. Emits 0, 1 or 2
+// triangles (Sutherland–Hodgman on one plane).
+int clip_near(const ClipVertex in[3], double near_z, ClipVertex out[4]) {
+  int n = 0;
+  for (int i = 0; i < 3; ++i) {
+    const ClipVertex& a = in[i];
+    const ClipVertex& b = in[(i + 1) % 3];
+    const bool ain = a.cam.z >= near_z;
+    const bool bin = b.cam.z >= near_z;
+    if (ain) out[n++] = a;
+    if (ain != bin) {
+      const double t = (near_z - a.cam.z) / (b.cam.z - a.cam.z);
+      ClipVertex v;
+      v.cam = a.cam + (b.cam - a.cam) * t;
+      v.obj = a.obj + (b.obj - a.obj) * t;
+      out[n++] = v;
+    }
+  }
+  return n;  // polygon vertex count (0..4)
+}
+
+}  // namespace
+
+geom::SE3 CameraPath::pose_at(double t) const {
+  switch (kind) {
+    case CameraPathKind::kOrbit: {
+      const double w = speed / std::max(0.5, orbit_radius);
+      const double a = w * t;
+      const geom::Vec3 pos{orbit_radius * std::cos(a), height,
+                           orbit_radius * std::sin(a)};
+      return look_at(pos, {0.0, height * 0.6, 0.0});
+    }
+    case CameraPathKind::kWalk: {
+      const double bob =
+          bob_amplitude * std::sin(2.0 * M_PI * bob_frequency * t);
+      const double sway =
+          0.5 * bob_amplitude * std::sin(2.0 * M_PI * bob_frequency * t * 0.5);
+      const geom::Vec3 pos{speed * (t - walk_center_time), height + bob,
+                           orbit_radius + sway};
+      return look_at(pos, {0.0, height * 0.6, 0.0});
+    }
+    case CameraPathKind::kInspect: {
+      const double w = speed / std::max(0.5, orbit_radius);
+      const double a = 0.8 * std::sin(w * t);  // sweep back and forth
+      const double r = orbit_radius * (0.85 + 0.15 * std::cos(0.5 * w * t));
+      const geom::Vec3 pos{r * std::cos(a), height, r * std::sin(a)};
+      return look_at(pos, {0.0, height * 0.5, 0.0});
+    }
+  }
+  return geom::SE3::identity();
+}
+
+SceneSimulator::SceneSimulator(SceneConfig config)
+    : config_(std::move(config)),
+      room_(make_room(config_.room_size, config_.room_height,
+                      config_.room_size)) {}
+
+RenderedFrame SceneSimulator::render(int frame_index) const {
+  const auto& cam = config_.camera;
+  RenderedFrame frame;
+  frame.index = frame_index;
+  frame.timestamp = frame_index / config_.fps;
+  frame.intensity = img::GrayImage(cam.width, cam.height, 0);
+  frame.instance_ids = img::IdImage(cam.width, cam.height, 0);
+  frame.depth = img::DepthImage(cam.width, cam.height, 1e30f);
+  frame.true_t_cw = config_.path.pose_at(frame.timestamp);
+
+  const double near_z = 0.05;
+
+  auto draw_mesh = [&](const Mesh& mesh, const geom::SE3& t_wo,
+                       std::uint16_t instance_id, std::uint64_t tex_seed,
+                       double tex_scale) {
+    const geom::SE3 t_co = frame.true_t_cw * t_wo;  // object->camera
+    std::vector<geom::Vec3> cam_pos(mesh.vertices.size());
+    for (std::size_t i = 0; i < mesh.vertices.size(); ++i) {
+      cam_pos[i] = t_co * mesh.vertices[i];
+    }
+
+    for (const auto& tri : mesh.triangles) {
+      ClipVertex in[3] = {{cam_pos[tri.a], mesh.vertices[tri.a]},
+                          {cam_pos[tri.b], mesh.vertices[tri.b]},
+                          {cam_pos[tri.c], mesh.vertices[tri.c]}};
+      ClipVertex poly[4];
+      const int n = clip_near(in, near_z, poly);
+      for (int k = 2; k < n; ++k) {
+        const ClipVertex* v[3] = {&poly[0], &poly[k - 1], &poly[k]};
+        // Project.
+        geom::Vec2 px[3];
+        double inv_z[3];
+        for (int i = 0; i < 3; ++i) {
+          const auto p = cam.project(v[i]->cam, near_z * 0.5);
+          if (!p) goto next_subtri;
+          px[i] = *p;
+          inv_z[i] = 1.0 / v[i]->cam.z;
+        }
+        {
+          // Bounding box in pixels.
+          const int x0 = std::max(
+              0, static_cast<int>(std::floor(
+                     std::min({px[0].x, px[1].x, px[2].x}))));
+          const int x1 = std::min(
+              cam.width - 1, static_cast<int>(std::ceil(
+                                 std::max({px[0].x, px[1].x, px[2].x}))));
+          const int y0 = std::max(
+              0, static_cast<int>(std::floor(
+                     std::min({px[0].y, px[1].y, px[2].y}))));
+          const int y1 = std::min(
+              cam.height - 1, static_cast<int>(std::ceil(
+                                  std::max({px[0].y, px[1].y, px[2].y}))));
+          const double area = (px[1].x - px[0].x) * (px[2].y - px[0].y) -
+                              (px[1].y - px[0].y) * (px[2].x - px[0].x);
+          if (std::abs(area) < 1e-9) continue;
+          const double inv_area = 1.0 / area;
+
+          for (int y = y0; y <= y1; ++y) {
+            for (int x = x0; x <= x1; ++x) {
+              const double fx = x + 0.5, fy = y + 0.5;
+              // Barycentric via edge functions (sign-consistent with area).
+              double w0 = ((px[1].x - fx) * (px[2].y - fy) -
+                           (px[1].y - fy) * (px[2].x - fx)) * inv_area;
+              double w1 = ((px[2].x - fx) * (px[0].y - fy) -
+                           (px[2].y - fy) * (px[0].x - fx)) * inv_area;
+              double w2 = 1.0 - w0 - w1;
+              if (w0 < 0 || w1 < 0 || w2 < 0) continue;
+              // Perspective-correct interpolation.
+              const double iz =
+                  w0 * inv_z[0] + w1 * inv_z[1] + w2 * inv_z[2];
+              const double z = 1.0 / iz;
+              if (z >= frame.depth.at(x, y)) continue;
+              const geom::Vec3 obj =
+                  (v[0]->obj * (w0 * inv_z[0]) + v[1]->obj * (w1 * inv_z[1]) +
+                   v[2]->obj * (w2 * inv_z[2])) * z;
+              frame.depth.at(x, y) = static_cast<float>(z);
+              frame.instance_ids.at(x, y) = instance_id;
+              frame.intensity.at(x, y) =
+                  texture_value(obj, tex_seed, tex_scale);
+            }
+          }
+        }
+      next_subtri:;
+      }
+    }
+  };
+
+  // Background room.
+  draw_mesh(room_, geom::SE3::identity(), 0, config_.noise_seed ^ 0x400d,
+            3.0);
+
+  // Objects.
+  frame.true_t_wo.reserve(config_.objects.size());
+  for (const auto& obj : config_.objects) {
+    const geom::SE3 t_wo = obj.motion.pose_at(frame.timestamp);
+    frame.true_t_wo.push_back(t_wo);
+    draw_mesh(obj.mesh, t_wo, static_cast<std::uint16_t>(obj.instance_id),
+              obj.texture_seed, obj.texture_scale);
+  }
+
+  // Sensor noise (deterministic per frame).
+  if (config_.pixel_noise_sigma > 0.0) {
+    rt::Rng rng(config_.noise_seed * 0x51ed2701ULL +
+                static_cast<std::uint64_t>(frame_index));
+    for (int y = 0; y < cam.height; ++y) {
+      auto* row = frame.intensity.row(y);
+      for (int x = 0; x < cam.width; ++x) {
+        const double v = row[x] + rng.normal(0.0, config_.pixel_noise_sigma);
+        row[x] = static_cast<std::uint8_t>(std::clamp(v, 0.0, 255.0));
+      }
+    }
+  }
+  return frame;
+}
+
+mask::InstanceMask SceneSimulator::ground_truth_mask(
+    const RenderedFrame& frame, int instance_id, ObjectClass cls) {
+  mask::InstanceMask m = mask::mask_from_id_image(
+      frame.instance_ids, static_cast<std::uint16_t>(instance_id));
+  m.class_id = static_cast<int>(cls);
+  return m;
+}
+
+std::vector<mask::InstanceMask> SceneSimulator::ground_truth_masks(
+    const RenderedFrame& frame) const {
+  std::vector<mask::InstanceMask> out;
+  for (const auto& obj : config_.objects) {
+    auto m = ground_truth_mask(frame, obj.instance_id, obj.cls);
+    if (m.pixel_count() > 0) out.push_back(std::move(m));
+  }
+  return out;
+}
+
+}  // namespace edgeis::scene

@@ -1,0 +1,66 @@
+// Anchor generation over an FPN pyramid, proposal scoring and the two NMS
+// variants (standard greedy NMS and the Fast NMS of YOLACT used by RoI
+// pruning for unknown areas — Section IV-B). The anchor/proposal counting
+// here is what drives CIIA's measured latency reductions: dynamic anchor
+// placement shrinks the evaluated anchor set, RoI pruning shrinks the RoI
+// set entering the mask head.
+#pragma once
+
+#include <vector>
+
+#include "mask/mask.hpp"
+
+namespace edgeis::segnet {
+
+/// One FPN level: stride of the feature map and the base anchor size
+/// assigned to it (Mask R-CNN convention: one scale per level, 3 aspect
+/// ratios per location).
+struct FpnLevel {
+  int stride;
+  double anchor_size;
+};
+
+/// Standard 5-level FPN (P2-P6) as used by Mask R-CNN with a
+/// ResNet-101-FPN backbone.
+std::vector<FpnLevel> default_fpn_levels();
+
+inline constexpr double kAspectRatios[3] = {0.5, 1.0, 2.0};
+
+struct Anchor {
+  mask::Box box;
+  int level;  // index into the FPN level list
+};
+
+/// Dense anchors over the full frame (the baseline RPN sliding-window set).
+std::vector<Anchor> generate_full_anchors(int width, int height,
+                                          const std::vector<FpnLevel>& levels);
+
+/// Dynamic anchor placement (Section IV-A): anchors only at feature-map
+/// locations inside the given regions, and only on pyramid levels whose
+/// anchor size fits the region ("all convolutional layers in the backbone
+/// of RPN are registered with the size of feature maps they produced").
+std::vector<Anchor> generate_anchors_in_regions(
+    int width, int height, const std::vector<FpnLevel>& levels,
+    const std::vector<mask::Box>& regions);
+
+struct Proposal {
+  mask::Box box;
+  double objectness = 0.0;   // RPN score
+  double confidence = 0.0;   // second-stage class confidence
+  int matched_instance = 0;  // oracle instance the proposal localizes (0=bg)
+  int class_id = 0;
+  int region_group = -1;     // index of the prior region it came from (-1 = unknown area)
+};
+
+/// Greedy NMS by descending objectness.
+std::vector<Proposal> nms(std::vector<Proposal> proposals, double iou_threshold,
+                          int max_out);
+
+/// Fast NMS (YOLACT): computes the full IoU matrix once and suppresses any
+/// box that overlaps a higher-scored box above the threshold, allowing
+/// already-suppressed boxes to suppress others — a parallel-friendly,
+/// slightly more aggressive variant.
+std::vector<Proposal> fast_nms(std::vector<Proposal> proposals,
+                               double iou_threshold, int max_out);
+
+}  // namespace edgeis::segnet

@@ -1,0 +1,69 @@
+#include "segnet/corrupt.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace edgeis::segnet {
+
+double sigma_for_iou(double target_iou, double area, double perimeter) {
+  // Perturbing a closed boundary radially by smooth zero-mean noise with
+  // std sigma moves ~P * E|s| / 2 pixels across the boundary in each
+  // direction (E|s| = sigma * sqrt(2/pi)), so
+  //   IoU ~= (A - x) / (A + x) with x = 0.4 * P * sigma.
+  // Solving for sigma:
+  const double q = std::clamp(target_iou, 0.3, 0.999);
+  const double x = area * (1.0 - q) / (1.0 + q);
+  return x / (0.4 * std::max(1.0, perimeter));
+}
+
+mask::InstanceMask corrupt_mask(const mask::InstanceMask& truth,
+                                double target_iou, edgeis::rt::Rng& rng) {
+  const auto contours = mask::find_contours(truth);
+  if (contours.empty()) return truth;
+  const mask::Contour* contour = &contours[0];
+  for (const auto& c : contours) {
+    if (c.size() > contour->size()) contour = &c;
+  }
+  const double area = static_cast<double>(truth.pixel_count());
+  const double perimeter = static_cast<double>(contour->size());
+  const double sigma = sigma_for_iou(target_iou, area, perimeter);
+
+  // Smooth radial noise: control points every ~16 contour pixels, linearly
+  // interpolated (wrapping), so the corruption looks like segmentation
+  // boundary error, not salt-and-pepper.
+  const std::size_t n = contour->size();
+  const std::size_t num_ctrl = std::max<std::size_t>(4, n / 16);
+  std::vector<double> ctrl(num_ctrl);
+  for (auto& c : ctrl) c = rng.normal(0.0, sigma);
+
+  mask::Contour noisy;
+  noisy.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double pos = static_cast<double>(i) / static_cast<double>(n) *
+                       static_cast<double>(num_ctrl);
+    const auto i0 = static_cast<std::size_t>(pos) % num_ctrl;
+    const std::size_t i1 = (i0 + 1) % num_ctrl;
+    const double frac = pos - std::floor(pos);
+    const double offset = ctrl[i0] * (1.0 - frac) + ctrl[i1] * frac;
+
+    // Displace along the local boundary normal (perpendicular to the
+    // tangent estimated from neighbors) so elongated shapes are corrupted
+    // as strongly as round ones.
+    const geom::Vec2& prev = (*contour)[(i + n - 2) % n];
+    const geom::Vec2& next = (*contour)[(i + 2) % n];
+    geom::Vec2 tangent = next - prev;
+    const double tn = tangent.norm();
+    geom::Vec2 normal{0.0, 0.0};
+    if (tn > 1e-9) normal = geom::Vec2{-tangent.y / tn, tangent.x / tn};
+    noisy.push_back((*contour)[i] + normal * offset);
+  }
+
+  mask::InstanceMask out =
+      mask::rasterize_polygon(noisy, truth.width(), truth.height());
+  out.class_id = truth.class_id;
+  out.instance_id = truth.instance_id;
+  return out;
+}
+
+}  // namespace edgeis::segnet

@@ -1,0 +1,24 @@
+// Controlled mask corruption: turns a ground-truth mask into a "predicted"
+// mask whose expected IoU against the truth is a chosen quality level. This
+// substitutes for learned mask-head weights: the *quality envelope* of each
+// model (Mask R-CNN ~0.92, YOLACT ~0.75) is reproduced while the rest of
+// the pipeline handles real pixels.
+#pragma once
+
+#include "mask/mask.hpp"
+#include "runtime/rng.hpp"
+
+namespace edgeis::segnet {
+
+/// Produce a corrupted copy of `truth` with expected IoU ~= `target_iou`
+/// (in [0.3, 1.0]). Corruption jitters the contour radially with smooth
+/// noise whose amplitude is computed from the mask's area/perimeter ratio,
+/// then re-rasterizes.
+mask::InstanceMask corrupt_mask(const mask::InstanceMask& truth,
+                                double target_iou, edgeis::rt::Rng& rng);
+
+/// The contour-noise amplitude (pixels) that yields `target_iou` for a
+/// mask with the given area and perimeter. Exposed for calibration tests.
+double sigma_for_iou(double target_iou, double area, double perimeter);
+
+}  // namespace edgeis::segnet

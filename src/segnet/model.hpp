@@ -1,0 +1,144 @@
+// The simulated instance-segmentation model zoo and the CIIA-accelerated
+// inference pipeline (Section IV).
+//
+// What is real: anchor generation (full-frame or dynamically placed),
+// proposal scoring/selection, NMS / Fast NMS, the RoI-pruning rule, and the
+// per-stage latency accounting (per-anchor / per-RoI / per-pixel costs).
+// What is synthesized: in place of learned weights, proposals are scored by
+// overlap with oracle (ground-truth) instances plus noise, and output masks
+// are ground truth corrupted to each model's quality envelope. The oracle
+// is internal to the model — callers only see the noisy outputs, exactly as
+// they would from a trained network.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "mask/mask.hpp"
+#include "runtime/rng.hpp"
+#include "segnet/anchors.hpp"
+
+namespace edgeis::segnet {
+
+/// Ground truth the model synthesizes its outputs from (stands in for
+/// learned weights; never exposed to the pipeline under test).
+struct OracleInstance {
+  mask::InstanceMask mask;
+  mask::Box box;
+  int class_id = 0;
+  int instance_id = 0;
+};
+
+/// Per-model quality/latency envelope, calibrated against Fig. 2b.
+/// Latencies are for the reference edge GPU (Jetson TX2); device models
+/// scale them.
+struct ModelProfile {
+  std::string name;
+  bool produces_masks = true;
+  // Cost model (reference device, milliseconds). RPN cost splits into a
+  // fixed convolutional-trunk term (paid regardless of anchor count) and a
+  // per-anchor scoring term (what dynamic anchor placement saves).
+  double backbone_ms = 50.0;           // per-frame feature extraction
+  double rpn_fixed_ms = 60.0;          // RPN conv trunk over the feature map
+  double rpn_us_per_anchor = 1.3;      // per-location anchor scoring
+  double head_us_per_roi = 300.0;      // box/class head per RoI
+  double mask_head_us_per_roi = 330.0; // mask branch per RoI
+  /// Density of spurious object-like proposals on textured content
+  /// (proposals per megapixel of area covered by anchor regions) — the
+  /// false-positive load real RPNs carry through NMS into the second
+  /// stage. Scales with covered area, not anchor count: clutter comes from
+  /// image content.
+  double clutter_per_mpix = 1100.0;
+  // Quality envelope.
+  double mask_quality = 0.92;    // expected IoU of produced masks
+  double quality_jitter = 0.03;  // per-instance IoU spread
+  double base_miss_rate = 0.02;  // chance to miss a (large) object
+  double small_object_miss_boost = 0.25;  // extra misses below ~32^2 px
+  double confidence_noise = 0.05;
+  // Proposal selection.
+  int pre_nms_top_n = 1000;
+  int post_nms_top_n = 300;
+  double nms_iou = 0.7;
+};
+
+/// Mask R-CNN (ResNet-101-FPN): accurate, heavy (~400 ms full frame on the
+/// reference edge device per Fig. 2b).
+ModelProfile mask_rcnn_profile();
+/// YOLACT: real-time oriented, lower mask quality (~0.75 IoU, ~120 ms).
+ModelProfile yolact_profile();
+/// YOLOv3: detection-only baseline (~0.98 box IoU, <30 ms); masks are box
+/// fills, which is what makes it unusable for segmentation (Fig. 2).
+ModelProfile yolov3_profile();
+
+/// Prior knowledge shipped from the mobile device with the frame: the
+/// surrounding box + class of each transferred mask (Section IV-A) and
+/// boxes of newly observed areas (Section V).
+struct InstancePrior {
+  mask::Box initial_box;
+  int class_id = 0;
+  int instance_id = 0;
+};
+
+struct InferenceRequest {
+  int width = 0;
+  int height = 0;
+  std::vector<OracleInstance> oracle;
+  std::vector<InstancePrior> priors;
+  std::vector<mask::Box> new_areas;
+  bool use_dynamic_anchor_placement = false;
+  bool use_roi_pruning = false;
+  /// Quality of the received image content in the object regions, [0, 1]
+  /// (1 = lossless). Heavier tile compression degrades mask quality.
+  double content_quality = 1.0;
+  /// Margin (pixels) by which prior boxes are inflated before anchor
+  /// placement, covering object motion since the prior was computed.
+  int prior_margin = 32;
+};
+
+struct InferenceStats {
+  int anchors_evaluated = 0;
+  int proposals_pre_nms = 0;
+  int rois_after_selection = 0;   // RoIs entering the second stage
+  int rois_after_pruning = 0;     // RoIs entering the mask head
+  double backbone_ms = 0.0;
+  double rpn_ms = 0.0;
+  double head_ms = 0.0;       // box/class second stage
+  double mask_head_ms = 0.0;  // mask branch
+  [[nodiscard]] double total_ms() const {
+    return backbone_ms + rpn_ms + head_ms + mask_head_ms;
+  }
+  [[nodiscard]] double inference_ms() const {  // Fig. 14's "inference"
+    return head_ms + mask_head_ms;
+  }
+};
+
+struct InstanceResult {
+  mask::InstanceMask mask;
+  mask::Box box;
+  int class_id = 0;
+  int instance_id = 0;  // oracle instance (detection identity)
+  double confidence = 0.0;
+};
+
+struct InferenceResult {
+  std::vector<InstanceResult> instances;
+  InferenceStats stats;
+};
+
+class SegmentationModel {
+ public:
+  SegmentationModel(ModelProfile profile, rt::Rng rng);
+
+  /// Run one (simulated) inference. Deterministic given construction seed
+  /// and call sequence.
+  InferenceResult infer(const InferenceRequest& request);
+
+  [[nodiscard]] const ModelProfile& profile() const { return profile_; }
+
+ private:
+  ModelProfile profile_;
+  rt::Rng rng_;
+};
+
+}  // namespace edgeis::segnet

@@ -1,0 +1,274 @@
+#include "transfer/mask_transfer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+namespace edgeis::transfer {
+
+MaskTransfer::MaskTransfer(geom::PinholeCamera camera, const vo::Map* map,
+                           TransferOptions opts)
+    : camera_(camera), map_(map), opts_(opts) {}
+
+std::vector<int> MaskTransfer::visible_instances(
+    const vo::FrameObservation& obs) const {
+  std::unordered_set<int> seen;
+  for (int pid : obs.matched_point_ids) {
+    if (pid < 0) continue;
+    const vo::MapPoint* mp = map_->find(pid);
+    if (mp != nullptr && mp->annotated && mp->object_instance != 0) {
+      seen.insert(mp->object_instance);
+    }
+  }
+  return {seen.begin(), seen.end()};
+}
+
+const vo::Keyframe* MaskTransfer::select_source_keyframe(
+    int instance_id, const geom::SE3& current_t_cw) const {
+  const vo::Keyframe* best = nullptr;
+  double best_score = -1e18;
+  int newest_frame = 0;
+  for (const auto& kf : map_->keyframes()) {
+    newest_frame = std::max(newest_frame, kf.frame_index);
+  }
+  for (const auto& kf : map_->keyframes()) {
+    if (!kf.has_masks) continue;
+    const mask::InstanceMask* m = nullptr;
+    for (const auto& cand : kf.masks) {
+      if (cand.instance_id == instance_id) {
+        m = &cand;
+        break;
+      }
+    }
+    if (m == nullptr || m->pixel_count() == 0) continue;
+
+    // "Observing the object clearly": prefer keyframes where the mask does
+    // not touch the frame border (fully captured). Large objects may touch
+    // the border in *every* frame, so this is a strong penalty rather than
+    // a hard reject — a partial source beats no prediction at all.
+    const auto bbox = m->bounding_box();
+    if (!bbox) continue;
+    const int margin = 2;
+    const bool fully_captured =
+        bbox->x0 >= margin && bbox->y0 >= margin &&
+        bbox->x1 <= camera_.width - margin &&
+        bbox->y1 <= camera_.height - margin;
+
+    // "Sharing similar viewpoints": gate on the rotation angle between the
+    // keyframe pose and the current pose.
+    const double angle_deg =
+        kf.t_cw.rotation_angle_to(current_t_cw) * 180.0 / M_PI;
+    if (angle_deg > opts_.max_view_angle_deg) continue;
+
+    // Prefer recent annotations (drift between source and current pose
+    // grows with age), small viewpoint change, and full captures. Recency
+    // weighs comparably to angle: a fresh edge update resets accumulated
+    // drift and should win over a slightly-better-angled stale source.
+    const double age = static_cast<double>(newest_frame - kf.frame_index);
+    const double score =
+        -angle_deg - 0.4 * age + (fully_captured ? 8.0 : 0.0);
+    if (score > best_score) {
+      best_score = score;
+      best = &kf;
+    }
+  }
+  return best;
+}
+
+std::optional<TransferredMask> MaskTransfer::transfer_one(
+    const vo::Keyframe& source, const mask::InstanceMask& source_mask,
+    const geom::SE3& current_t_cw,
+    const std::unordered_map<int, geom::Vec2>& current_observations) const {
+  // Gather in-mask features of the source keyframe that have map points,
+  // with their depth in the source camera frame.
+  struct DepthSample {
+    geom::Vec2 pixel;
+    double depth;
+  };
+  std::vector<DepthSample> samples;
+  const auto disp_it =
+      source.object_displacements.find(source_mask.instance_id);
+  const geom::SE3 disp_at_source =
+      disp_it != source.object_displacements.end() ? disp_it->second
+                                                   : geom::SE3::identity();
+  for (std::size_t i = 0; i < source.features.size(); ++i) {
+    const int pid = source.point_ids[i];
+    if (pid < 0) continue;
+    const geom::Vec2& px = source.features[i].kp.pixel;
+    if (!source_mask.get(static_cast<int>(px.x), static_cast<int>(px.y))) {
+      continue;
+    }
+    const vo::MapPoint* mp = map_->find(pid);
+    if (mp == nullptr) continue;
+    // Only trust depth from points labeled as this object: a background
+    // point seen *through* or just beyond the (noisy) mask boundary has a
+    // very different depth and would drag the k-NN average off the object.
+    if (mp->annotated && mp->object_instance != source_mask.instance_id) {
+      continue;
+    }
+    geom::Vec3 world = mp->position;
+    if (mp->object_instance != 0) {
+      world = disp_at_source * world;
+    }
+    const geom::Vec3 cam = source.t_cw * world;
+    if (cam.z <= 1e-6) continue;
+    samples.push_back({px, cam.z});
+  }
+  if (static_cast<int>(samples.size()) < opts_.min_depth_features) {
+    return std::nullopt;
+  }
+
+  // Extract the mask contour in the source frame.
+  const auto contours = mask::find_contours(source_mask);
+  if (contours.empty()) return std::nullopt;
+  // Use the longest contour (outer boundary of the main blob).
+  const mask::Contour* contour_full = &contours[0];
+  for (const auto& c : contours) {
+    if (c.size() > contour_full->size()) contour_full = &c;
+  }
+  mask::Contour subsampled;
+  const mask::Contour* contour = contour_full;
+  if (static_cast<int>(contour_full->size()) > opts_.max_contour_points) {
+    const double step = static_cast<double>(contour_full->size()) /
+                        opts_.max_contour_points;
+    subsampled.reserve(static_cast<std::size_t>(opts_.max_contour_points));
+    for (int i = 0; i < opts_.max_contour_points; ++i) {
+      subsampled.push_back(
+          (*contour_full)[static_cast<std::size_t>(i * step)]);
+    }
+    contour = &subsampled;
+  }
+
+  // Motion of the object since the source keyframe: current world position
+  // of a source-time world point p is D_now * D_src^{-1} * p.
+  geom::SE3 object_motion = geom::SE3::identity();
+  const auto track_it = map_->objects().find(source_mask.instance_id);
+  if (track_it != map_->objects().end()) {
+    object_motion = track_it->second.displacement * disp_at_source.inverse();
+  }
+
+  // Project each contour pixel: depth from the k nearest in-mask features,
+  // unproject in the source camera, lift to world, apply object motion,
+  // and reproject into the current frame (Section III-C).
+  const double margin_x = camera_.width * (opts_.image_margin_factor - 1.0);
+  const double margin_y = camera_.height * (opts_.image_margin_factor - 1.0);
+  const int k = opts_.k_nearest;
+
+  std::vector<std::pair<double, std::size_t>> dist_scratch(samples.size());
+  auto project_chain =
+      [&](const geom::Vec2& s) -> std::optional<geom::Vec2> {
+    // k nearest in-mask features by pixel distance.
+    for (std::size_t j = 0; j < samples.size(); ++j) {
+      dist_scratch[j] = {(samples[j].pixel - s).squared_norm(), j};
+    }
+    const std::size_t kn =
+        std::min<std::size_t>(static_cast<std::size_t>(k), samples.size());
+    std::partial_sort(dist_scratch.begin(),
+                      dist_scratch.begin() + static_cast<std::ptrdiff_t>(kn),
+                      dist_scratch.end());
+    double depth = 0.0;
+    for (std::size_t j = 0; j < kn; ++j) {
+      depth += samples[dist_scratch[j].second].depth;
+    }
+    depth /= static_cast<double>(kn);
+
+    const geom::Vec3 cam_src = camera_.unproject_depth(s, depth);
+    const geom::Vec3 world_src = source.t_cw.inverse() * cam_src;
+    const geom::Vec3 world_now = object_motion * world_src;
+    return camera_.project_world(current_t_cw, world_now);
+  };
+
+  // Drift compensation: run the object's own feature pixels (whose map
+  // points are also observed in the current frame) through the *same*
+  // projection chain; the mean residual against their directly observed
+  // current pixels is the systematic offset of the chain — VO drift plus
+  // object-displacement error — and is subtracted from the mask.
+  geom::Vec2 chain_offset{0, 0};
+  int chain_n = 0;
+  for (std::size_t i = 0; i < source.features.size(); ++i) {
+    const int pid = source.point_ids[i];
+    if (pid < 0) continue;
+    const auto obs_it = current_observations.find(pid);
+    if (obs_it == current_observations.end()) continue;
+    const geom::Vec2& px = source.features[i].kp.pixel;
+    if (!source_mask.get(static_cast<int>(px.x), static_cast<int>(px.y))) {
+      continue;
+    }
+    const auto projected_px = project_chain(px);
+    if (!projected_px) continue;
+    chain_offset += obs_it->second - *projected_px;
+    ++chain_n;
+  }
+  if (chain_n >= 3) {
+    chain_offset = chain_offset / static_cast<double>(chain_n);
+  } else {
+    chain_offset = {0, 0};
+  }
+
+  mask::Contour projected;
+  projected.reserve(contour->size());
+  for (const auto& s : *contour) {
+    const auto px = project_chain(s);
+    if (!px) continue;
+    const geom::Vec2 corrected = *px + chain_offset;
+    if (corrected.x < -margin_x || corrected.x > camera_.width + margin_x ||
+        corrected.y < -margin_y || corrected.y > camera_.height + margin_y) {
+      continue;
+    }
+    projected.push_back(corrected);
+  }
+
+  const double survival = contour->empty()
+                              ? 0.0
+                              : static_cast<double>(projected.size()) /
+                                    static_cast<double>(contour->size());
+  if (static_cast<int>(projected.size()) < opts_.min_contour_points ||
+      survival < opts_.min_contour_fraction) {
+    return std::nullopt;
+  }
+
+  TransferredMask out;
+  out.contour_points = static_cast<int>(contour->size());
+  out.mask = mask::rasterize_polygon(projected, camera_.width, camera_.height);
+  out.mask.class_id = source_mask.class_id;
+  out.mask.instance_id = source_mask.instance_id;
+  out.instance_id = source_mask.instance_id;
+  out.class_id = source_mask.class_id;
+  out.source_frame = source.frame_index;
+  out.contour_survival = survival;
+  if (out.mask.pixel_count() == 0) return std::nullopt;
+  return out;
+}
+
+std::vector<TransferredMask> MaskTransfer::predict(
+    const vo::FrameObservation& obs) const {
+  // Map-point id -> directly observed pixel in this frame, for the drift
+  // compensation inside transfer_one.
+  std::unordered_map<int, geom::Vec2> current_observations;
+  for (std::size_t i = 0; i < obs.features.size(); ++i) {
+    if (obs.matched_point_ids[i] >= 0) {
+      current_observations.emplace(obs.matched_point_ids[i],
+                                   obs.features[i].kp.pixel);
+    }
+  }
+
+  std::vector<TransferredMask> out;
+  for (int instance_id : visible_instances(obs)) {
+    const vo::Keyframe* source = select_source_keyframe(instance_id, obs.t_cw);
+    if (source == nullptr) continue;
+    const mask::InstanceMask* source_mask = nullptr;
+    for (const auto& m : source->masks) {
+      if (m.instance_id == instance_id) {
+        source_mask = &m;
+        break;
+      }
+    }
+    if (source_mask == nullptr) continue;
+    auto transferred =
+        transfer_one(*source, *source_mask, obs.t_cw, current_observations);
+    if (transferred) out.push_back(std::move(*transferred));
+  }
+  return out;
+}
+
+}  // namespace edgeis::transfer

@@ -1,0 +1,75 @@
+// Motion Aware Mobile Mask Transfer (MAMT, Section III-C): predict the
+// instance masks of the current frame by projecting the *contour* of each
+// object's mask from a well-chosen source keyframe through the relative
+// pose, assigning each contour pixel the mean depth of its k nearest
+// in-mask features (k = 5 in the paper).
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "geometry/camera.hpp"
+#include "mask/mask.hpp"
+#include "vo/map.hpp"
+#include "vo/tracker.hpp"
+
+namespace edgeis::transfer {
+
+struct TransferOptions {
+  int k_nearest = 5;                 // paper: k = 5
+  double max_view_angle_deg = 40.0;  // source-frame viewpoint gate
+  double min_contour_fraction = 0.3; // projected-contour survival threshold
+  int min_contour_points = 8;
+  int min_depth_features = 3;        // in-mask features needed for depth
+  double image_margin_factor = 2.0;  // keep projections within +-2x frame
+  /// Longer contours are subsampled to this many points before projection —
+  /// a pure performance guard; mask shape is insensitive beyond ~1 pt/px.
+  int max_contour_points = 800;
+};
+
+struct TransferredMask {
+  mask::InstanceMask mask;
+  int instance_id = 0;
+  int class_id = 0;
+  int source_frame = -1;
+  double contour_survival = 0.0;  // fraction of contour pixels projected
+  int contour_points = 0;         // contour pixels processed (cost model)
+};
+
+class MaskTransfer {
+ public:
+  MaskTransfer(geom::PinholeCamera camera, const vo::Map* map,
+               TransferOptions opts = {});
+
+  /// Predict masks for the frame described by `obs` (pose already solved by
+  /// the tracker). Objects with no viable source keyframe are skipped —
+  /// they simply have no prediction until the next edge update.
+  [[nodiscard]] std::vector<TransferredMask> predict(
+      const vo::FrameObservation& obs) const;
+
+  /// Instances the observation's matched annotated points say are visible.
+  [[nodiscard]] std::vector<int> visible_instances(
+      const vo::FrameObservation& obs) const;
+
+ private:
+  /// Pick the best annotated source keyframe for `instance_id` w.r.t. the
+  /// current pose: must contain a mask for the instance, observe it fully,
+  /// and share a similar viewpoint; most recent among candidates wins.
+  [[nodiscard]] const vo::Keyframe* select_source_keyframe(
+      int instance_id, const geom::SE3& current_t_cw) const;
+
+  /// `current_observations` maps map-point id -> directly observed pixel in
+  /// the current frame; used to measure and remove the systematic offset of
+  /// the source->current projection chain (drift compensation).
+  [[nodiscard]] std::optional<TransferredMask> transfer_one(
+      const vo::Keyframe& source, const mask::InstanceMask& source_mask,
+      const geom::SE3& current_t_cw,
+      const std::unordered_map<int, geom::Vec2>& current_observations) const;
+
+  geom::PinholeCamera camera_;
+  const vo::Map* map_;
+  TransferOptions opts_;
+};
+
+}  // namespace edgeis::transfer

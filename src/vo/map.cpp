@@ -1,0 +1,109 @@
+#include "vo/map.hpp"
+
+#include <algorithm>
+
+namespace edgeis::vo {
+
+int Map::add_point(MapPoint point) {
+  point.id = next_point_id_++;
+  const int id = point.id;
+  points_.emplace(id, std::move(point));
+  return id;
+}
+
+void Map::remove_point(int id) {
+  auto it = points_.find(id);
+  if (it == points_.end()) return;
+  if (it->second.object_instance != 0) {
+    auto obj = objects_.find(it->second.object_instance);
+    if (obj != objects_.end()) obj->second.point_count -= 1;
+  }
+  points_.erase(it);
+}
+
+MapPoint* Map::find(int id) {
+  auto it = points_.find(id);
+  return it == points_.end() ? nullptr : &it->second;
+}
+
+const MapPoint* Map::find(int id) const {
+  auto it = points_.find(id);
+  return it == points_.end() ? nullptr : &it->second;
+}
+
+std::vector<MapPoint*> Map::all_points() {
+  std::vector<MapPoint*> out;
+  out.reserve(points_.size());
+  for (auto& [id, p] : points_) out.push_back(&p);
+  return out;
+}
+
+std::vector<const MapPoint*> Map::all_points() const {
+  std::vector<const MapPoint*> out;
+  out.reserve(points_.size());
+  for (const auto& [id, p] : points_) out.push_back(&p);
+  return out;
+}
+
+void Map::add_keyframe(Keyframe kf) { keyframes_.push_back(std::move(kf)); }
+
+Keyframe* Map::keyframe_by_index(int frame_index) {
+  for (auto& kf : keyframes_) {
+    if (kf.frame_index == frame_index) return &kf;
+  }
+  return nullptr;
+}
+
+ObjectTrack& Map::object(int instance_id) {
+  auto it = objects_.find(instance_id);
+  if (it == objects_.end()) {
+    ObjectTrack t;
+    t.instance_id = instance_id;
+    it = objects_.emplace(instance_id, t).first;
+  }
+  return it->second;
+}
+
+std::size_t Map::memory_bytes() const {
+  std::size_t bytes = points_.size() * kMapPointBytes;
+  for (const auto& kf : keyframes_) {
+    bytes += kf.features.size() * kKeyframeFeatureBytes;
+    for (const auto& m : kf.masks) {
+      // Masks are stored run-length-ish on a real device; charge ~1 bit/px.
+      bytes += static_cast<std::size_t>(m.width()) * static_cast<std::size_t>(m.height()) / 8;
+    }
+  }
+  return bytes;
+}
+
+std::size_t Map::enforce_memory_budget(std::size_t budget_bytes,
+                                       int current_frame) {
+  std::size_t removed = 0;
+  if (memory_bytes() <= budget_bytes) return removed;
+
+  // Drop oldest mask-less keyframes first (cheap to lose).
+  while (memory_bytes() > budget_bytes && keyframes_.size() > 2) {
+    auto it = std::find_if(keyframes_.begin(), keyframes_.end(),
+                           [](const Keyframe& kf) { return !kf.has_masks; });
+    if (it == keyframes_.end()) break;
+    keyframes_.erase(it);
+  }
+
+  if (memory_bytes() <= budget_bytes) return removed;
+
+  // Then evict the lowest-utility points until under budget.
+  std::vector<std::pair<double, int>> ranked;
+  ranked.reserve(points_.size());
+  for (const auto& [id, p] : points_) {
+    ranked.emplace_back(p.utility(current_frame), id);
+  }
+  std::sort(ranked.begin(), ranked.end());
+  for (const auto& [utility, id] : ranked) {
+    if (memory_bytes() <= budget_bytes) break;
+    points_.erase(id);
+    ++removed;
+  }
+  return removed;
+}
+
+}  // namespace edgeis::vo

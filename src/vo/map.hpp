@@ -1,0 +1,124 @@
+// The annotated 3-D map: map points carrying instance labels (the paper's
+// key extension of VO — Section III-A "Once a 3-D point is created, edgeIS
+// annotates it according to its corresponding features"), keyframes, and
+// the memory-bounded point store with the clearing algorithm referenced in
+// Section VI-F ("Through the additional clearing algorithm, the system can
+// periodically clear the data of low utilization").
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "features/feature.hpp"
+#include "geometry/se3.hpp"
+#include "geometry/vec.hpp"
+#include "mask/mask.hpp"
+
+namespace edgeis::vo {
+
+struct MapPoint {
+  int id = 0;
+  geom::Vec3 position;           // stored (creation-time) world position
+  feat::Descriptor descriptor;   // representative descriptor
+  int class_id = 0;              // semantic label (0 = background)
+  int object_instance = 0;       // instance id (0 = background)
+  bool annotated = false;        // covered by an accurate edge mask yet?
+  bool near_contour = false;     // within the contour band of its mask
+  int observations = 0;          // times matched since creation
+  int created_frame = 0;
+  int last_seen_frame = 0;
+
+  /// Utility score for the clearing algorithm: frequently observed and
+  /// recently seen points are retained; contour points get a bonus because
+  /// mask transfer depends on them.
+  [[nodiscard]] double utility(int current_frame) const {
+    const double recency =
+        1.0 / (1.0 + 0.05 * static_cast<double>(current_frame - last_seen_frame));
+    const double usage = static_cast<double>(observations);
+    return usage * recency + (near_contour ? 2.0 : 0.0);
+  }
+};
+
+struct Keyframe {
+  int frame_index = 0;
+  geom::SE3 t_cw;
+  std::vector<feat::Feature> features;
+  // features[i] observes map point point_ids[i] (or -1).
+  std::vector<int> point_ids;
+  // Accurate masks from the edge, if this keyframe has been annotated.
+  std::vector<mask::InstanceMask> masks;
+  bool has_masks = false;
+  // Snapshot of each object's displacement at keyframe time, so mask
+  // transfer can compose "motion since this keyframe" for dynamic objects.
+  std::unordered_map<int, geom::SE3> object_displacements;
+};
+
+/// Per-object bookkeeping for dynamic-object tracking (Section III-B).
+struct ObjectTrack {
+  int instance_id = 0;
+  int class_id = 0;
+  // Displacement from the object's creation-time configuration:
+  // current world position of stored point p is displacement * p.
+  geom::SE3 displacement = geom::SE3::identity();
+  bool currently_tracked = false;
+  bool is_moving = false;
+  int moving_streak = 0;  // consecutive displacement exceedances
+  int point_count = 0;
+  int last_pose_update_frame = -1;
+  // Displacement at the last transmission to the edge (for the CFRS
+  // object-motion trigger).
+  geom::SE3 displacement_at_last_tx = geom::SE3::identity();
+};
+
+/// Approximate bytes a stored map point costs on the device (position,
+/// descriptor, bookkeeping) — drives the Fig. 15 memory model.
+inline constexpr std::size_t kMapPointBytes = 96;
+/// Approximate per-feature keyframe storage cost.
+inline constexpr std::size_t kKeyframeFeatureBytes = 48;
+
+class Map {
+ public:
+  int add_point(MapPoint point);
+  /// Remove a point (no-op when absent); keeps object point counts in sync.
+  void remove_point(int id);
+  [[nodiscard]] MapPoint* find(int id);
+  [[nodiscard]] const MapPoint* find(int id) const;
+
+  [[nodiscard]] std::vector<MapPoint*> all_points();
+  [[nodiscard]] std::vector<const MapPoint*> all_points() const;
+  [[nodiscard]] std::size_t point_count() const { return points_.size(); }
+
+  void add_keyframe(Keyframe kf);
+  [[nodiscard]] std::vector<Keyframe>& keyframes() { return keyframes_; }
+  [[nodiscard]] const std::vector<Keyframe>& keyframes() const {
+    return keyframes_;
+  }
+  [[nodiscard]] Keyframe* keyframe_by_index(int frame_index);
+
+  [[nodiscard]] std::unordered_map<int, ObjectTrack>& objects() {
+    return objects_;
+  }
+  [[nodiscard]] const std::unordered_map<int, ObjectTrack>& objects() const {
+    return objects_;
+  }
+  ObjectTrack& object(int instance_id);
+
+  /// Estimated device-side memory footprint of the map (bytes).
+  [[nodiscard]] std::size_t memory_bytes() const;
+
+  /// Clearing algorithm: while above `budget_bytes`, drop the lowest-
+  /// utility points and the oldest mask-less keyframes. Returns the number
+  /// of points removed.
+  std::size_t enforce_memory_budget(std::size_t budget_bytes,
+                                    int current_frame);
+
+ private:
+  std::unordered_map<int, MapPoint> points_;
+  std::vector<Keyframe> keyframes_;
+  std::unordered_map<int, ObjectTrack> objects_;
+  int next_point_id_ = 1;
+};
+
+}  // namespace edgeis::vo

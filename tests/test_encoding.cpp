@@ -1,0 +1,140 @@
+// Tests for tile-level encoding and the CFRS / baseline policies.
+#include <gtest/gtest.h>
+
+#include "encoding/tiles.hpp"
+
+using namespace edgeis;
+using namespace edgeis::enc;
+
+namespace {
+
+mask::InstanceMask centered_square(int w, int h, int half) {
+  mask::InstanceMask m(w, h);
+  for (int y = h / 2 - half; y < h / 2 + half; ++y) {
+    for (int x = w / 2 - half; x < w / 2 + half; ++x) m.set(x, y);
+  }
+  m.instance_id = 1;
+  m.class_id = 1;
+  return m;
+}
+
+}  // namespace
+
+TEST(TileModel, BytesMonotoneInLevel) {
+  const int px = 64 * 64;
+  EXPECT_LT(tile_bytes(CompressionLevel::kLow, px),
+            tile_bytes(CompressionLevel::kMedium, px));
+  EXPECT_LT(tile_bytes(CompressionLevel::kMedium, px),
+            tile_bytes(CompressionLevel::kHigh, px));
+  EXPECT_LT(tile_bytes(CompressionLevel::kHigh, px),
+            tile_bytes(CompressionLevel::kLossless, px));
+}
+
+TEST(TileModel, QualityMonotoneInLevel) {
+  EXPECT_LT(tile_quality(CompressionLevel::kLow),
+            tile_quality(CompressionLevel::kMedium));
+  EXPECT_LT(tile_quality(CompressionLevel::kMedium),
+            tile_quality(CompressionLevel::kHigh));
+  EXPECT_DOUBLE_EQ(tile_quality(CompressionLevel::kLossless), 1.0);
+}
+
+TEST(Cfrs, ClassifiesContourBandLossless) {
+  const auto mask = centered_square(640, 480, 80);
+  const auto encoded = encode_cfrs(0, 640, 480, {mask}, {});
+  int lossless = 0, high = 0, low = 0;
+  for (const auto& t : encoded.tiles) {
+    switch (t.level) {
+      case CompressionLevel::kLossless: ++lossless; break;
+      case CompressionLevel::kHigh: ++high; break;
+      case CompressionLevel::kLow: ++low; break;
+      default: break;
+    }
+  }
+  EXPECT_GT(lossless, 0);  // contour band exists
+  EXPECT_GT(low, lossless);  // most of the frame is background
+  // The mask is 160x160 with 64px tiles: interior high tiles may or may not
+  // exist depending on alignment; the band must dominate the object area.
+  EXPECT_GE(lossless + high, 4);
+}
+
+TEST(Cfrs, FewerBytesThanUniformHigh) {
+  const auto mask = centered_square(640, 480, 80);
+  const auto cfrs = encode_cfrs(0, 640, 480, {mask}, {});
+  const auto uniform =
+      encode_uniform(0, 640, 480, CompressionLevel::kHigh);
+  EXPECT_LT(cfrs.total_bytes, uniform.total_bytes);
+  // ...while keeping object content at comparable quality.
+  EXPECT_GE(cfrs.content_quality, 0.9);
+}
+
+TEST(Cfrs, NewAreasGetHighQuality) {
+  const std::vector<mask::Box> areas = {{0, 0, 128, 128}};
+  const auto encoded = encode_cfrs(0, 640, 480, {}, areas);
+  for (const auto& t : encoded.tiles) {
+    const mask::Box tb{t.col * 64, t.row * 64, (t.col + 1) * 64,
+                       (t.row + 1) * 64};
+    if (!tb.intersect(areas[0]).empty()) {
+      EXPECT_EQ(t.cls, TileClass::kNewArea);
+      EXPECT_EQ(t.level, CompressionLevel::kHigh);
+    }
+  }
+}
+
+TEST(EdgeDuetPolicy, SmallObjectsPrioritized) {
+  const mask::Box small_box{100, 100, 140, 140};    // 40x40 < 64x64
+  const mask::Box large_box{300, 100, 560, 360};    // 260x260
+  const auto encoded =
+      encode_edgeduet(0, 640, 480, {small_box, large_box});
+  bool small_lossless = false, large_medium = false;
+  for (const auto& t : encoded.tiles) {
+    const mask::Box tb{t.col * 64, t.row * 64, (t.col + 1) * 64,
+                       (t.row + 1) * 64};
+    if (!tb.intersect(small_box).empty() &&
+        t.level == CompressionLevel::kLossless) {
+      small_lossless = true;
+    }
+    if (!tb.intersect(large_box).empty() && tb.intersect(small_box).empty() &&
+        t.level == CompressionLevel::kMedium) {
+      large_medium = true;
+    }
+  }
+  EXPECT_TRUE(small_lossless);
+  EXPECT_TRUE(large_medium);
+}
+
+TEST(EaarPolicy, RoiHighBackgroundMedium) {
+  const mask::Box roi{200, 150, 400, 350};
+  const auto encoded = encode_eaar(0, 640, 480, {roi});
+  std::size_t high = 0, medium = 0;
+  for (const auto& t : encoded.tiles) {
+    if (t.level == CompressionLevel::kHigh) ++high;
+    if (t.level == CompressionLevel::kMedium) ++medium;
+  }
+  EXPECT_GT(high, 0u);
+  EXPECT_GT(medium, high);  // background majority at medium
+  // EAAR's coarser selection caps its critical-content quality below what
+  // CFRS affords the contour band.
+  const auto cfrs = encode_cfrs(0, 640, 480,
+                                {centered_square(640, 480, 100)}, {});
+  EXPECT_LT(encoded.content_quality, cfrs.content_quality);
+}
+
+TEST(Uniform, CoversWholeFrame) {
+  const auto encoded = encode_uniform(3, 640, 480, CompressionLevel::kHigh);
+  EXPECT_EQ(encoded.tiles.size(), 10u * 8u);
+  EXPECT_EQ(encoded.frame_index, 3);
+  EXPECT_DOUBLE_EQ(encoded.content_quality,
+                   tile_quality(CompressionLevel::kHigh));
+}
+
+TEST(Encoded, TotalBytesIsSumOfTiles) {
+  const auto mask = centered_square(640, 480, 60);
+  const auto encoded = encode_cfrs(0, 640, 480, {mask}, {});
+  std::size_t sum = 0;
+  for (const auto& t : encoded.tiles) {
+    const int w = std::min(640, (t.col + 1) * 64) - t.col * 64;
+    const int h = std::min(480, (t.row + 1) * 64) - t.row * 64;
+    sum += tile_bytes(t.level, w * h);
+  }
+  EXPECT_EQ(encoded.total_bytes, sum);
+}

@@ -1,0 +1,88 @@
+// Tests for the evaluation metrics.
+#include <gtest/gtest.h>
+
+#include "eval/metrics.hpp"
+
+using namespace edgeis;
+using namespace edgeis::eval;
+
+namespace {
+
+mask::InstanceMask rect(int w, int h, mask::Box b, int instance, int cls = 1) {
+  mask::InstanceMask m(w, h);
+  for (int y = b.y0; y < b.y1; ++y) {
+    for (int x = b.x0; x < b.x1; ++x) m.set(x, y);
+  }
+  m.instance_id = instance;
+  m.class_id = cls;
+  return m;
+}
+
+}  // namespace
+
+TEST(ScoreFrame, MatchesByInstanceId) {
+  const auto gt = rect(200, 200, {50, 50, 150, 150}, 1);
+  const auto pred = rect(200, 200, {50, 50, 150, 150}, 1);
+  const auto score = score_frame(0, {pred}, {gt}, 10.0, 0);
+  ASSERT_EQ(score.objects.size(), 1u);
+  EXPECT_DOUBLE_EQ(score.objects[0].iou, 1.0);
+  EXPECT_TRUE(score.objects[0].predicted);
+}
+
+TEST(ScoreFrame, MissingPredictionScoresZero) {
+  const auto gt = rect(200, 200, {50, 50, 150, 150}, 1);
+  const auto score = score_frame(0, {}, {gt}, 10.0, 0);
+  ASSERT_EQ(score.objects.size(), 1u);
+  EXPECT_DOUBLE_EQ(score.objects[0].iou, 0.0);
+  EXPECT_FALSE(score.objects[0].predicted);
+}
+
+TEST(ScoreFrame, TinyGroundTruthSkipped) {
+  const auto sliver = rect(200, 200, {0, 0, 10, 10}, 1);  // 100 px
+  const auto score = score_frame(0, {}, {sliver}, 10.0);
+  EXPECT_TRUE(score.objects.empty());
+}
+
+TEST(ScoreFrame, WrongInstanceDoesNotMatch) {
+  const auto gt = rect(200, 200, {50, 50, 150, 150}, 1);
+  const auto pred = rect(200, 200, {50, 50, 150, 150}, 2);
+  const auto score = score_frame(0, {pred}, {gt}, 10.0, 0);
+  EXPECT_DOUBLE_EQ(score.objects[0].iou, 0.0);
+}
+
+TEST(Evaluator, SummaryAggregates) {
+  Evaluator ev;
+  const auto gt = rect(200, 200, {50, 50, 150, 150}, 1);
+  // Three frames: perfect, half-overlapping, missing.
+  ev.add(score_frame(0, {rect(200, 200, {50, 50, 150, 150}, 1)}, {gt}, 20.0, 0));
+  ev.add(score_frame(1, {rect(200, 200, {100, 50, 200, 150}, 1)}, {gt}, 30.0, 0));
+  ev.add(score_frame(2, {}, {gt}, 40.0, 0));
+  const Summary s = ev.summarize();
+  EXPECT_EQ(s.frames, 3);
+  EXPECT_EQ(s.object_frames, 3);
+  // IoUs: 1.0, 1/3, 0.0.
+  EXPECT_NEAR(s.mean_iou, (1.0 + 1.0 / 3.0 + 0.0) / 3.0, 1e-9);
+  EXPECT_NEAR(s.false_rate_strict, 2.0 / 3.0, 1e-9);  // < 0.75: two of three
+  EXPECT_NEAR(s.false_rate_loose, 2.0 / 3.0, 1e-9);   // < 0.5: two of three
+  EXPECT_NEAR(s.mean_latency_ms, 30.0, 1e-9);
+}
+
+TEST(Evaluator, CdfMonotone) {
+  Evaluator ev;
+  const auto gt = rect(100, 100, {10, 10, 90, 90}, 1);
+  for (int i = 0; i < 20; ++i) {
+    const int shift = i;
+    ev.add(score_frame(
+        i, {rect(100, 100, {10 + shift, 10, 90, 90}, 1)}, {gt}, 5.0, 0));
+  }
+  const auto cdf = ev.iou_cdf(20);
+  for (std::size_t i = 1; i < cdf.size(); ++i) {
+    EXPECT_GE(cdf[i].second, cdf[i - 1].second);
+  }
+}
+
+TEST(Format, HelpersProduceReadableStrings) {
+  EXPECT_EQ(fmt(0.923, 2), "0.92");
+  EXPECT_EQ(fmt_percent(0.039), "3.9%");
+  EXPECT_EQ(fmt_percent(0.5, 0), "50%");
+}

@@ -1,0 +1,329 @@
+// Unit tests for the geometry stack: linear algebra, SO3/SE3, camera,
+// epipolar estimation, triangulation and PnP.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "geometry/camera.hpp"
+#include "geometry/epipolar.hpp"
+#include "geometry/linalg.hpp"
+#include "geometry/pnp.hpp"
+#include "geometry/se3.hpp"
+#include "geometry/vec.hpp"
+#include "runtime/rng.hpp"
+
+using namespace edgeis::geom;
+namespace rt = edgeis::rt;
+
+namespace {
+
+PinholeCamera test_camera() {
+  PinholeCamera cam;
+  cam.fx = cam.fy = 520.0;
+  cam.cx = 320.0;
+  cam.cy = 240.0;
+  cam.width = 640;
+  cam.height = 480;
+  return cam;
+}
+
+}  // namespace
+
+TEST(Vec3, CrossAndDot) {
+  const Vec3 x{1, 0, 0}, y{0, 1, 0};
+  const Vec3 z = x.cross(y);
+  EXPECT_DOUBLE_EQ(z.z, 1.0);
+  EXPECT_DOUBLE_EQ(x.dot(y), 0.0);
+  EXPECT_DOUBLE_EQ(z.dot(z), 1.0);
+}
+
+TEST(Mat3, InverseRoundTrip) {
+  Mat3 m;
+  m.m = {2, 1, 0, 1, 3, 1, 0, 1, 4};
+  const Mat3 id = m * m.inverse();
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 3; ++j) {
+      EXPECT_NEAR(id(i, j), i == j ? 1.0 : 0.0, 1e-12);
+    }
+  }
+}
+
+TEST(Mat3, HatVeeCross) {
+  const Vec3 v{0.3, -0.7, 1.1}, w{2.0, 0.5, -0.4};
+  const Vec3 a = Mat3::hat(v) * w;
+  const Vec3 b = v.cross(w);
+  EXPECT_NEAR(a.x, b.x, 1e-14);
+  EXPECT_NEAR(a.y, b.y, 1e-14);
+  EXPECT_NEAR(a.z, b.z, 1e-14);
+}
+
+TEST(So3, ExpLogRoundTrip) {
+  for (const Vec3 w : {Vec3{0.1, 0.2, 0.3}, Vec3{1.5, -0.7, 0.2},
+                       Vec3{0, 0, 1e-9}, Vec3{3.0, 0.0, 0.0}}) {
+    const Mat3 r = so3_exp(w);
+    const Vec3 w2 = so3_log(r);
+    EXPECT_NEAR((w - w2).norm(), 0.0, 1e-8) << "w=(" << w.x << "," << w.y
+                                             << "," << w.z << ")";
+  }
+}
+
+TEST(So3, ExpIsRotation) {
+  const Mat3 r = so3_exp({0.4, -1.2, 0.9});
+  EXPECT_NEAR(r.det(), 1.0, 1e-12);
+  const Mat3 rtr = r.transpose() * r;
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_NEAR(rtr(i, i), 1.0, 1e-12);
+  }
+}
+
+TEST(Se3, InverseComposesToIdentity) {
+  const SE3 t{so3_exp({0.2, 0.1, -0.3}), Vec3{1, -2, 3}};
+  const SE3 id = t * t.inverse();
+  EXPECT_NEAR(so3_log(id.R).norm(), 0.0, 1e-12);
+  EXPECT_NEAR(id.t.norm(), 0.0, 1e-12);
+}
+
+TEST(Se3, TransformPoint) {
+  const SE3 t{so3_exp({0, 0, M_PI / 2}), Vec3{1, 0, 0}};
+  const Vec3 p = t * Vec3{1, 0, 0};
+  EXPECT_NEAR(p.x, 1.0, 1e-12);
+  EXPECT_NEAR(p.y, 1.0, 1e-12);
+}
+
+TEST(Camera, ProjectUnprojectRoundTrip) {
+  const PinholeCamera cam = test_camera();
+  const Vec3 p{0.5, -0.3, 4.0};
+  const auto px = cam.project(p);
+  ASSERT_TRUE(px.has_value());
+  const Vec3 back = cam.unproject_depth(*px, 4.0);
+  EXPECT_NEAR((back - p).norm(), 0.0, 1e-12);
+}
+
+TEST(Camera, BehindCameraRejected) {
+  const PinholeCamera cam = test_camera();
+  EXPECT_FALSE(cam.project({0, 0, -1}).has_value());
+  EXPECT_FALSE(cam.project({0, 0, 0}).has_value());
+}
+
+TEST(Camera, InImageBorders) {
+  const PinholeCamera cam = test_camera();
+  EXPECT_TRUE(cam.in_image({0, 0}));
+  EXPECT_FALSE(cam.in_image({640, 100}));
+  EXPECT_FALSE(cam.in_image({10, 10}, 16.0));
+}
+
+TEST(Linalg, SolveLinearKnownSystem) {
+  MatX a(2, 2);
+  a(0, 0) = 2;
+  a(0, 1) = 1;
+  a(1, 0) = 1;
+  a(1, 1) = 3;
+  std::vector<double> x;
+  ASSERT_TRUE(solve_linear(a, {5, 10}, x));
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(Linalg, SolveSingularFails) {
+  MatX a(2, 2);
+  a(0, 0) = 1;
+  a(0, 1) = 2;
+  a(1, 0) = 2;
+  a(1, 1) = 4;
+  std::vector<double> x;
+  EXPECT_FALSE(solve_linear(a, {1, 2}, x));
+}
+
+TEST(Linalg, SymmetricEigenDiagonal) {
+  MatX a(3, 3);
+  a(0, 0) = 3;
+  a(1, 1) = 1;
+  a(2, 2) = 2;
+  const auto e = symmetric_eigen(a);
+  EXPECT_NEAR(e.values[0], 1.0, 1e-10);
+  EXPECT_NEAR(e.values[1], 2.0, 1e-10);
+  EXPECT_NEAR(e.values[2], 3.0, 1e-10);
+}
+
+TEST(Linalg, Svd3ReconstructsInput) {
+  Mat3 m;
+  m.m = {1.0, 0.4, -0.2, 0.3, 2.0, 0.1, -0.5, 0.2, 0.7};
+  const Svd3 svd = svd3(m);
+  Mat3 s = Mat3::zero();
+  s(0, 0) = svd.sigma.x;
+  s(1, 1) = svd.sigma.y;
+  s(2, 2) = svd.sigma.z;
+  const Mat3 recon = svd.u * s * svd.v.transpose();
+  for (int i = 0; i < 9; ++i) {
+    EXPECT_NEAR(recon.m[i], m.m[i], 1e-8);
+  }
+  EXPECT_GE(svd.sigma.x, svd.sigma.y);
+  EXPECT_GE(svd.sigma.y, svd.sigma.z);
+}
+
+TEST(Linalg, Svd3RankDeficient) {
+  // Rank-2 matrix (third row = first row).
+  Mat3 m;
+  m.m = {1, 2, 3, 4, 5, 6, 1, 2, 3};
+  const Svd3 svd = svd3(m);
+  EXPECT_NEAR(svd.sigma.z, 0.0, 1e-8);
+  // U must still be orthonormal.
+  const Mat3 utu = svd.u.transpose() * svd.u;
+  for (int i = 0; i < 3; ++i) EXPECT_NEAR(utu(i, i), 1.0, 1e-8);
+}
+
+namespace {
+
+struct EpipolarFixture {
+  PinholeCamera cam = test_camera();
+  SE3 t_10{so3_exp({0.02, 0.05, -0.01}), Vec3{0.25, 0.05, 0.02}};
+  std::vector<PixelMatch> matches;
+  std::vector<Vec3> points;
+
+  explicit EpipolarFixture(int n = 80, double noise_px = 0.0,
+                           std::uint64_t seed = 7) {
+    rt::Rng rng(seed);
+    while (static_cast<int>(matches.size()) < n) {
+      const Vec3 p{rng.uniform(-3, 3), rng.uniform(-2, 2), rng.uniform(3, 9)};
+      const auto p0 = cam.project(p);
+      const auto p1 = cam.project(t_10 * p);
+      if (!p0 || !p1 || !cam.in_image(*p0) || !cam.in_image(*p1)) continue;
+      Vec2 a = *p0, b = *p1;
+      if (noise_px > 0) {
+        a += {rng.normal(0, noise_px), rng.normal(0, noise_px)};
+        b += {rng.normal(0, noise_px), rng.normal(0, noise_px)};
+      }
+      matches.push_back({a, b});
+      points.push_back(p);
+    }
+  }
+};
+
+}  // namespace
+
+TEST(Epipolar, FundamentalSatisfiesConstraint) {
+  EpipolarFixture fx;
+  const auto f = estimate_fundamental(fx.matches);
+  ASSERT_TRUE(f.has_value());
+  for (const auto& m : fx.matches) {
+    EXPECT_LT(sampson_distance(*f, m), 1e-10);
+  }
+}
+
+TEST(Epipolar, TooFewMatchesRejected) {
+  EpipolarFixture fx(7);
+  EXPECT_FALSE(estimate_fundamental(fx.matches).has_value());
+}
+
+TEST(Epipolar, RecoverPoseMatchesGroundTruth) {
+  EpipolarFixture fx;
+  const auto f = estimate_fundamental(fx.matches);
+  ASSERT_TRUE(f.has_value());
+  const Mat3 e = essential_from_fundamental(*f, fx.cam.k_matrix());
+  const auto pose = recover_pose(e, fx.cam, fx.matches);
+  ASSERT_TRUE(pose.has_value());
+  EXPECT_EQ(pose->good_count, static_cast<int>(fx.matches.size()));
+  const double rot_err =
+      so3_log(pose->t_10.R.transpose() * fx.t_10.R).norm();
+  EXPECT_LT(rot_err, 1e-6);
+  EXPECT_GT(pose->t_10.t.normalized().dot(fx.t_10.t.normalized()), 0.9999);
+}
+
+TEST(Epipolar, RansacRejectsOutliers) {
+  EpipolarFixture fx(100, 0.0, 11);
+  // Corrupt 30% of the matches.
+  rt::Rng rng(23);
+  for (std::size_t i = 0; i < fx.matches.size(); i += 3) {
+    fx.matches[i].p1 += {rng.uniform(20, 60), rng.uniform(20, 60)};
+  }
+  const auto res = estimate_fundamental_ransac(fx.matches, rng, 300, 2.0);
+  ASSERT_TRUE(res.has_value());
+  // Most clean matches should be inliers, corrupted ones excluded.
+  int corrupted_inliers = 0;
+  for (std::size_t i = 0; i < fx.matches.size(); i += 3) {
+    if (res->inliers[i]) ++corrupted_inliers;
+  }
+  EXPECT_LT(corrupted_inliers, 4);
+  EXPECT_GT(res->inlier_count, 55);
+}
+
+TEST(Epipolar, TriangulateRecoverPoint) {
+  const PinholeCamera cam = test_camera();
+  const SE3 t0 = SE3::identity();
+  const SE3 t1{so3_exp({0, 0.03, 0}), Vec3{0.4, 0, 0}};
+  const Vec3 p{0.5, -0.2, 5.0};
+  const auto px0 = cam.project(t0 * p);
+  const auto px1 = cam.project(t1 * p);
+  ASSERT_TRUE(px0 && px1);
+  const auto rec = triangulate(cam, t0, t1, *px0, *px1);
+  ASSERT_TRUE(rec.has_value());
+  EXPECT_NEAR((*rec - p).norm(), 0.0, 1e-6);
+}
+
+TEST(Epipolar, TriangulateRejectsNoParallax) {
+  const PinholeCamera cam = test_camera();
+  const SE3 t0 = SE3::identity();
+  // Pure rotation: no parallax at all.
+  const SE3 t1{so3_exp({0, 0.05, 0}), Vec3{0, 0, 0}};
+  const Vec3 p{0.5, -0.2, 5.0};
+  const auto px0 = cam.project(t0 * p);
+  const auto px1 = cam.project(t1 * p);
+  ASSERT_TRUE(px0 && px1);
+  EXPECT_FALSE(triangulate(cam, t0, t1, *px0, *px1).has_value());
+}
+
+TEST(Pnp, ConvergesFromPerturbedGuess) {
+  const PinholeCamera cam = test_camera();
+  const SE3 t_cw{so3_exp({0.1, -0.2, 0.05}), Vec3{0.5, -0.2, 0.3}};
+  rt::Rng rng(3);
+  std::vector<PnpCorrespondence> corrs;
+  while (corrs.size() < 40) {
+    const Vec3 p{rng.uniform(-3, 3), rng.uniform(-2, 2), rng.uniform(3, 9)};
+    const auto px = cam.project(t_cw * p);
+    if (!px || !cam.in_image(*px)) continue;
+    corrs.push_back({p, *px});
+  }
+  SE3 guess = t_cw;
+  guess.update_left({0.05, -0.03, 0.02}, {0.2, 0.1, -0.15});
+  const auto res = solve_pnp(cam, corrs, guess);
+  ASSERT_TRUE(res.has_value());
+  EXPECT_EQ(res->inlier_count, 40);
+  EXPECT_LT(so3_log(res->t_cw.R.transpose() * t_cw.R).norm(), 1e-5);
+  EXPECT_LT((res->t_cw.t - t_cw.t).norm(), 1e-4);
+}
+
+TEST(Pnp, RobustToOutliers) {
+  const PinholeCamera cam = test_camera();
+  const SE3 t_cw{so3_exp({0.05, 0.02, 0.0}), Vec3{0.1, 0.0, 0.2}};
+  rt::Rng rng(5);
+  std::vector<PnpCorrespondence> corrs;
+  while (corrs.size() < 50) {
+    const Vec3 p{rng.uniform(-3, 3), rng.uniform(-2, 2), rng.uniform(3, 9)};
+    const auto px = cam.project(t_cw * p);
+    if (!px || !cam.in_image(*px)) continue;
+    corrs.push_back({p, *px});
+  }
+  // 10% gross outliers.
+  for (std::size_t i = 0; i < corrs.size(); i += 10) {
+    corrs[i].pixel += {80.0, -60.0};
+  }
+  const auto res = solve_pnp(cam, corrs, t_cw);
+  ASSERT_TRUE(res.has_value());
+  EXPECT_LT(so3_log(res->t_cw.R.transpose() * t_cw.R).norm(), 1e-3);
+  EXPECT_LE(res->inlier_count, 46);  // outliers classified out
+  EXPECT_GE(res->inlier_count, 43);
+}
+
+TEST(Pnp, TooFewCorrespondencesRejected) {
+  const PinholeCamera cam = test_camera();
+  std::vector<PnpCorrespondence> corrs(2);
+  EXPECT_FALSE(solve_pnp(cam, corrs, SE3::identity()).has_value());
+}
+
+TEST(ParallaxDeg, RightAngleGeometry) {
+  // Camera centers at (-1,0,0) and (1,0,0) via t = -R c with R = I.
+  const SE3 t0{Mat3::identity(), Vec3{1, 0, 0}};
+  const SE3 t1{Mat3::identity(), Vec3{-1, 0, 0}};
+  // Point at origin-ish in front: subtends 90 degrees at (0,0,1).
+  EXPECT_NEAR(parallax_deg({0, 0, 1}, t0, t1), 90.0, 1e-9);
+}

@@ -1,0 +1,110 @@
+// Unit tests for the image container and filters.
+#include <gtest/gtest.h>
+
+#include "image/image.hpp"
+
+using namespace edgeis::img;
+
+TEST(Image, ConstructAndAccess) {
+  GrayImage im(10, 8, 42);
+  EXPECT_EQ(im.width(), 10);
+  EXPECT_EQ(im.height(), 8);
+  EXPECT_EQ(im.at(3, 4), 42);
+  im.at(3, 4) = 7;
+  EXPECT_EQ(im.at(3, 4), 7);
+}
+
+TEST(Image, ClampedReads) {
+  GrayImage im(4, 4, 0);
+  im.at(0, 0) = 11;
+  im.at(3, 3) = 22;
+  EXPECT_EQ(im.at_clamped(-5, -5), 11);
+  EXPECT_EQ(im.at_clamped(100, 100), 22);
+}
+
+TEST(Image, Contains) {
+  GrayImage im(4, 4);
+  EXPECT_TRUE(im.contains(0, 0));
+  EXPECT_TRUE(im.contains(3, 3));
+  EXPECT_FALSE(im.contains(4, 0));
+  EXPECT_FALSE(im.contains(0, -1));
+}
+
+TEST(Image, BilinearInterpolation) {
+  GrayImage im(2, 2);
+  im.at(0, 0) = 0;
+  im.at(1, 0) = 100;
+  im.at(0, 1) = 0;
+  im.at(1, 1) = 100;
+  EXPECT_NEAR(im.sample_bilinear(0.5, 0.5), 50.0, 1e-9);
+  EXPECT_NEAR(im.sample_bilinear(0.0, 0.0), 0.0, 1e-9);
+  EXPECT_NEAR(im.sample_bilinear(1.0, 0.5), 100.0, 1e-9);
+}
+
+TEST(Filters, BoxBlurPreservesConstant) {
+  GrayImage im(16, 16, 77);
+  const GrayImage out = box_blur3(im);
+  for (int y = 0; y < 16; ++y) {
+    for (int x = 0; x < 16; ++x) {
+      EXPECT_EQ(out.at(x, y), 77);
+    }
+  }
+}
+
+TEST(Filters, BoxBlurSmoothsImpulse) {
+  GrayImage im(9, 9, 0);
+  im.at(4, 4) = 255;
+  const GrayImage out = box_blur3(im);
+  EXPECT_EQ(out.at(4, 4), 255 / 9);
+  EXPECT_EQ(out.at(3, 4), 255 / 9);
+  EXPECT_EQ(out.at(0, 0), 0);
+}
+
+TEST(Filters, Downsample2Halves) {
+  GrayImage im(8, 6, 10);
+  const GrayImage out = downsample2(im);
+  EXPECT_EQ(out.width(), 4);
+  EXPECT_EQ(out.height(), 3);
+  EXPECT_EQ(out.at(1, 1), 10);
+}
+
+TEST(Filters, PyramidLevels) {
+  GrayImage im(64, 64, 5);
+  const auto pyr = build_pyramid(im, 3);
+  ASSERT_EQ(pyr.size(), 3u);
+  EXPECT_EQ(pyr[0].width(), 64);
+  EXPECT_EQ(pyr[1].width(), 32);
+  EXPECT_EQ(pyr[2].width(), 16);
+}
+
+TEST(Filters, PyramidStopsAtMinSize) {
+  GrayImage im(20, 20, 5);
+  const auto pyr = build_pyramid(im, 6);
+  // 20 -> 10 (below 16: stop after it).
+  EXPECT_LE(pyr.size(), 2u);
+}
+
+TEST(Filters, SobelDetectsEdge) {
+  GrayImage im(16, 16, 0);
+  for (int y = 0; y < 16; ++y) {
+    for (int x = 8; x < 16; ++x) im.at(x, y) = 200;
+  }
+  const GrayImage grad = sobel_magnitude(im);
+  EXPECT_GT(grad.at(8, 8), 100);   // on the edge
+  EXPECT_EQ(grad.at(3, 8), 0);     // flat region
+  EXPECT_EQ(grad.at(13, 8), 0);
+}
+
+TEST(Filters, LocalSharpnessRanksTexture) {
+  GrayImage flat(32, 32, 100);
+  GrayImage busy(32, 32, 0);
+  for (int y = 0; y < 32; ++y) {
+    for (int x = 0; x < 32; ++x) {
+      busy.at(x, y) = ((x / 2 + y / 2) % 2) ? 200 : 20;
+    }
+  }
+  const auto gflat = sobel_magnitude(flat);
+  const auto gbusy = sobel_magnitude(busy);
+  EXPECT_LT(local_sharpness(gflat, 16, 16), 1.0);
+  EXPECT_GT(local_sharpness(gbusy, 16, 16), 20.0);
+}

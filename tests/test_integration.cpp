@@ -1,0 +1,226 @@
+// Integration tests: full pipelines over short rendered scenes. These are
+// the most expensive tests in the suite; scenes are kept short.
+#include <gtest/gtest.h>
+
+#include "core/baselines.hpp"
+#include "core/edge_server.hpp"
+#include "core/edgeis_pipeline.hpp"
+#include "core/local_trackers.hpp"
+#include "core/render_queue.hpp"
+#include "scene/presets.hpp"
+
+using namespace edgeis;
+using namespace edgeis::core;
+
+TEST(RenderQueue, NoLagUnderBudget) {
+  RenderQueue q(30.0);
+  for (int i = 0; i < 10; ++i) {
+    std::vector<mask::InstanceMask> masks(1);
+    masks[0].instance_id = i;
+    const auto& rendered = q.push_and_render(i, std::move(masks), 20.0);
+    ASSERT_EQ(rendered.size(), 1u);
+    EXPECT_EQ(rendered[0].instance_id, i);  // fresh masks every frame
+  }
+  EXPECT_EQ(q.lag_frames(), 0);
+}
+
+TEST(RenderQueue, OverBudgetLagsButSaturates) {
+  RenderQueue q(30.0, 64, 4);
+  int max_lag = 0;
+  for (int i = 0; i < 60; ++i) {
+    std::vector<mask::InstanceMask> masks(1);
+    masks[0].instance_id = i;
+    const auto& rendered = q.push_and_render(i, std::move(masks), 55.0);
+    if (!rendered.empty()) {
+      max_lag = std::max(max_lag, i - rendered[0].instance_id);
+    }
+  }
+  EXPECT_GT(max_lag, 0);   // running behind
+  EXPECT_LE(max_lag, 5);   // but frame-skipping bounds the staleness
+}
+
+TEST(EdgeServer, FifoQueueing) {
+  EdgeServer server(segnet::mask_rcnn_profile(), sim::jetson_tx2(),
+                    rt::Rng(3));
+  segnet::InferenceRequest req;
+  req.width = 320;
+  req.height = 240;
+  server.submit(1, 0.0, req);
+  server.submit(2, 1.0, req);  // arrives while busy: queued
+  auto all = server.poll(1e18);
+  ASSERT_EQ(all.size(), 2u);
+  EXPECT_EQ(all[0].frame_index, 1);
+  EXPECT_GT(all[1].ready_ms, all[0].ready_ms);
+  // Second request waited for the first: total >= 2x single inference.
+  EXPECT_GT(all[1].ready_ms, 2.0 * (all[0].ready_ms - 0.0) * 0.9);
+}
+
+TEST(EdgeServer, PollRespectsTime) {
+  EdgeServer server(segnet::yolov3_profile(), sim::jetson_tx2(), rt::Rng(5));
+  segnet::InferenceRequest req;
+  req.width = 320;
+  req.height = 240;
+  server.submit(7, 0.0, req);
+  EXPECT_EQ(server.pending(0.0), 1);
+  EXPECT_TRUE(server.poll(0.1).empty());
+  const auto done = server.poll(1e6);
+  ASSERT_EQ(done.size(), 1u);
+  EXPECT_EQ(done[0].frame_index, 7);
+}
+
+TEST(LocalTrackers, TranslateMaskClips) {
+  mask::InstanceMask m(20, 20);
+  m.set(18, 18);
+  m.set(1, 1);
+  const auto t = translate_mask(m, 5, 5);
+  EXPECT_TRUE(t.get(6, 6));
+  EXPECT_EQ(t.pixel_count(), 1);  // (18,18) shifted out of frame
+}
+
+TEST(LocalTrackers, CorrelationFindsShift) {
+  // Structured random texture, shifted by a known amount.
+  rt::Rng rng(7);
+  img::GrayImage prev(160, 120);
+  for (int y = 0; y < 120; ++y) {
+    for (int x = 0; x < 160; ++x) {
+      prev.at(x, y) = static_cast<std::uint8_t>(
+          40 + 60 * (((x / 8) + (y / 8)) % 2) + rng.uniform_int(60));
+    }
+  }
+  img::GrayImage curr(160, 120);
+  const int dx = 6, dy = -4;
+  for (int y = 0; y < 120; ++y) {
+    for (int x = 0; x < 160; ++x) {
+      curr.at(x, y) = prev.at_clamped(x - dx, y - dy);
+    }
+  }
+  CorrelationTracker kcf(12, 2);
+  const auto shift = kcf.track(prev, curr, {40, 30, 100, 80});
+  ASSERT_TRUE(shift.has_value());
+  EXPECT_NEAR(shift->x, dx, 2.01);
+  EXPECT_NEAR(shift->y, dy, 2.01);
+}
+
+namespace {
+
+scene::SceneConfig quick_scene(int frames = 140) {
+  return scene::make_davis_scene(42, frames);
+}
+
+}  // namespace
+
+TEST(EdgeIsPipeline, InitializesAndTransfersMasks) {
+  const auto scfg = quick_scene();
+  scene::SceneSimulator sim(scfg);
+  PipelineConfig cfg;
+  EdgeISPipeline pipeline(scfg, cfg);
+  const auto result = run_pipeline(sim, pipeline, 60);
+  EXPECT_TRUE(pipeline.initialized());
+  EXPECT_GT(result.transmissions, 2);
+  EXPECT_GT(result.summary.mean_iou, 0.5);
+  EXPECT_LT(result.summary.mean_latency_ms, 45.0);
+  EXPECT_GT(result.summary.object_frames, 50);
+  EXPECT_FALSE(pipeline.edge_stats().empty());
+}
+
+TEST(EdgeIsPipeline, DeterministicAcrossRuns) {
+  const auto scfg = quick_scene(100);
+  scene::SceneSimulator sim(scfg);
+  PipelineConfig cfg;
+  EdgeISPipeline a(scfg, cfg), b(scfg, cfg);
+  const auto ra = run_pipeline(sim, a, 50);
+  const auto rb = run_pipeline(sim, b, 50);
+  EXPECT_DOUBLE_EQ(ra.summary.mean_iou, rb.summary.mean_iou);
+  EXPECT_EQ(ra.transmissions, rb.transmissions);
+  EXPECT_EQ(ra.total_tx_bytes, rb.total_tx_bytes);
+}
+
+TEST(EdgeIsPipeline, CiiaReducesEdgeLatency) {
+  const auto scfg = quick_scene();
+  scene::SceneSimulator sim(scfg);
+  PipelineConfig with;
+  PipelineConfig without;
+  without.enable_ciia = false;
+  EdgeISPipeline p_with(scfg, with), p_without(scfg, without);
+  run_pipeline(sim, p_with, 60);
+  run_pipeline(sim, p_without, 60);
+  auto mean_edge_ms = [](const EdgeISPipeline& p) {
+    double sum = 0.0;
+    int n = 0;
+    for (const auto& s : p.edge_stats()) {
+      // Skip full-frame bootstrap/refresh inferences.
+      if (s.anchors_evaluated < 60000) {
+        sum += s.total_ms();
+        ++n;
+      }
+    }
+    return n > 0 ? sum / n : 0.0;
+  };
+  const double accel = mean_edge_ms(p_with);
+  if (accel > 0.0) {
+    double full_sum = 0.0;
+    int full_n = 0;
+    for (const auto& s : p_without.edge_stats()) {
+      full_sum += s.total_ms();
+      ++full_n;
+    }
+    ASSERT_GT(full_n, 0);
+    EXPECT_LT(accel, full_sum / full_n);
+  }
+}
+
+TEST(Baselines, AllPipelinesRunToCompletion) {
+  const auto scfg = quick_scene(100);
+  scene::SceneSimulator sim(scfg);
+  PipelineConfig cfg;
+  {
+    TrackDetectPipeline p(scfg, cfg, TrackDetectPolicy::kEaar);
+    const auto r = run_pipeline(sim, p, 50);
+    EXPECT_GT(r.transmissions, 0);
+    EXPECT_EQ(p.name(), "eaar");
+  }
+  {
+    TrackDetectPipeline p(scfg, cfg, TrackDetectPolicy::kEdgeDuet);
+    const auto r = run_pipeline(sim, p, 50);
+    EXPECT_GT(r.transmissions, 0);
+    EXPECT_EQ(p.name(), "edgeduet");
+  }
+  {
+    TrackDetectPipeline p(scfg, cfg, TrackDetectPolicy::kBestEffort);
+    const auto r = run_pipeline(sim, p, 50);
+    EXPECT_GT(r.transmissions, 0);
+    EXPECT_EQ(p.name(), "best-effort");
+  }
+  {
+    PureMobilePipeline p(scfg, cfg);
+    const auto r = run_pipeline(sim, p, 50);
+    EXPECT_EQ(p.name(), "pure-mobile");
+    // Pure mobile pegs the CPU.
+    EXPECT_GT(r.mean_cpu_utilization, 0.9);
+  }
+}
+
+TEST(Baselines, EdgeIsBeatsTrackDetectOnAccuracy) {
+  const auto scfg = quick_scene();
+  scene::SceneSimulator sim(scfg);
+  PipelineConfig cfg;
+  EdgeISPipeline edgeis(scfg, cfg);
+  TrackDetectPipeline eaar(scfg, cfg, TrackDetectPolicy::kEaar);
+  const auto r_edgeis = run_pipeline(sim, edgeis, 60);
+  const auto r_eaar = run_pipeline(sim, eaar, 60);
+  EXPECT_GT(r_edgeis.summary.mean_iou, r_eaar.summary.mean_iou);
+}
+
+TEST(MaskPayload, ScalesWithContours) {
+  std::vector<mask::InstanceMask> masks;
+  mask::InstanceMask big(320, 240);
+  for (int y = 40; y < 200; ++y) {
+    for (int x = 40; x < 280; ++x) big.set(x, y);
+  }
+  masks.push_back(big);
+  const auto one = mask_payload_bytes(masks);
+  masks.push_back(big);
+  const auto two = mask_payload_bytes(masks);
+  EXPECT_GT(one, 100u);
+  EXPECT_NEAR(static_cast<double>(two), 2.0 * static_cast<double>(one), 40.0);
+}

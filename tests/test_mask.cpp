@@ -1,0 +1,181 @@
+// Unit tests for masks: boxes, IoU, contour tracing, rasterization,
+// morphology.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mask/mask.hpp"
+
+using namespace edgeis::mask;
+
+namespace {
+
+InstanceMask filled_rect(int w, int h, const Box& b) {
+  InstanceMask m(w, h);
+  for (int y = b.y0; y < b.y1; ++y) {
+    for (int x = b.x0; x < b.x1; ++x) m.set(x, y);
+  }
+  return m;
+}
+
+InstanceMask filled_disk(int w, int h, int cx, int cy, int r) {
+  InstanceMask m(w, h);
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      if ((x - cx) * (x - cx) + (y - cy) * (y - cy) <= r * r) m.set(x, y);
+    }
+  }
+  return m;
+}
+
+}  // namespace
+
+TEST(Box, AreaAndIntersection) {
+  const Box a{0, 0, 10, 10}, b{5, 5, 15, 15};
+  EXPECT_EQ(a.area(), 100);
+  EXPECT_EQ(a.intersect(b).area(), 25);
+  EXPECT_NEAR(a.iou(b), 25.0 / 175.0, 1e-12);
+}
+
+TEST(Box, DisjointIouZero) {
+  const Box a{0, 0, 5, 5}, b{10, 10, 20, 20};
+  EXPECT_TRUE(a.intersect(b).empty());
+  EXPECT_DOUBLE_EQ(a.iou(b), 0.0);
+}
+
+TEST(Box, IdenticalIouOne) {
+  const Box a{2, 3, 8, 9};
+  EXPECT_DOUBLE_EQ(a.iou(a), 1.0);
+}
+
+TEST(Box, InflatedClipped) {
+  const Box a{2, 2, 8, 8};
+  const Box big = a.inflated(5, 20, 20);
+  EXPECT_EQ(big.x0, 0);
+  EXPECT_EQ(big.y1, 13);
+}
+
+TEST(Box, Unite) {
+  const Box a{0, 0, 4, 4}, b{10, 10, 12, 12};
+  const Box u = a.unite(b);
+  EXPECT_EQ(u.x0, 0);
+  EXPECT_EQ(u.x1, 12);
+  EXPECT_EQ(Box{}.unite(a).area(), a.area());
+}
+
+TEST(InstanceMask, PixelCountAndBounds) {
+  const auto m = filled_rect(20, 20, {5, 6, 9, 10});
+  EXPECT_EQ(m.pixel_count(), 16);
+  const auto bb = m.bounding_box();
+  ASSERT_TRUE(bb.has_value());
+  EXPECT_EQ(bb->x0, 5);
+  EXPECT_EQ(bb->y1, 10);
+}
+
+TEST(InstanceMask, EmptyBoundingBox) {
+  const InstanceMask m(10, 10);
+  EXPECT_FALSE(m.bounding_box().has_value());
+}
+
+TEST(InstanceMask, IouOverlap) {
+  const auto a = filled_rect(20, 20, {0, 0, 10, 10});
+  const auto b = filled_rect(20, 20, {5, 0, 15, 10});
+  EXPECT_NEAR(a.iou(b), 50.0 / 150.0, 1e-12);
+  EXPECT_DOUBLE_EQ(a.iou(a), 1.0);
+}
+
+TEST(InstanceMask, OutOfBoundsReadsFalse) {
+  const auto m = filled_rect(10, 10, {0, 0, 10, 10});
+  EXPECT_FALSE(m.get(-1, 0));
+  EXPECT_FALSE(m.get(0, 10));
+}
+
+TEST(InstanceMask, DilateErodeInverse) {
+  const auto m = filled_rect(30, 30, {10, 10, 20, 20});
+  const auto d = m.dilated(2);
+  EXPECT_GT(d.pixel_count(), m.pixel_count());
+  const auto back = d.eroded(2);
+  // Dilation then erosion of a convex shape recovers it exactly.
+  EXPECT_DOUBLE_EQ(back.iou(m), 1.0);
+}
+
+TEST(InstanceMask, ErodeShrinksToNothing) {
+  const auto m = filled_rect(10, 10, {4, 4, 6, 6});
+  EXPECT_EQ(m.eroded(2).pixel_count(), 0);
+}
+
+TEST(Contours, RectangleContourLength) {
+  const auto m = filled_rect(20, 20, {5, 5, 15, 15});
+  const auto cs = find_contours(m);
+  ASSERT_EQ(cs.size(), 1u);
+  // 10x10 square boundary: 4*10 - 4 = 36 pixels.
+  EXPECT_EQ(cs[0].size(), 36u);
+}
+
+TEST(Contours, DiskContourClosed) {
+  const auto m = filled_disk(40, 40, 20, 20, 10);
+  const auto cs = find_contours(m);
+  ASSERT_EQ(cs.size(), 1u);
+  // Contour length should approximate the circumference.
+  EXPECT_GT(cs[0].size(), 40u);
+  EXPECT_LT(cs[0].size(), 100u);
+  // Adjacent contour pixels must be 8-connected.
+  for (std::size_t i = 1; i < cs[0].size(); ++i) {
+    EXPECT_LE(std::abs(cs[0][i].x - cs[0][i - 1].x), 1.0);
+    EXPECT_LE(std::abs(cs[0][i].y - cs[0][i - 1].y), 1.0);
+  }
+}
+
+TEST(Contours, TwoComponentsTwoContours) {
+  InstanceMask m(30, 30);
+  for (int y = 2; y < 8; ++y)
+    for (int x = 2; x < 8; ++x) m.set(x, y);
+  for (int y = 15; y < 25; ++y)
+    for (int x = 15; x < 25; ++x) m.set(x, y);
+  EXPECT_EQ(find_contours(m).size(), 2u);
+}
+
+TEST(Contours, EmptyMaskNoContours) {
+  const InstanceMask m(10, 10);
+  EXPECT_TRUE(find_contours(m).empty());
+}
+
+TEST(Rasterize, TriangleArea) {
+  const Contour tri = {{10, 10}, {50, 10}, {10, 50}};
+  const auto m = rasterize_polygon(tri, 64, 64);
+  // Area of the right triangle is 800; allow boundary slack.
+  EXPECT_NEAR(static_cast<double>(m.pixel_count()), 800.0, 60.0);
+}
+
+TEST(Rasterize, ContourRoundTrip) {
+  const auto original = filled_disk(64, 64, 32, 32, 16);
+  const auto cs = find_contours(original);
+  ASSERT_EQ(cs.size(), 1u);
+  const auto rebuilt = rasterize_polygon(cs[0], 64, 64);
+  EXPECT_GT(rebuilt.iou(original), 0.93);
+}
+
+TEST(Rasterize, DegenerateInputsEmpty) {
+  EXPECT_EQ(rasterize_polygon({}, 10, 10).pixel_count(), 0);
+  EXPECT_EQ(rasterize_polygon({{1, 1}, {2, 2}}, 10, 10).pixel_count(), 0);
+}
+
+TEST(Rasterize, ClipsOutsideFrame) {
+  const Contour square = {{-20, -20}, {30, -20}, {30, 30}, {-20, 30}};
+  const auto m = rasterize_polygon(square, 20, 20);
+  // Only the in-frame quadrant is filled.
+  EXPECT_GT(m.pixel_count(), 350);
+  EXPECT_LE(m.pixel_count(), 400);
+}
+
+TEST(MaskFromIds, SelectsMatchingPixels) {
+  edgeis::img::IdImage ids(8, 8, 0);
+  ids.at(2, 2) = 5;
+  ids.at(3, 2) = 5;
+  ids.at(4, 4) = 9;
+  const auto m5 = mask_from_id_image(ids, 5);
+  EXPECT_EQ(m5.pixel_count(), 2);
+  EXPECT_TRUE(m5.get(2, 2));
+  EXPECT_FALSE(m5.get(4, 4));
+  EXPECT_EQ(m5.instance_id, 5);
+}

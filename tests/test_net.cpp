@@ -1,0 +1,147 @@
+// Tests for the network link models and channel.
+#include <gtest/gtest.h>
+
+#include "net/link.hpp"
+
+using namespace edgeis;
+using namespace edgeis::net;
+
+TEST(Link, ProfilesOrderedByBandwidth) {
+  EXPECT_GT(wifi_5ghz().bandwidth_mbps, wifi_24ghz().bandwidth_mbps);
+  EXPECT_GT(wifi_24ghz().bandwidth_mbps, lte().bandwidth_mbps);
+  EXPECT_LT(wifi_5ghz().base_latency_ms, lte().base_latency_ms);
+}
+
+TEST(Link, TransmitScalesWithBytes) {
+  rt::Rng rng(3);
+  const auto link = wifi_5ghz();
+  double small = 0.0, large = 0.0;
+  for (int i = 0; i < 200; ++i) {
+    small += transmit_ms(link, 10'000, rng);
+    large += transmit_ms(link, 1'000'000, rng);
+  }
+  EXPECT_GT(large / 200, small / 200);
+  // Serialization component: 1 MB over 160 Mbps = 50 ms.
+  EXPECT_NEAR(large / 200, 50.0 + link.base_latency_ms, 15.0);
+}
+
+TEST(Link, SlowerLinkSlowerTransfer) {
+  rt::Rng rng1(5), rng2(5);
+  double fast = 0.0, slow = 0.0;
+  for (int i = 0; i < 100; ++i) {
+    fast += transmit_ms(wifi_5ghz(), 200'000, rng1);
+    slow += transmit_ms(wifi_24ghz(), 200'000, rng2);
+  }
+  EXPECT_GT(slow, fast);
+}
+
+TEST(Link, LatencyAlwaysPositive) {
+  rt::Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GT(transmit_ms(lte(), 0, rng), 0.0);
+  }
+}
+
+TEST(Channel, DeliversInTimeOrder) {
+  Channel<int> ch;
+  ch.send(0.0, 50.0, 1);
+  ch.send(0.0, 10.0, 2);
+  int out = 0;
+  EXPECT_FALSE(ch.try_receive(5.0, out));
+  ASSERT_TRUE(ch.try_receive(60.0, out));
+  EXPECT_EQ(out, 2);  // earlier delivery first
+  ASSERT_TRUE(ch.try_receive(60.0, out));
+  EXPECT_EQ(out, 1);
+  EXPECT_FALSE(ch.try_receive(100.0, out));
+}
+
+TEST(Channel, InFlightCount) {
+  Channel<int> ch;
+  EXPECT_EQ(ch.in_flight(), 0u);
+  ch.send(0.0, 10.0, 1);
+  ch.send(0.0, 20.0, 2);
+  EXPECT_EQ(ch.in_flight(), 2u);
+  int out;
+  EXPECT_TRUE(ch.try_receive(15.0, out));
+  EXPECT_EQ(ch.in_flight(), 1u);
+}
+
+// ---- Wire protocol (net/protocol.hpp). -------------------------------------
+
+#include "net/protocol.hpp"
+
+TEST(Protocol, KeyframeRoundTrip) {
+  KeyframeMessage msg;
+  msg.frame_index = 42;
+  msg.width = 640;
+  msg.height = 480;
+  msg.tile_size = 64;
+  msg.tile_classes = {0, 1, 2, 3};
+  msg.tile_levels = {0, 2, 2, 3};
+  msg.tile_payload_bytes = 12345;
+  msg.priors.push_back({10, 20, 110, 220, 3, 7});
+  msg.new_areas.push_back({0, 0, 64, 64});
+
+  const auto bytes = serialize(msg);
+  const auto parsed = parse_keyframe(bytes);
+  EXPECT_EQ(parsed.frame_index, 42);
+  EXPECT_EQ(parsed.tile_payload_bytes, 12345u);
+  ASSERT_EQ(parsed.priors.size(), 1u);
+  EXPECT_EQ(parsed.priors[0].instance_id, 7);
+  ASSERT_EQ(parsed.new_areas.size(), 1u);
+  EXPECT_EQ(parsed.new_areas[0].x1, 64);
+  EXPECT_EQ(parsed.tile_levels, msg.tile_levels);
+}
+
+TEST(Protocol, KeyframeWireBytesIncludePayload) {
+  KeyframeMessage msg;
+  msg.tile_payload_bytes = 5000;
+  EXPECT_GT(wire_bytes(msg), 5000u);
+}
+
+TEST(Protocol, MaskResultRoundTripReconstructs) {
+  // Build a mask, serialize its contour, parse and rasterize it back.
+  mask::InstanceMask m(320, 240);
+  for (int y = 60; y < 180; ++y) {
+    for (int x = 80; x < 240; ++x) m.set(x, y);
+  }
+  m.class_id = 4;
+  m.instance_id = 9;
+  const auto msg = build_mask_result(7, 320, 240, {m});
+  ASSERT_EQ(msg.instances.size(), 1u);
+  const auto bytes = serialize(msg);
+  const auto parsed = parse_mask_result(bytes);
+  const auto rebuilt = reconstruct_masks(parsed);
+  ASSERT_EQ(rebuilt.size(), 1u);
+  EXPECT_EQ(rebuilt[0].class_id, 4);
+  EXPECT_EQ(rebuilt[0].instance_id, 9);
+  EXPECT_GT(rebuilt[0].iou(m), 0.95);
+}
+
+TEST(Protocol, TruncatedMessageThrows) {
+  KeyframeMessage msg;
+  msg.tile_classes = {1, 2, 3};
+  auto bytes = serialize(msg);
+  bytes.resize(bytes.size() / 2);
+  EXPECT_THROW(parse_keyframe(bytes), rt::DeserializeError);
+}
+
+TEST(Protocol, WrongMagicRejected) {
+  MaskResultMessage msg;
+  const auto bytes = serialize(msg);
+  EXPECT_THROW(parse_keyframe(bytes), rt::DeserializeError);
+}
+
+TEST(Protocol, BuildFromEncodedFrame) {
+  mask::InstanceMask m(640, 480);
+  for (int y = 200; y < 280; ++y) {
+    for (int x = 260; x < 380; ++x) m.set(x, y);
+  }
+  const auto encoded = edgeis::enc::encode_cfrs(3, 640, 480, {m}, {});
+  const auto msg = build_keyframe_message(encoded, {}, {});
+  EXPECT_EQ(msg.frame_index, 3);
+  EXPECT_EQ(msg.tile_classes.size(), encoded.tiles.size());
+  EXPECT_EQ(msg.tile_payload_bytes, encoded.total_bytes);
+  // Header overhead is small relative to the tile payload.
+  EXPECT_LT(serialize(msg).size(), encoded.total_bytes);
+}

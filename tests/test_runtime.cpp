@@ -1,0 +1,194 @@
+// Unit tests for the runtime substrate: deterministic RNG, serialization,
+// ring buffer and statistics.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "runtime/ring_buffer.hpp"
+#include "runtime/rng.hpp"
+#include "runtime/serialize.hpp"
+#include "runtime/stats.hpp"
+
+namespace rt = edgeis::rt;
+
+TEST(Rng, DeterministicForSameSeed) {
+  rt::Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a(), b());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  rt::Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInRange) {
+  rt::Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformIntBounds) {
+  rt::Rng rng(9);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 5000; ++i) {
+    const auto v = rng.uniform_int(7);
+    EXPECT_LT(v, 7u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all residues hit
+}
+
+TEST(Rng, NormalMoments) {
+  rt::Rng rng(11);
+  double sum = 0.0, sum2 = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sum2 += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.03);
+}
+
+TEST(Rng, ChanceProbability) {
+  rt::Rng rng(13);
+  int hits = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) hits += rng.chance(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  rt::Rng a(5);
+  rt::Rng child = a.fork();
+  // Parent and child should not track each other.
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == child()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Serialize, RoundTripScalars) {
+  rt::ByteWriter w;
+  w.put<std::uint32_t>(0xdeadbeef);
+  w.put<double>(3.25);
+  w.put<std::int16_t>(-7);
+  rt::ByteReader r(w.bytes());
+  EXPECT_EQ(r.get<std::uint32_t>(), 0xdeadbeefu);
+  EXPECT_EQ(r.get<double>(), 3.25);
+  EXPECT_EQ(r.get<std::int16_t>(), -7);
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Serialize, RoundTripStringAndVector) {
+  rt::ByteWriter w;
+  w.put_string("contour");
+  w.put_vector<float>({1.5f, -2.5f, 0.0f});
+  rt::ByteReader r(w.bytes());
+  EXPECT_EQ(r.get_string(), "contour");
+  const auto v = r.get_vector<float>();
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[1], -2.5f);
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Serialize, UnderrunThrows) {
+  rt::ByteWriter w;
+  w.put<std::uint8_t>(1);
+  rt::ByteReader r(w.bytes());
+  EXPECT_THROW(r.get<std::uint64_t>(), rt::DeserializeError);
+}
+
+TEST(Serialize, TruncatedStringThrows) {
+  rt::ByteWriter w;
+  w.put<std::uint32_t>(100);  // claims 100 bytes follow; none do
+  rt::ByteReader r(w.bytes());
+  EXPECT_THROW(r.get_string(), rt::DeserializeError);
+}
+
+TEST(RingBuffer, PushPopFifo) {
+  rt::RingBuffer<int> rb(3);
+  rb.push(1);
+  rb.push(2);
+  EXPECT_EQ(rb.size(), 2u);
+  EXPECT_EQ(*rb.pop(), 1);
+  EXPECT_EQ(*rb.pop(), 2);
+  EXPECT_FALSE(rb.pop().has_value());
+}
+
+TEST(RingBuffer, OverwritesOldestWhenFull) {
+  rt::RingBuffer<int> rb(3);
+  for (int i = 1; i <= 5; ++i) rb.push(i);
+  EXPECT_TRUE(rb.full());
+  EXPECT_EQ(rb.front(), 3);
+  EXPECT_EQ(rb.back(), 5);
+  EXPECT_EQ(rb[1], 4);
+}
+
+TEST(RingBuffer, IndexOutOfRangeThrows) {
+  rt::RingBuffer<int> rb(2);
+  rb.push(1);
+  EXPECT_THROW((void)rb[1], std::out_of_range);
+}
+
+TEST(RingBuffer, ZeroCapacityRejected) {
+  EXPECT_THROW(rt::RingBuffer<int>(0), std::invalid_argument);
+}
+
+TEST(RunningStats, MeanVarianceMinMax) {
+  rt::RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), 2.138, 0.01);
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+  EXPECT_EQ(s.count(), 8u);
+}
+
+TEST(SampleSet, Percentiles) {
+  rt::SampleSet s;
+  for (int i = 1; i <= 100; ++i) s.add(i);
+  EXPECT_NEAR(s.percentile(50), 50.5, 0.01);
+  EXPECT_NEAR(s.percentile(0), 1.0, 0.01);
+  EXPECT_NEAR(s.percentile(100), 100.0, 0.01);
+  EXPECT_NEAR(s.percentile(95), 95.05, 0.1);
+}
+
+TEST(SampleSet, FractionBelow) {
+  rt::SampleSet s;
+  for (int i = 0; i < 10; ++i) s.add(i < 3 ? 0.2 : 0.9);
+  EXPECT_DOUBLE_EQ(s.fraction_below(0.5), 0.3);
+  EXPECT_DOUBLE_EQ(s.fraction_below(0.1), 0.0);
+  EXPECT_DOUBLE_EQ(s.fraction_below(1.0), 1.0);
+}
+
+TEST(SampleSet, CdfMonotone) {
+  rt::SampleSet s;
+  rt::Rng rng(3);
+  for (int i = 0; i < 500; ++i) s.add(rng.uniform());
+  const auto cdf = s.cdf(0.0, 1.0, 20);
+  ASSERT_EQ(cdf.size(), 20u);
+  for (std::size_t i = 1; i < cdf.size(); ++i) {
+    EXPECT_GE(cdf[i].second, cdf[i - 1].second);
+  }
+  EXPECT_NEAR(cdf.back().second, 1.0, 1e-9);
+}
+
+TEST(SampleSet, EmptySafe) {
+  rt::SampleSet s;
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.percentile(50), 0.0);
+  EXPECT_EQ(s.fraction_below(1.0), 0.0);
+}

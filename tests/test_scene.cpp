@@ -1,0 +1,200 @@
+// Unit tests for the synthetic scene: meshes, motion scripts, camera paths,
+// rendering consistency (intensity / instance ids / depth) and presets.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "scene/mesh.hpp"
+#include "scene/presets.hpp"
+#include "scene/scene.hpp"
+
+using namespace edgeis;
+using namespace edgeis::scene;
+
+TEST(Mesh, BoxHasTwelveTriangles) {
+  const Mesh m = make_box(1, 1, 1);
+  EXPECT_EQ(m.triangles.size(), 12u);
+  EXPECT_EQ(m.vertices.size(), 24u);
+}
+
+TEST(Mesh, CylinderClosed) {
+  const Mesh m = make_cylinder(0.5, 2.0, 8);
+  // 8 side quads (2 tris) + 16 cap triangles.
+  EXPECT_EQ(m.triangles.size(), 32u);
+}
+
+TEST(Mesh, AppendOffsetsIndices) {
+  Mesh a = make_box(1, 1, 1);
+  const auto base_vertices = a.vertices.size();
+  a.append(make_box(2, 2, 2));
+  EXPECT_EQ(a.triangles.size(), 24u);
+  // Second box's triangles must reference the appended vertex range.
+  for (std::size_t i = 12; i < 24; ++i) {
+    EXPECT_GE(a.triangles[i].a, base_vertices);
+  }
+}
+
+TEST(MotionScript, StaticBeforeStartTime) {
+  MotionScript m;
+  m.base_position = {1, 0, 2};
+  m.velocity = {1, 0, 0};
+  m.start_move_time = 5.0;
+  const auto p0 = m.pose_at(3.0);
+  EXPECT_NEAR(p0.t.x, 1.0, 1e-12);
+  const auto p1 = m.pose_at(7.0);
+  EXPECT_NEAR(p1.t.x, 3.0, 1e-12);
+  EXPECT_TRUE(m.is_dynamic());
+}
+
+TEST(MotionScript, StaticObjectNotDynamic) {
+  MotionScript m;
+  m.base_position = {1, 0, 2};
+  EXPECT_FALSE(m.is_dynamic());
+  const auto p = m.pose_at(100.0);
+  EXPECT_NEAR((p.t - m.base_position).norm(), 0.0, 1e-12);
+}
+
+TEST(CameraPath, OrbitLooksAtCenter) {
+  CameraPath path;
+  path.kind = CameraPathKind::kOrbit;
+  path.orbit_radius = 5.0;
+  path.height = 1.5;
+  for (double t : {0.0, 1.0, 3.0}) {
+    const geom::SE3 t_cw = path.pose_at(t);
+    // The scene center should project near the optical axis: transform the
+    // look-at target into the camera frame and check it is in front and
+    // roughly centered.
+    const geom::Vec3 target{0.0, 1.5 * 0.6, 0.0};
+    const geom::Vec3 cam = t_cw * target;
+    EXPECT_GT(cam.z, 0.0);
+    EXPECT_LT(std::abs(cam.x / cam.z), 0.05);
+  }
+}
+
+TEST(CameraPath, WalkAdvances) {
+  CameraPath path;
+  path.kind = CameraPathKind::kWalk;
+  path.speed = 1.0;
+  const geom::SE3 a = path.pose_at(0.0);
+  const geom::SE3 b = path.pose_at(2.0);
+  EXPECT_GT(a.center_distance_to(b), 1.5);
+}
+
+namespace {
+
+SceneConfig small_scene(std::uint64_t seed = 5) {
+  SceneConfig cfg = make_davis_scene(seed, 30);
+  cfg.camera.width = 320;
+  cfg.camera.height = 240;
+  cfg.camera.cx = 160;
+  cfg.camera.cy = 120;
+  cfg.camera.fx = cfg.camera.fy = 260;
+  return cfg;
+}
+
+}  // namespace
+
+TEST(Renderer, DeterministicFrames) {
+  const SceneConfig cfg = small_scene();
+  SceneSimulator sim1(cfg), sim2(cfg);
+  const auto a = sim1.render(7);
+  const auto b = sim2.render(7);
+  ASSERT_EQ(a.intensity.size(), b.intensity.size());
+  for (int y = 0; y < a.intensity.height(); ++y) {
+    for (int x = 0; x < a.intensity.width(); ++x) {
+      ASSERT_EQ(a.intensity.at(x, y), b.intensity.at(x, y));
+      ASSERT_EQ(a.instance_ids.at(x, y), b.instance_ids.at(x, y));
+    }
+  }
+}
+
+TEST(Renderer, InstanceIdsMatchDepthOrdering) {
+  const SceneConfig cfg = small_scene();
+  SceneSimulator sim(cfg);
+  const auto frame = sim.render(0);
+  // Wherever an instance id is set, depth must be finite (something was
+  // drawn), and the pixel must have a plausible intensity.
+  long long obj_pixels = 0;
+  for (int y = 0; y < frame.instance_ids.height(); ++y) {
+    for (int x = 0; x < frame.instance_ids.width(); ++x) {
+      if (frame.instance_ids.at(x, y) > 0) {
+        ++obj_pixels;
+        EXPECT_LT(frame.depth.at(x, y), 100.0f);
+      }
+    }
+  }
+  EXPECT_GT(obj_pixels, 500);
+}
+
+TEST(Renderer, GroundTruthMasksDisjoint) {
+  const SceneConfig cfg = small_scene();
+  SceneSimulator sim(cfg);
+  const auto frame = sim.render(3);
+  const auto masks = sim.ground_truth_masks(frame);
+  ASSERT_GE(masks.size(), 2u);
+  for (std::size_t i = 0; i < masks.size(); ++i) {
+    for (std::size_t j = i + 1; j < masks.size(); ++j) {
+      // Pixel-exact instance buffers: masks cannot overlap.
+      long long overlap = 0;
+      for (int y = 0; y < masks[i].height(); ++y) {
+        for (int x = 0; x < masks[i].width(); ++x) {
+          if (masks[i].get(x, y) && masks[j].get(x, y)) ++overlap;
+        }
+      }
+      EXPECT_EQ(overlap, 0);
+    }
+  }
+}
+
+TEST(Renderer, CameraPoseMatchesConfigPath) {
+  const SceneConfig cfg = small_scene();
+  SceneSimulator sim(cfg);
+  const auto frame = sim.render(12);
+  const geom::SE3 expected = cfg.path.pose_at(12 / cfg.fps);
+  EXPECT_NEAR(frame.true_t_cw.t.x, expected.t.x, 1e-12);
+  EXPECT_NEAR(frame.true_t_cw.rotation_angle_to(expected), 0.0, 1e-12);
+}
+
+TEST(Presets, AllDatasetsConstruct) {
+  for (const char* name : {"davis", "kitti", "xiph", "field"}) {
+    const SceneConfig cfg = make_dataset_scene(name, 7, 60);
+    EXPECT_EQ(cfg.name, name);
+    EXPECT_FALSE(cfg.objects.empty());
+    EXPECT_EQ(cfg.total_frames, 60);
+    // Instance ids unique and positive.
+    for (std::size_t i = 0; i < cfg.objects.size(); ++i) {
+      EXPECT_GT(cfg.objects[i].instance_id, 0);
+      for (std::size_t j = i + 1; j < cfg.objects.size(); ++j) {
+        EXPECT_NE(cfg.objects[i].instance_id, cfg.objects[j].instance_id);
+      }
+    }
+  }
+  EXPECT_THROW(make_dataset_scene("nope", 1, 10), std::invalid_argument);
+}
+
+TEST(Presets, ComplexityLevelsScaleObjectCount) {
+  const auto easy = make_complexity_scene(Complexity::kEasy, 3, 30);
+  const auto medium = make_complexity_scene(Complexity::kMedium, 3, 30);
+  const auto hard = make_complexity_scene(Complexity::kHard, 3, 30);
+  EXPECT_LE(easy.objects.size(), 3u);
+  EXPECT_GT(medium.objects.size(), easy.objects.size());
+  bool any_moving = false;
+  for (const auto& o : hard.objects) any_moving |= o.motion.is_dynamic();
+  EXPECT_TRUE(any_moving);
+  for (const auto& o : easy.objects) EXPECT_FALSE(o.motion.is_dynamic());
+}
+
+TEST(Presets, GaitSpeedsOrdered) {
+  const auto walk = make_motion_scene(Gait::kWalk, 3, 30);
+  const auto stride = make_motion_scene(Gait::kStride, 3, 30);
+  const auto jog = make_motion_scene(Gait::kJog, 3, 30);
+  EXPECT_LT(walk.path.speed, stride.path.speed);
+  EXPECT_LT(stride.path.speed, jog.path.speed);
+  EXPECT_LT(walk.path.bob_amplitude, jog.path.bob_amplitude);
+}
+
+TEST(ClassNames, AllDistinct) {
+  EXPECT_STREQ(class_name(ObjectClass::kPerson), "person");
+  EXPECT_STREQ(class_name(ObjectClass::kSeparator), "separator");
+  EXPECT_STREQ(class_name(ObjectClass::kBackground), "background");
+}

@@ -1,0 +1,121 @@
+// Tests for the motion-aware mask transfer (MAMT).
+#include <gtest/gtest.h>
+
+#include "features/orb.hpp"
+#include "scene/presets.hpp"
+#include "transfer/mask_transfer.hpp"
+#include "vo/initializer.hpp"
+#include "vo/tracker.hpp"
+
+using namespace edgeis;
+
+namespace {
+
+struct TransferFixture {
+  scene::SceneConfig cfg;
+  scene::SceneSimulator sim;
+  feat::OrbExtractor orb;
+  rt::Rng rng{99};
+  vo::Map map;
+  std::unique_ptr<vo::Tracker> tracker;
+  std::unique_ptr<transfer::MaskTransfer> mamt;
+  bool ready = false;
+
+  TransferFixture() : cfg(scene::make_davis_scene(42, 150)), sim(cfg) {
+    auto f0 = sim.render(0);
+    auto f1 = sim.render(20);
+    vo::InitializationInput input;
+    input.frame_index0 = 0;
+    input.frame_index1 = 20;
+    input.image0 = &f0.intensity;
+    input.image1 = &f1.intensity;
+    input.features0 = orb.extract(f0.intensity);
+    input.features1 = orb.extract(f1.intensity);
+    input.masks0 = sim.ground_truth_masks(f0);
+    input.masks1 = sim.ground_truth_masks(f1);
+    auto init = vo::initialize_map(cfg.camera, input, map, rng);
+    if (!init) return;
+    tracker = std::make_unique<vo::Tracker>(cfg.camera, &map, rng.fork());
+    tracker->set_initial_poses(init->t_cw1, init->t_cw1);
+    mamt = std::make_unique<transfer::MaskTransfer>(cfg.camera, &map);
+    ready = true;
+  }
+};
+
+}  // namespace
+
+TEST(Transfer, PredictedMasksMatchGroundTruth) {
+  TransferFixture fx;
+  ASSERT_TRUE(fx.ready);
+  double iou_sum = 0.0;
+  int n = 0;
+  for (int i = 21; i < 90; ++i) {
+    auto frame = fx.sim.render(i);
+    auto obs = fx.tracker->track(i, fx.orb.extract(frame.intensity));
+    if (obs.created_keyframe) {
+      fx.tracker->annotate_keyframe(i, fx.sim.ground_truth_masks(frame));
+    }
+    for (const auto& pred : fx.mamt->predict(obs)) {
+      auto gt = scene::SceneSimulator::ground_truth_mask(
+          frame, pred.instance_id,
+          static_cast<scene::ObjectClass>(pred.class_id));
+      if (gt.pixel_count() < 1000) continue;
+      iou_sum += pred.mask.iou(gt);
+      ++n;
+    }
+  }
+  ASSERT_GT(n, 30);
+  EXPECT_GT(iou_sum / n, 0.85);
+}
+
+TEST(Transfer, VisibleInstancesFollowAnnotations) {
+  TransferFixture fx;
+  ASSERT_TRUE(fx.ready);
+  auto frame = fx.sim.render(21);
+  auto obs = fx.tracker->track(21, fx.orb.extract(frame.intensity));
+  const auto visible = fx.mamt->visible_instances(obs);
+  EXPECT_FALSE(visible.empty());
+  for (int id : visible) {
+    EXPECT_GT(id, 0);
+  }
+}
+
+TEST(Transfer, NoSourceNoPrediction) {
+  // A map whose keyframes carry no masks cannot transfer anything.
+  TransferFixture fx;
+  ASSERT_TRUE(fx.ready);
+  for (auto& kf : fx.map.keyframes()) {
+    kf.has_masks = false;
+    kf.masks.clear();
+  }
+  auto frame = fx.sim.render(21);
+  auto obs = fx.tracker->track(21, fx.orb.extract(frame.intensity));
+  EXPECT_TRUE(fx.mamt->predict(obs).empty());
+}
+
+TEST(Transfer, ContourSurvivalReported) {
+  TransferFixture fx;
+  ASSERT_TRUE(fx.ready);
+  auto frame = fx.sim.render(25);
+  auto obs = fx.tracker->track(25, fx.orb.extract(frame.intensity));
+  for (const auto& pred : fx.mamt->predict(obs)) {
+    EXPECT_GE(pred.contour_survival, 0.3);
+    EXPECT_LE(pred.contour_survival, 1.0);
+    EXPECT_GT(pred.contour_points, 0);
+    EXPECT_GE(pred.source_frame, 0);
+  }
+}
+
+TEST(Transfer, MasksCarryClassAndInstance) {
+  TransferFixture fx;
+  ASSERT_TRUE(fx.ready);
+  auto frame = fx.sim.render(24);
+  auto obs = fx.tracker->track(24, fx.orb.extract(frame.intensity));
+  for (const auto& pred : fx.mamt->predict(obs)) {
+    EXPECT_GT(pred.instance_id, 0);
+    EXPECT_GT(pred.class_id, 0);
+    EXPECT_EQ(pred.mask.instance_id, pred.instance_id);
+    EXPECT_EQ(pred.mask.class_id, pred.class_id);
+    EXPECT_GT(pred.mask.pixel_count(), 0);
+  }
+}
