@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig02_model_tradeoff"
+  "../bench/fig02_model_tradeoff.pdb"
+  "CMakeFiles/fig02_model_tradeoff.dir/fig02_model_tradeoff.cpp.o"
+  "CMakeFiles/fig02_model_tradeoff.dir/fig02_model_tradeoff.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_model_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

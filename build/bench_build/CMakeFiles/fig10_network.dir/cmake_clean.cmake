@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig10_network"
+  "../bench/fig10_network.pdb"
+  "CMakeFiles/fig10_network.dir/fig10_network.cpp.o"
+  "CMakeFiles/fig10_network.dir/fig10_network.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig12_motion"
+  "../bench/fig12_motion.pdb"
+  "CMakeFiles/fig12_motion.dir/fig12_motion.cpp.o"
+  "CMakeFiles/fig12_motion.dir/fig12_motion.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_motion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

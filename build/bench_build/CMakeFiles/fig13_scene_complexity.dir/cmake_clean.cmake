@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig13_scene_complexity"
+  "../bench/fig13_scene_complexity.pdb"
+  "CMakeFiles/fig13_scene_complexity.dir/fig13_scene_complexity.cpp.o"
+  "CMakeFiles/fig13_scene_complexity.dir/fig13_scene_complexity.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_scene_complexity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

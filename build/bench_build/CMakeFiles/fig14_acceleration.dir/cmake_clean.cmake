@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig14_acceleration"
+  "../bench/fig14_acceleration.pdb"
+  "CMakeFiles/fig14_acceleration.dir/fig14_acceleration.cpp.o"
+  "CMakeFiles/fig14_acceleration.dir/fig14_acceleration.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_acceleration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig15_resource"
+  "../bench/fig15_resource.pdb"
+  "CMakeFiles/fig15_resource.dir/fig15_resource.cpp.o"
+  "CMakeFiles/fig15_resource.dir/fig15_resource.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_resource.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig16_ablation"
+  "../bench/fig16_ablation.pdb"
+  "CMakeFiles/fig16_ablation.dir/fig16_ablation.cpp.o"
+  "CMakeFiles/fig16_ablation.dir/fig16_ablation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig17_field_study"
+  "../bench/fig17_field_study.pdb"
+  "CMakeFiles/fig17_field_study.dir/fig17_field_study.cpp.o"
+  "CMakeFiles/fig17_field_study.dir/fig17_field_study.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_field_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

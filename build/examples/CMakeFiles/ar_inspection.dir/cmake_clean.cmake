@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ar_inspection.dir/ar_inspection.cpp.o"
+  "CMakeFiles/ar_inspection.dir/ar_inspection.cpp.o.d"
+  "ar_inspection"
+  "ar_inspection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ar_inspection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

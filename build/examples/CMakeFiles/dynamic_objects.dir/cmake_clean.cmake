@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamic_objects.dir/dynamic_objects.cpp.o"
+  "CMakeFiles/dynamic_objects.dir/dynamic_objects.cpp.o.d"
+  "dynamic_objects"
+  "dynamic_objects.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamic_objects.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edgeis_cli.dir/edgeis_cli.cpp.o"
+  "CMakeFiles/edgeis_cli.dir/edgeis_cli.cpp.o.d"
+  "edgeis_cli"
+  "edgeis_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edgeis_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

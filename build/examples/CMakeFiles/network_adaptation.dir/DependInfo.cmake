@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/network_adaptation.cpp" "examples/CMakeFiles/network_adaptation.dir/network_adaptation.cpp.o" "gcc" "examples/CMakeFiles/network_adaptation.dir/network_adaptation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/edgeis_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/vo/CMakeFiles/edgeis_vo.dir/DependInfo.cmake"
+  "/root/repo/build/src/transfer/CMakeFiles/edgeis_transfer.dir/DependInfo.cmake"
+  "/root/repo/build/src/segnet/CMakeFiles/edgeis_segnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/encoding/CMakeFiles/edgeis_encoding.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/edgeis_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/edgeis_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/edgeis_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/scene/CMakeFiles/edgeis_scene.dir/DependInfo.cmake"
+  "/root/repo/build/src/features/CMakeFiles/edgeis_features.dir/DependInfo.cmake"
+  "/root/repo/build/src/mask/CMakeFiles/edgeis_mask.dir/DependInfo.cmake"
+  "/root/repo/build/src/image/CMakeFiles/edgeis_image.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/edgeis_geometry.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

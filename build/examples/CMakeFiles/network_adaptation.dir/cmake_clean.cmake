@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/network_adaptation.dir/network_adaptation.cpp.o"
+  "CMakeFiles/network_adaptation.dir/network_adaptation.cpp.o.d"
+  "network_adaptation"
+  "network_adaptation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/network_adaptation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

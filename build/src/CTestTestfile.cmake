@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("runtime")
+subdirs("geometry")
+subdirs("image")
+subdirs("features")
+subdirs("mask")
+subdirs("scene")
+subdirs("vo")
+subdirs("transfer")
+subdirs("segnet")
+subdirs("encoding")
+subdirs("net")
+subdirs("sim")
+subdirs("eval")
+subdirs("core")

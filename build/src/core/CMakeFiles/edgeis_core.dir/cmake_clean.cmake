@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edgeis_core.dir/baselines.cpp.o"
+  "CMakeFiles/edgeis_core.dir/baselines.cpp.o.d"
+  "CMakeFiles/edgeis_core.dir/edge_server.cpp.o"
+  "CMakeFiles/edgeis_core.dir/edge_server.cpp.o.d"
+  "CMakeFiles/edgeis_core.dir/edgeis_pipeline.cpp.o"
+  "CMakeFiles/edgeis_core.dir/edgeis_pipeline.cpp.o.d"
+  "CMakeFiles/edgeis_core.dir/local_trackers.cpp.o"
+  "CMakeFiles/edgeis_core.dir/local_trackers.cpp.o.d"
+  "CMakeFiles/edgeis_core.dir/pipeline.cpp.o"
+  "CMakeFiles/edgeis_core.dir/pipeline.cpp.o.d"
+  "libedgeis_core.a"
+  "libedgeis_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edgeis_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edgeis_encoding.dir/tiles.cpp.o"
+  "CMakeFiles/edgeis_encoding.dir/tiles.cpp.o.d"
+  "libedgeis_encoding.a"
+  "libedgeis_encoding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edgeis_encoding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

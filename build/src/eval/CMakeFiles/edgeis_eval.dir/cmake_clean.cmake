@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edgeis_eval.dir/metrics.cpp.o"
+  "CMakeFiles/edgeis_eval.dir/metrics.cpp.o.d"
+  "libedgeis_eval.a"
+  "libedgeis_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edgeis_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/features/descriptor.cpp" "src/features/CMakeFiles/edgeis_features.dir/descriptor.cpp.o" "gcc" "src/features/CMakeFiles/edgeis_features.dir/descriptor.cpp.o.d"
+  "/root/repo/src/features/detector.cpp" "src/features/CMakeFiles/edgeis_features.dir/detector.cpp.o" "gcc" "src/features/CMakeFiles/edgeis_features.dir/detector.cpp.o.d"
+  "/root/repo/src/features/matcher.cpp" "src/features/CMakeFiles/edgeis_features.dir/matcher.cpp.o" "gcc" "src/features/CMakeFiles/edgeis_features.dir/matcher.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/image/CMakeFiles/edgeis_image.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/edgeis_geometry.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

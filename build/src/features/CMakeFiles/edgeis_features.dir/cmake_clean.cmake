@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edgeis_features.dir/descriptor.cpp.o"
+  "CMakeFiles/edgeis_features.dir/descriptor.cpp.o.d"
+  "CMakeFiles/edgeis_features.dir/detector.cpp.o"
+  "CMakeFiles/edgeis_features.dir/detector.cpp.o.d"
+  "CMakeFiles/edgeis_features.dir/matcher.cpp.o"
+  "CMakeFiles/edgeis_features.dir/matcher.cpp.o.d"
+  "libedgeis_features.a"
+  "libedgeis_features.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edgeis_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libedgeis_features.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edgeis_geometry.dir/epipolar.cpp.o"
+  "CMakeFiles/edgeis_geometry.dir/epipolar.cpp.o.d"
+  "CMakeFiles/edgeis_geometry.dir/pnp.cpp.o"
+  "CMakeFiles/edgeis_geometry.dir/pnp.cpp.o.d"
+  "libedgeis_geometry.a"
+  "libedgeis_geometry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edgeis_geometry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edgeis_image.dir/image.cpp.o"
+  "CMakeFiles/edgeis_image.dir/image.cpp.o.d"
+  "libedgeis_image.a"
+  "libedgeis_image.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edgeis_image.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

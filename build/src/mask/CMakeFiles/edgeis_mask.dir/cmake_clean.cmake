@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edgeis_mask.dir/mask.cpp.o"
+  "CMakeFiles/edgeis_mask.dir/mask.cpp.o.d"
+  "libedgeis_mask.a"
+  "libedgeis_mask.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edgeis_mask.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

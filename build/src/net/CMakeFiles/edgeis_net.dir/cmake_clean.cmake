@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edgeis_net.dir/link.cpp.o"
+  "CMakeFiles/edgeis_net.dir/link.cpp.o.d"
+  "CMakeFiles/edgeis_net.dir/protocol.cpp.o"
+  "CMakeFiles/edgeis_net.dir/protocol.cpp.o.d"
+  "libedgeis_net.a"
+  "libedgeis_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edgeis_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

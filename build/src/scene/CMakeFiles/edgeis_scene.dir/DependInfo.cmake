@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/scene/mesh.cpp" "src/scene/CMakeFiles/edgeis_scene.dir/mesh.cpp.o" "gcc" "src/scene/CMakeFiles/edgeis_scene.dir/mesh.cpp.o.d"
+  "/root/repo/src/scene/presets.cpp" "src/scene/CMakeFiles/edgeis_scene.dir/presets.cpp.o" "gcc" "src/scene/CMakeFiles/edgeis_scene.dir/presets.cpp.o.d"
+  "/root/repo/src/scene/scene.cpp" "src/scene/CMakeFiles/edgeis_scene.dir/scene.cpp.o" "gcc" "src/scene/CMakeFiles/edgeis_scene.dir/scene.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geometry/CMakeFiles/edgeis_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/image/CMakeFiles/edgeis_image.dir/DependInfo.cmake"
+  "/root/repo/build/src/mask/CMakeFiles/edgeis_mask.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edgeis_scene.dir/mesh.cpp.o"
+  "CMakeFiles/edgeis_scene.dir/mesh.cpp.o.d"
+  "CMakeFiles/edgeis_scene.dir/presets.cpp.o"
+  "CMakeFiles/edgeis_scene.dir/presets.cpp.o.d"
+  "CMakeFiles/edgeis_scene.dir/scene.cpp.o"
+  "CMakeFiles/edgeis_scene.dir/scene.cpp.o.d"
+  "libedgeis_scene.a"
+  "libedgeis_scene.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edgeis_scene.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

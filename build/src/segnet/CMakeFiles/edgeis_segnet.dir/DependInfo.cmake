@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/segnet/anchors.cpp" "src/segnet/CMakeFiles/edgeis_segnet.dir/anchors.cpp.o" "gcc" "src/segnet/CMakeFiles/edgeis_segnet.dir/anchors.cpp.o.d"
+  "/root/repo/src/segnet/corrupt.cpp" "src/segnet/CMakeFiles/edgeis_segnet.dir/corrupt.cpp.o" "gcc" "src/segnet/CMakeFiles/edgeis_segnet.dir/corrupt.cpp.o.d"
+  "/root/repo/src/segnet/model.cpp" "src/segnet/CMakeFiles/edgeis_segnet.dir/model.cpp.o" "gcc" "src/segnet/CMakeFiles/edgeis_segnet.dir/model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mask/CMakeFiles/edgeis_mask.dir/DependInfo.cmake"
+  "/root/repo/build/src/image/CMakeFiles/edgeis_image.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/edgeis_geometry.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

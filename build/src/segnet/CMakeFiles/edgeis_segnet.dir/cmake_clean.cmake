@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edgeis_segnet.dir/anchors.cpp.o"
+  "CMakeFiles/edgeis_segnet.dir/anchors.cpp.o.d"
+  "CMakeFiles/edgeis_segnet.dir/corrupt.cpp.o"
+  "CMakeFiles/edgeis_segnet.dir/corrupt.cpp.o.d"
+  "CMakeFiles/edgeis_segnet.dir/model.cpp.o"
+  "CMakeFiles/edgeis_segnet.dir/model.cpp.o.d"
+  "libedgeis_segnet.a"
+  "libedgeis_segnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edgeis_segnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edgeis_sim.dir/device.cpp.o"
+  "CMakeFiles/edgeis_sim.dir/device.cpp.o.d"
+  "libedgeis_sim.a"
+  "libedgeis_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edgeis_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

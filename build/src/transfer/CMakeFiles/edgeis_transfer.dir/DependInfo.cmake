@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/transfer/mask_transfer.cpp" "src/transfer/CMakeFiles/edgeis_transfer.dir/mask_transfer.cpp.o" "gcc" "src/transfer/CMakeFiles/edgeis_transfer.dir/mask_transfer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/vo/CMakeFiles/edgeis_vo.dir/DependInfo.cmake"
+  "/root/repo/build/src/mask/CMakeFiles/edgeis_mask.dir/DependInfo.cmake"
+  "/root/repo/build/src/features/CMakeFiles/edgeis_features.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/edgeis_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/image/CMakeFiles/edgeis_image.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

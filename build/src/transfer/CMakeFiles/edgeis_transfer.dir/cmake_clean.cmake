@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edgeis_transfer.dir/mask_transfer.cpp.o"
+  "CMakeFiles/edgeis_transfer.dir/mask_transfer.cpp.o.d"
+  "libedgeis_transfer.a"
+  "libedgeis_transfer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edgeis_transfer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

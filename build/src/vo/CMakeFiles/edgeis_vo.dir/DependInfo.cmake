@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vo/initializer.cpp" "src/vo/CMakeFiles/edgeis_vo.dir/initializer.cpp.o" "gcc" "src/vo/CMakeFiles/edgeis_vo.dir/initializer.cpp.o.d"
+  "/root/repo/src/vo/map.cpp" "src/vo/CMakeFiles/edgeis_vo.dir/map.cpp.o" "gcc" "src/vo/CMakeFiles/edgeis_vo.dir/map.cpp.o.d"
+  "/root/repo/src/vo/tracker.cpp" "src/vo/CMakeFiles/edgeis_vo.dir/tracker.cpp.o" "gcc" "src/vo/CMakeFiles/edgeis_vo.dir/tracker.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geometry/CMakeFiles/edgeis_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/features/CMakeFiles/edgeis_features.dir/DependInfo.cmake"
+  "/root/repo/build/src/mask/CMakeFiles/edgeis_mask.dir/DependInfo.cmake"
+  "/root/repo/build/src/image/CMakeFiles/edgeis_image.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edgeis_vo.dir/initializer.cpp.o"
+  "CMakeFiles/edgeis_vo.dir/initializer.cpp.o.d"
+  "CMakeFiles/edgeis_vo.dir/map.cpp.o"
+  "CMakeFiles/edgeis_vo.dir/map.cpp.o.d"
+  "CMakeFiles/edgeis_vo.dir/tracker.cpp.o"
+  "CMakeFiles/edgeis_vo.dir/tracker.cpp.o.d"
+  "libedgeis_vo.a"
+  "libedgeis_vo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edgeis_vo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_geometry_sweeps.dir/test_geometry_sweeps.cpp.o"
+  "CMakeFiles/test_geometry_sweeps.dir/test_geometry_sweeps.cpp.o.d"
+  "test_geometry_sweeps"
+  "test_geometry_sweeps.pdb"
+  "test_geometry_sweeps[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_geometry_sweeps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

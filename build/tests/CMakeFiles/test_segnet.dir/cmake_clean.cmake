@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_segnet.dir/test_segnet.cpp.o"
+  "CMakeFiles/test_segnet.dir/test_segnet.cpp.o.d"
+  "test_segnet"
+  "test_segnet.pdb"
+  "test_segnet[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_segnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vo.dir/test_vo.cpp.o"
+  "CMakeFiles/test_vo.dir/test_vo.cpp.o.d"
+  "test_vo"
+  "test_vo.pdb"
+  "test_vo[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_vo.
+# This may be replaced when dependencies are built.
