@@ -1,0 +1,91 @@
+// Fig. 17 companion: the field study's link, made hostile on purpose.
+// Sweeps scripted fault scenarios (loss, duplication+reorder, total
+// outages) over the oil-field scene on LTE and compares edgeIS — with its
+// request ledger and MAMT degraded mode — against the best-effort+mv
+// baseline that faces the exact same faults. Prints accuracy alongside
+// the LinkHealthStats block (timeouts, retries, degraded time, staleness).
+#include "bench/common.hpp"
+
+using namespace edgeis;
+
+namespace {
+
+struct Scenario {
+  const char* name;
+  net::FaultScript script;
+};
+
+core::PipelineConfig field_config(const net::FaultScript& script) {
+  core::PipelineConfig cfg;
+  cfg.link = net::lte();
+  cfg.edge = sim::jetson_agx_xavier();
+  cfg.faults = script;
+  // Field-tuned failure handling: tight enough that a 2 s blackout walks
+  // the whole timeout -> retry -> degraded -> probe -> refresh machine,
+  // loose enough that typical clean LTE round trips complete.
+  cfg.request_timeout_ms = 600.0;
+  cfg.max_retries = 1;
+  cfg.degraded_entry_timeouts = 2;
+  cfg.probe_interval_frames = 10;
+  return cfg;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Fig. 17b", "field links under scripted faults");
+
+  const int frames = 240;  // 8 s @ 30 fps
+  Scenario scenarios[] = {
+      {"clean", net::FaultScript::none()},
+      {"loss-5%", net::FaultScript::lossy(0.05)},
+      {"loss-20%", net::FaultScript::lossy(0.20)},
+      {"dup+reorder",
+       net::FaultScript()
+           .add({0.0, 1e18, net::FaultMode::kDuplicate, 0.3, 0.0})
+           .add({0.0, 1e18, net::FaultMode::kReorder, 0.3, 120.0})},
+      {"outage-2s", net::FaultScript::outage(3000.0, 5000.0)},
+      {"outage-2x1s", net::FaultScript()
+                          .add({2500.0, 3500.0, net::FaultMode::kOutage})
+                          .add({5500.0, 6500.0, net::FaultMode::kOutage})},
+  };
+
+  eval::print_table_header({"scenario", "system", "IoU", "false", "tx MB",
+                            "t/o", "rtx", "degr ms", "stale p95"});
+
+  for (const auto& sc : scenarios) {
+    const auto scene_cfg = scene::make_field_scene(42, frames);
+    const auto cfg = field_config(sc.script);
+
+    {  // edgeIS: ledger + degraded mode + MAMT carry-through.
+      scene::SceneSimulator sim(scene_cfg);
+      core::EdgeISPipeline p(scene_cfg, cfg);
+      const auto r = core::run_pipeline(sim, p, bench::kWarmupFrames);
+      const auto h = p.link_health();
+      eval::print_table_row(
+          {sc.name, "edgeIS", eval::fmt_percent(r.summary.mean_iou),
+           eval::fmt_percent(r.summary.false_rate_loose),
+           eval::fmt(static_cast<double>(r.total_tx_bytes) / 1e6, 2),
+           std::to_string(h.attempt_timeouts),
+           std::to_string(h.retransmissions),
+           eval::fmt(h.time_in_degraded_ms, 0),
+           eval::fmt(h.mask_staleness_ms.percentile(95.0), 0)});
+    }
+    {  // Baseline: same faults, no failure handling beyond re-offering.
+      const auto r = bench::run_system(bench::System::kBestEffortMv,
+                                       scene_cfg, cfg);
+      eval::print_table_row(
+          {"  \"", "best-effort+mv", eval::fmt_percent(r.summary.mean_iou),
+           eval::fmt_percent(r.summary.false_rate_loose),
+           eval::fmt(static_cast<double>(r.total_tx_bytes) / 1e6, 2),
+           "-", "-", "-", "-"});
+    }
+  }
+
+  std::printf(
+      "\nExpected shape: edgeIS holds IoU through loss and outages by\n"
+      "serving MAMT-transferred masks and refusing to pay for a dead\n"
+      "link (degraded ms > 0, tx MB flat), while best-effort keeps\n"
+      "uploading into the blackout and renders ever-staler masks.\n");
+  return 0;
+}

@@ -97,8 +97,12 @@ TrackDetectPipeline::TrackDetectPipeline(
       best_effort_motion_vector_(best_effort_motion_vector),
       instance_class_(class_table(scene_config)),
       rng_(config_.seed ^ 0x7d7dULL),
-      edge_(config_.model, config_.edge, rt::Rng(config_.seed ^ 0xab1eULL)),
-      render_queue_(scene_config.fps) {}
+      edge_(config_.model, config_.edge, rt::Rng(config_.seed ^ 0xab1eULL),
+            net::FaultInjector(config_.faults,
+                               rt::Rng(config_.seed ^ 0xfa017ULL))),
+      render_queue_(scene_config.fps),
+      downlink_faults_(config_.faults,
+                       rt::Rng(config_.seed ^ 0xfa02eULL)) {}
 
 std::string TrackDetectPipeline::name() const {
   switch (policy_) {
@@ -229,7 +233,15 @@ FrameOutput TrackDetectPipeline::process(const scene::RenderedFrame& frame) {
     for (auto& r : responses) {
       const double down_ms =
           net::transmit_ms(config_.link, r.payload_bytes, rng_);
-      pending_.push_back({r.ready_ms + down_ms, std::move(r)});
+      const auto fate = downlink_faults_.on_message(r.ready_ms);
+      if (fate.drop) continue;  // lost response: these systems just retry
+      if (fate.duplicate) {
+        pending_.push_back({r.ready_ms + down_ms + fate.extra_delay_ms +
+                                fate.duplicate_delay_ms,
+                            r});
+      }
+      pending_.push_back(
+          {r.ready_ms + down_ms + fate.extra_delay_ms, std::move(r)});
     }
     out.transmitted = true;
     out.tx_bytes = encoded.total_bytes;
@@ -240,6 +252,7 @@ FrameOutput TrackDetectPipeline::process(const scene::RenderedFrame& frame) {
 
   prev_features_ = std::move(features);
   prev_image_ = frame.intensity;
+  out.awaiting_response = !pending_.empty();
   out.mobile_latency_ms = latency_ms;
   out.rendered_masks = render_queue_.push_and_render(
       frame.index, cached_masks_, latency_ms);

@@ -71,6 +71,9 @@ class TrackDetectPipeline : public Pipeline {
   rt::Rng rng_;
   EdgeServer edge_;
   RenderQueue render_queue_;
+  // Same fault script as edgeIS faces (uplink faults live in edge_), so
+  // the comparison under lossy links is apples to apples.
+  net::FaultInjector downlink_faults_;
   sim::MobileCostModel cost_model_;
   CorrelationTracker kcf_;
 

@@ -6,6 +6,19 @@ namespace edgeis::core {
 
 void EdgeServer::submit(int frame_index, double arrive_ms,
                         const segnet::InferenceRequest& request) {
+  const auto fate = uplink_faults_.on_message(arrive_ms);
+  if (fate.drop) return;  // lost on the uplink; sender's ledger times out
+  arrive_ms += fate.extra_delay_ms;  // reorder: delayed arrival
+  const int copies = fate.duplicate ? 2 : 1;
+  for (int copy = 0; copy < copies; ++copy) {
+    const double at =
+        arrive_ms + (copy == 0 ? 0.0 : fate.duplicate_delay_ms);
+    run_inference(frame_index, at, request);
+  }
+}
+
+void EdgeServer::run_inference(int frame_index, double arrive_ms,
+                               const segnet::InferenceRequest& request) {
   const double start = std::max(arrive_ms, free_at_ms_);
   segnet::InferenceResult result = model_.infer(request);
   const double compute_ms =
@@ -21,6 +34,18 @@ void EdgeServer::submit(int frame_index, double arrive_ms,
   }
   r.payload_bytes = mask_payload_bytes(r.masks);
   free_at_ms_ = r.ready_ms;
+  completed_.push_back(std::move(r));
+}
+
+void EdgeServer::submit_ping(int ping_id, double arrive_ms) {
+  const auto fate = uplink_faults_.on_message(arrive_ms);
+  if (fate.drop) return;
+  Response r;
+  r.frame_index = ping_id;
+  r.is_ping = true;
+  // Echoed from the network stack: no inference queue involved.
+  r.ready_ms = arrive_ms + fate.extra_delay_ms + 0.2;
+  r.payload_bytes = 64;
   completed_.push_back(std::move(r));
 }
 

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "mask/mask.hpp"
+#include "net/faults.hpp"
 #include "runtime/rng.hpp"
 #include "segnet/model.hpp"
 #include "sim/device.hpp"
@@ -15,9 +16,14 @@ namespace edgeis::core {
 
 class EdgeServer {
  public:
+  /// `uplink_faults` (default: none) is consulted for every arriving
+  /// message, so every pipeline that talks to this server — edgeIS and the
+  /// baselines alike — faces the same uplink behaviour.
   EdgeServer(segnet::ModelProfile model, sim::DeviceProfile device,
-             rt::Rng rng)
-      : model_(std::move(model), rng), device_(std::move(device)) {}
+             rt::Rng rng, net::FaultInjector uplink_faults = {})
+      : model_(std::move(model), rng),
+        device_(std::move(device)),
+        uplink_faults_(std::move(uplink_faults)) {}
 
   struct Response {
     int frame_index = 0;
@@ -25,13 +31,20 @@ class EdgeServer {
     std::vector<mask::InstanceMask> masks;
     segnet::InferenceStats stats;
     std::size_t payload_bytes = 0;  // serialized contour payload size
+    bool is_ping = false;           // liveness echo, no inference attached
   };
 
   /// Submit a request arriving at the server at `arrive_ms`. Inference is
   /// evaluated immediately (the simulation is deterministic) but its result
-  /// is stamped with the queue-aware completion time.
+  /// is stamped with the queue-aware completion time. A request lost on
+  /// the uplink never reaches the server: no inference runs, no response
+  /// is produced, and the sender's ledger is left to time out.
   void submit(int frame_index, double arrive_ms,
               const segnet::InferenceRequest& request);
+
+  /// Submit a liveness probe (degraded-mode recovery detection). The echo
+  /// bypasses the inference queue; it is subject to the same uplink faults.
+  void submit_ping(int ping_id, double arrive_ms);
 
   /// Pop all responses completed by `now_ms` (server-side; caller adds
   /// downlink latency).
@@ -44,10 +57,17 @@ class EdgeServer {
   [[nodiscard]] const segnet::SegmentationModel& model() const {
     return model_;
   }
+  [[nodiscard]] const net::FaultInjector& uplink_faults() const {
+    return uplink_faults_;
+  }
 
  private:
+  void run_inference(int frame_index, double arrive_ms,
+                     const segnet::InferenceRequest& request);
+
   segnet::SegmentationModel model_;
   sim::DeviceProfile device_;
+  net::FaultInjector uplink_faults_;
   double free_at_ms_ = 0.0;
   std::vector<Response> completed_;
 };

@@ -14,8 +14,12 @@ EdgeISPipeline::EdgeISPipeline(const scene::SceneConfig& scene_config,
     : scene_config_(scene_config),
       config_(std::move(config)),
       rng_(config_.seed ^ 0xed9e15ULL),
-      edge_(config_.model, config_.edge, rt::Rng(config_.seed ^ 0x5e7fULL)),
-      render_queue_(scene_config.fps) {
+      edge_(config_.model, config_.edge, rt::Rng(config_.seed ^ 0x5e7fULL),
+            net::FaultInjector(config_.faults,
+                               rt::Rng(config_.seed ^ 0xfa017ULL))),
+      render_queue_(scene_config.fps),
+      downlink_faults_(config_.faults,
+                       rt::Rng(config_.seed ^ 0xfa02eULL)) {
   for (const auto& obj : scene_config_.objects) {
     instance_class_[obj.instance_id] = static_cast<int>(obj.cls);
   }
@@ -50,7 +54,33 @@ void EdgeISPipeline::deliver_due_responses(double now_ms) {
     }
     EdgeServer::Response resp = std::move(it->response);
     it = pending_.erase(it);
+
+    // Match the response to its ledger entry. Unmatched deliveries are
+    // duplicates or answers to abandoned requests: ignore them wholesale —
+    // annotating an ancient keyframe would only corrupt the tracker.
+    const auto entry = std::find_if(
+        ledger_.begin(), ledger_.end(), [&](const LedgerEntry& e) {
+          return !e.dead && e.request_id == resp.frame_index &&
+                 e.is_ping == resp.is_ping;
+        });
+    if (entry == ledger_.end()) {
+      ++health_.stale_responses;
+      continue;
+    }
+    ledger_.erase(entry);
+    ++health_.responses_received;
+    consecutive_timeouts_ = 0;
+    if (degraded_) {
+      // Any response proves the link is back. A ping carries no masks, so
+      // recovery via ping owes the tracker a full-quality refresh; an
+      // inference response is itself fresh annotation.
+      degraded_ = false;
+      if (resp.is_ping && phase_ == Phase::kRunning) force_refresh_ = true;
+    }
+    if (resp.is_ping) continue;
+
     edge_stats_.push_back(resp.stats);
+    last_annotation_ms_ = now_ms;
 
     if (phase_ == Phase::kAwaitInitMasks) {
       if (init_ref_ && resp.frame_index == init_ref_->frame_index) {
@@ -70,6 +100,116 @@ void EdgeISPipeline::deliver_due_responses(double now_ms) {
       cached_masks_ = std::move(resp.masks);  // MAMT-off fallback cache
     }
   }
+}
+
+void EdgeISPipeline::send_attempt(LedgerEntry& e, double now_ms) {
+  const double up_ms = net::transmit_ms(
+      config_.link, std::max<std::size_t>(e.bytes, 1), rng_);
+  if (e.is_ping) {
+    edge_.submit_ping(e.request_id, now_ms + up_ms);
+  } else {
+    edge_.submit(e.frame_index, now_ms + up_ms, e.request);
+  }
+  // The server result and completion time are deterministic at submission;
+  // stamp the downlink (with faults) and queue the delivery.
+  for (auto& r : edge_.poll(1e18)) {
+    queue_response_with_faults(std::move(r));
+  }
+  e.deadline_ms = now_ms + config_.request_timeout_ms;
+  e.resend_at_ms = -1.0;
+}
+
+void EdgeISPipeline::queue_response_with_faults(EdgeServer::Response r) {
+  const double down_ms = net::transmit_ms(
+      config_.link, std::max<std::size_t>(r.payload_bytes, 1), rng_);
+  const auto fate = downlink_faults_.on_message(r.ready_ms);
+  if (fate.drop) return;  // the ledger deadline will notice
+  if (fate.duplicate) {
+    pending_.push_back({r.ready_ms + down_ms + fate.extra_delay_ms +
+                            fate.duplicate_delay_ms,
+                        r});
+  }
+  pending_.push_back({r.ready_ms + down_ms + fate.extra_delay_ms,
+                      std::move(r)});
+}
+
+void EdgeISPipeline::service_ledger(double now_ms) {
+  bool init_failed = false;
+  for (auto& e : ledger_) {
+    if (e.dead) continue;
+    if (e.resend_at_ms >= 0.0) {
+      if (now_ms >= e.resend_at_ms) {
+        ++e.attempt;
+        ++health_.retransmissions;
+        send_attempt(e, now_ms);
+      }
+      continue;
+    }
+    if (now_ms < e.deadline_ms) continue;
+    ++health_.attempt_timeouts;
+    ++consecutive_timeouts_;
+    if (e.is_ping || e.attempt >= config_.max_retries) {
+      // Pings never retry: the probe cadence replaces them.
+      e.dead = true;
+      if (!e.is_ping) {
+        ++health_.requests_failed;
+        if (e.is_init) init_failed = true;
+      }
+    } else {
+      e.resend_at_ms =
+          now_ms + config_.retry_backoff_base_ms * std::exp2(e.attempt);
+    }
+  }
+
+  if (!degraded_ &&
+      consecutive_timeouts_ >= config_.degraded_entry_timeouts) {
+    degraded_ = true;
+    ++health_.degraded_entries;
+    // Stop paying the link: abandon every outstanding inference request.
+    // MAMT keeps serving masks off the last labeled keyframe; only the
+    // probe cadence touches the radio until the link answers again.
+    for (auto& e : ledger_) {
+      if (e.is_ping || e.dead) continue;
+      e.dead = true;
+      ++health_.requests_failed;
+      if (e.is_init) init_failed = true;
+    }
+  }
+
+  std::erase_if(ledger_, [](const LedgerEntry& e) { return e.dead; });
+  if (init_failed) abort_initialization();
+}
+
+void EdgeISPipeline::abort_initialization() {
+  // An init-pair annotation never arrived: both requests are void. Fall
+  // back to bootstrap; the existing reference-reset interval picks a fresh
+  // pair once the link cooperates.
+  std::erase_if(ledger_, [](const LedgerEntry& e) { return e.is_init; });
+  init_pair_second_.reset();
+  probe_map_.reset();
+  probe_result_.reset();
+  if (phase_ == Phase::kAwaitInitMasks) {
+    phase_ = Phase::kBootstrap;
+    ++bootstrap_attempts_;
+  }
+}
+
+bool EdgeISPipeline::has_outstanding_request() const {
+  for (const auto& e : ledger_) {
+    if (!e.is_ping && !e.dead) return true;
+  }
+  return false;
+}
+
+rt::LinkHealthStats EdgeISPipeline::link_health() const {
+  rt::LinkHealthStats h = health_;
+  const auto& up = edge_.uplink_faults().stats();
+  const auto& down = downlink_faults_.stats();
+  h.uplink_drops = up.total_lost();
+  h.downlink_drops = down.total_lost();
+  h.duplicates_injected = up.duplicated + down.duplicated;
+  h.reorders_injected = up.reordered + down.reordered;
+  return h;
 }
 
 bool EdgeISPipeline::pair_geometry_ok(
@@ -254,17 +394,14 @@ std::size_t EdgeISPipeline::transmit(
     req.use_roi_pruning = !req.priors.empty();
   }
 
-  const double up_ms = net::transmit_ms(config_.link, encoded.total_bytes,
-                                        rng_);
-  edge_.submit(frame.index, now_ms + up_ms, req);
-  // The server result and completion time are deterministic at submission;
-  // stamp the downlink and queue the delivery.
-  auto responses = edge_.poll(1e18);
-  for (auto& r : responses) {
-    const double down_ms = net::transmit_ms(config_.link, r.payload_bytes,
-                                            rng_);
-    pending_.push_back({r.ready_ms + down_ms, std::move(r)});
-  }
+  LedgerEntry entry;
+  entry.request_id = frame.index;
+  entry.frame_index = frame.index;
+  entry.bytes = encoded.total_bytes;
+  entry.request = std::move(req);
+  ++health_.requests_sent;
+  send_attempt(entry, now_ms);
+  ledger_.push_back(std::move(entry));
   last_tx_frame_ = frame.index;
   return encoded.total_bytes;
 }
@@ -273,8 +410,36 @@ FrameOutput EdgeISPipeline::process(const scene::RenderedFrame& frame) {
   const double now_ms = frame.timestamp * 1000.0;
   FrameOutput out;
   out.frame_index = frame.index;
+  auto stamp_link_state = [&](FrameOutput& o) {
+    o.awaiting_response = !ledger_.empty();
+    o.degraded = degraded_;
+  };
 
+  if (degraded_) {
+    health_.time_in_degraded_ms += now_ms - prev_frame_ms_;
+    ++health_.degraded_frames;
+  }
   deliver_due_responses(now_ms);
+  service_ledger(now_ms);
+  if (degraded_) {
+    // Probe for recovery on a fixed cadence: a 64-byte ping instead of a
+    // full keyframe, so an outage costs (almost) nothing to wait out.
+    bool ping_outstanding = false;
+    for (const auto& e : ledger_) ping_outstanding |= e.is_ping;
+    if (!ping_outstanding &&
+        frame.index - last_probe_frame_ >= config_.probe_interval_frames) {
+      LedgerEntry ping;
+      ping.request_id = next_ping_id_--;
+      ping.is_ping = true;
+      ping.bytes = 64;
+      ++health_.probes_sent;
+      send_attempt(ping, now_ms);
+      ledger_.push_back(std::move(ping));
+      last_probe_frame_ = frame.index;
+      out.tx_bytes += 64;
+    }
+  }
+  prev_frame_ms_ = now_ms;
 
   auto features = orb_.extract(frame.intensity);
   double latency_ms =
@@ -290,13 +455,15 @@ FrameOutput EdgeISPipeline::process(const scene::RenderedFrame& frame) {
       init_ref_ = StoredFrame{frame.index, frame.intensity, features,
                               build_oracle(frame), std::nullopt};
       probe_mid_.reset();
-    } else if (frame.index - init_ref_->frame_index >= 20 &&
+    } else if (!degraded_ && frame.index - init_ref_->frame_index >= 20 &&
                pair_geometry_ok(*init_ref_, frame.index, frame.intensity,
                                 features)) {
       init_pair_second_ = StoredFrame{frame.index, frame.intensity, features,
                                       build_oracle(frame), std::nullopt};
       // Send both chosen frames to the edge for accurate masks
       // (Section III-A), full quality: annotation precision matters most.
+      // Each goes through the ledger: a lost init annotation times out and
+      // sends the bootstrap back to pair selection instead of wedging.
       for (const StoredFrame* sf : {&*init_ref_, &*init_pair_second_}) {
         segnet::InferenceRequest req;
         req.width = scene_config_.camera.width;
@@ -306,16 +473,16 @@ FrameOutput EdgeISPipeline::process(const scene::RenderedFrame& frame) {
         const auto encoded = enc::encode_uniform(
             sf->frame_index, req.width, req.height,
             enc::CompressionLevel::kHigh);
-        const double up_ms =
-            net::transmit_ms(config_.link, encoded.total_bytes, rng_);
-        edge_.submit(sf->frame_index, now_ms + up_ms, req);
+        LedgerEntry entry;
+        entry.request_id = sf->frame_index;
+        entry.frame_index = sf->frame_index;
+        entry.is_init = true;
+        entry.bytes = encoded.total_bytes;
+        entry.request = std::move(req);
+        ++health_.requests_sent;
+        send_attempt(entry, now_ms);
+        ledger_.push_back(std::move(entry));
         out.tx_bytes += encoded.total_bytes;
-      }
-      auto responses = edge_.poll(1e18);
-      for (auto& r : responses) {
-        const double down_ms =
-            net::transmit_ms(config_.link, r.payload_bytes, rng_);
-        pending_.push_back({r.ready_ms + down_ms, std::move(r)});
       }
       out.transmitted = true;
       phase_ = Phase::kAwaitInitMasks;
@@ -330,12 +497,14 @@ FrameOutput EdgeISPipeline::process(const scene::RenderedFrame& frame) {
     out.mobile_latency_ms = latency_ms;
     out.rendered_masks =
         render_queue_.push_and_render(frame.index, {}, latency_ms);
+    stamp_link_state(out);
     return out;
   }
   if (phase_ == Phase::kAwaitInitMasks) {
     out.mobile_latency_ms = latency_ms;
     out.rendered_masks =
         render_queue_.push_and_render(frame.index, {}, latency_ms);
+    stamp_link_state(out);
     return out;
   }
 
@@ -366,6 +535,8 @@ FrameOutput EdgeISPipeline::process(const scene::RenderedFrame& frame) {
     tracker_.reset();
     mamt_.reset();
     pending_.clear();
+    ledger_.clear();  // in-flight responses would land in a dead map
+    force_refresh_ = false;
     init_ref_.reset();
     init_pair_second_.reset();
     phase_ = Phase::kBootstrap;
@@ -375,6 +546,7 @@ FrameOutput EdgeISPipeline::process(const scene::RenderedFrame& frame) {
     out.mobile_latency_ms = latency_ms;
     out.rendered_masks = render_queue_.push_and_render(
         frame.index, cached_masks_, latency_ms);
+    stamp_link_state(out);
     return out;
   }
   latency_ms += cost_model_.track_us_per_matched_point *
@@ -486,13 +658,26 @@ FrameOutput EdgeISPipeline::process(const scene::RenderedFrame& frame) {
     } else {
       want_tx = true;  // no selection: every keyframe goes to the edge
     }
-    // Half-duplex: keep at most one request in flight.
-    if (!pending_.empty()) want_tx = false;
+    // Half-duplex: keep at most one request in flight. The ledger — not
+    // the delivery queue — is the gate: a response lost on the downlink
+    // leaves pending_ empty but the request is still outstanding until
+    // its timeout, and must not wedge transmission forever.
+    if (has_outstanding_request()) want_tx = false;
     if (getenv("EDGEIS_DEBUG")) {
-      fprintf(stderr, "kf@%d unlab=%.2f last_tx=%d pending=%zu want=%d\n",
+      fprintf(stderr, "kf@%d unlab=%.2f last_tx=%d outstanding=%zu want=%d\n",
               frame.index, obs.unlabeled_fraction, last_tx_frame_,
-              pending_.size(), (int)want_tx);
+              ledger_.size(), (int)want_tx);
     }
+  }
+  // Degraded: stop paying transmission cost; MAMT carries the masks.
+  if (degraded_) want_tx = false;
+  // Link recovery refresh: the first opportunity after a ping answered,
+  // request a full-quality annotation to clear the accumulated staleness.
+  if (force_refresh_ && !degraded_ && !has_outstanding_request()) {
+    want_tx = true;
+    full_frame_refresh_ = true;
+    force_refresh_ = false;
+    ++health_.refresh_requests;
   }
 
   if (want_tx) {
@@ -554,11 +739,15 @@ FrameOutput EdgeISPipeline::process(const scene::RenderedFrame& frame) {
     }
   }
 
+  if (last_annotation_ms_ >= 0.0) {
+    health_.mask_staleness_ms.add(now_ms - last_annotation_ms_);
+  }
   prev_features_ = obs.features;
   out.map_memory_bytes = map_.memory_bytes();
   out.mobile_latency_ms = latency_ms;
   out.rendered_masks = render_queue_.push_and_render(
       frame.index, std::move(frame_masks), latency_ms);
+  stamp_link_state(out);
   return out;
 }
 

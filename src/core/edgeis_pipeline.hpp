@@ -13,6 +13,8 @@
 #include "core/pipeline.hpp"
 #include "core/render_queue.hpp"
 #include "features/orb.hpp"
+#include "net/faults.hpp"
+#include "runtime/stats.hpp"
 #include "scene/scene.hpp"
 #include "transfer/mask_transfer.hpp"
 #include "vo/initializer.hpp"
@@ -37,6 +39,12 @@ class EdgeISPipeline : public Pipeline {
 
   [[nodiscard]] bool initialized() const { return phase_ == Phase::kRunning; }
 
+  /// Ledger / degraded-mode accounting, merged with the link-level fault
+  /// counters of both injectors. Deterministic for a fixed seed + script.
+  [[nodiscard]] rt::LinkHealthStats link_health() const;
+  [[nodiscard]] bool degraded() const { return degraded_; }
+  [[nodiscard]] int bootstrap_attempts() const { return bootstrap_attempts_; }
+
  private:
   enum class Phase { kBootstrap, kAwaitInitMasks, kRunning };
 
@@ -53,9 +61,33 @@ class EdgeISPipeline : public Pipeline {
     EdgeServer::Response response;
   };
 
+  /// One outstanding request. Kept until its response is matched or every
+  /// retry is exhausted; `request` is retained for retransmission.
+  struct LedgerEntry {
+    int request_id = 0;       // frame index; pings use negative ids
+    int frame_index = 0;
+    bool is_ping = false;
+    bool is_init = false;     // an initialization-pair annotation request
+    bool dead = false;        // abandoned, pending removal
+    int attempt = 0;          // 0 = first send
+    double deadline_ms = 0.0; // response deadline of the live attempt
+    double resend_at_ms = -1.0;  // >= 0: waiting out the backoff
+    std::size_t bytes = 0;
+    segnet::InferenceRequest request;
+  };
+
   std::vector<segnet::OracleInstance> build_oracle(
       const scene::RenderedFrame& frame) const;
   void deliver_due_responses(double now_ms);
+  /// Expire attempts, schedule/execute retransmissions, enter degraded
+  /// mode after enough consecutive timeouts.
+  void service_ledger(double now_ms);
+  /// Put one attempt of `e` on the uplink and queue whatever the edge
+  /// completes (downlink faults applied).
+  void send_attempt(LedgerEntry& e, double now_ms);
+  void queue_response_with_faults(EdgeServer::Response r);
+  void abort_initialization();
+  [[nodiscard]] bool has_outstanding_request() const;
   void try_initialize();
   /// Geometry-only feasibility check for an initialization pair.
   bool pair_geometry_ok(const StoredFrame& f0, int frame_index1,
@@ -98,6 +130,17 @@ class EdgeISPipeline : public Pipeline {
   std::unique_ptr<transfer::MaskTransfer> mamt_;
 
   std::vector<PendingResponse> pending_;
+  // Failure handling: request ledger + degraded-mode state machine.
+  net::FaultInjector downlink_faults_;
+  std::vector<LedgerEntry> ledger_;
+  rt::LinkHealthStats health_;
+  bool degraded_ = false;
+  bool force_refresh_ = false;    // full-quality refresh due after recovery
+  int consecutive_timeouts_ = 0;
+  int next_ping_id_ = -1;
+  int last_probe_frame_ = -1000000;
+  double last_annotation_ms_ = -1.0;
+  double prev_frame_ms_ = 0.0;
   int last_tx_frame_ = -1000;
   bool full_frame_refresh_ = false;
   int tx_count_ = 0;

@@ -12,7 +12,7 @@ RunResult run_pipeline(const scene::SceneSimulator& sim, Pipeline& pipeline,
     FrameOutput out = pipeline.process(frame);
 
     monitor.record_frame(out.mobile_latency_ms, out.map_memory_bytes,
-                         out.tx_bytes);
+                         out.tx_bytes, out.awaiting_response);
     if (out.transmitted) {
       ++result.transmissions;
       result.total_tx_bytes += out.tx_bytes;

@@ -33,6 +33,16 @@ struct PipelineConfig {
   double new_content_threshold = 0.25;  // t
   double object_motion_tx_threshold = 0.15;  // displacement since last tx
   int max_tx_interval_frames = 15;      // refresh cadence upper bound
+
+  // Failure handling (DESIGN.md "Failure handling"). `faults` scripts the
+  // link in both directions; the remaining knobs drive the request ledger
+  // and the degraded-mode state machine of EdgeISPipeline.
+  net::FaultScript faults;
+  double request_timeout_ms = 1500.0;  // per-attempt response deadline
+  int max_retries = 2;                 // retransmissions per request
+  double retry_backoff_base_ms = 60.0; // backoff = base * 2^attempt
+  int degraded_entry_timeouts = 3;     // consecutive attempt timeouts
+  int probe_interval_frames = 15;      // ping cadence while degraded
 };
 
 struct FrameOutput {
@@ -43,6 +53,8 @@ struct FrameOutput {
   std::size_t tx_bytes = 0;
   std::size_t map_memory_bytes = 0;
   bool tracking_ok = true;
+  bool awaiting_response = false;  // a request is outstanding (radio awake)
+  bool degraded = false;           // serving masks locally, link given up
 };
 
 class Pipeline {

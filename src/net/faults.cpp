@@ -1,0 +1,74 @@
+#include "net/faults.hpp"
+
+namespace edgeis::net {
+
+const char* fault_mode_name(FaultMode mode) {
+  switch (mode) {
+    case FaultMode::kDrop: return "drop";
+    case FaultMode::kDuplicate: return "duplicate";
+    case FaultMode::kReorder: return "reorder";
+    case FaultMode::kOutage: return "outage";
+  }
+  return "?";
+}
+
+FaultScript FaultScript::outage(double start_ms, double end_ms) {
+  FaultScript s;
+  s.windows.push_back({start_ms, end_ms, FaultMode::kOutage, 1.0, 0.0});
+  return s;
+}
+
+FaultScript FaultScript::lossy(double drop_probability, double until_ms) {
+  FaultScript s;
+  s.windows.push_back({0.0, until_ms, FaultMode::kDrop, drop_probability, 0.0});
+  return s;
+}
+
+FaultDecision FaultInjector::on_message(double now_ms) {
+  ++stats_.messages;
+  FaultDecision d;
+  if (script_.empty()) return d;
+
+  for (const auto& w : script_.windows) {
+    if (!w.active(now_ms)) continue;
+    switch (w.mode) {
+      case FaultMode::kOutage:
+        if (w.probability >= 1.0 || rng_.chance(w.probability)) {
+          ++stats_.outage_dropped;
+          d.drop = true;
+          return d;
+        }
+        break;
+      case FaultMode::kDrop:
+        if (rng_.chance(w.probability)) {
+          ++stats_.dropped;
+          d.drop = true;
+          return d;
+        }
+        break;
+      case FaultMode::kDuplicate:
+        if (!d.duplicate && rng_.chance(w.probability)) {
+          ++stats_.duplicated;
+          d.duplicate = true;
+          d.duplicate_delay_ms = rng_.uniform(5.0, 40.0);
+        }
+        break;
+      case FaultMode::kReorder:
+        if (rng_.chance(w.probability)) {
+          ++stats_.reordered;
+          d.extra_delay_ms += w.reorder_delay_ms * rng_.uniform(0.5, 1.5);
+        }
+        break;
+    }
+  }
+  return d;
+}
+
+bool FaultInjector::in_outage(double now_ms) const {
+  for (const auto& w : script_.windows) {
+    if (w.mode == FaultMode::kOutage && w.active(now_ms)) return true;
+  }
+  return false;
+}
+
+}  // namespace edgeis::net

@@ -1,0 +1,109 @@
+// Scriptable fault injection for the mobile<->edge link. The field study
+// (Section VI-C2, Fig. 17) runs edgeIS over real WiFi/LTE where messages
+// are lost, duplicated, delayed past their successors, or blacked out for
+// whole seconds. A FaultScript describes those behaviours as timed
+// windows; a FaultInjector applies them to individual messages using the
+// experiment's seeded Rng, so every faulty run is bit-for-bit
+// reproducible.
+#pragma once
+
+#include <vector>
+
+#include "runtime/rng.hpp"
+
+namespace edgeis::net {
+
+enum class FaultMode {
+  kDrop,       // per-message Bernoulli loss
+  kDuplicate,  // message delivered twice (second copy lags)
+  kReorder,    // message delayed so later sends overtake it
+  kOutage,     // blackout: every message in the window is lost
+};
+
+const char* fault_mode_name(FaultMode mode);
+
+/// One timed fault interval: active for messages entering the link at
+/// start_ms <= t < end_ms.
+struct FaultWindow {
+  double start_ms = 0.0;
+  double end_ms = 0.0;
+  FaultMode mode = FaultMode::kOutage;
+  /// Per-message trigger probability while the window is active. kOutage
+  /// conventionally uses 1.0 (a total blackout).
+  double probability = 1.0;
+  /// Mean extra delay applied by kReorder (actual delay is uniform in
+  /// [0.5, 1.5] of this, matching the congestion-tail convention).
+  double reorder_delay_ms = 80.0;
+
+  [[nodiscard]] bool active(double now_ms) const {
+    return now_ms >= start_ms && now_ms < end_ms;
+  }
+};
+
+/// An ordered list of fault windows; windows may overlap, in which case a
+/// message is subjected to each active window in list order.
+struct FaultScript {
+  std::vector<FaultWindow> windows;
+
+  [[nodiscard]] bool empty() const { return windows.empty(); }
+
+  FaultScript& add(FaultWindow w) {
+    windows.push_back(w);
+    return *this;
+  }
+
+  /// No faults: the idealized link of the non-field experiments.
+  static FaultScript none() { return {}; }
+
+  /// Total blackout over [start_ms, end_ms).
+  static FaultScript outage(double start_ms, double end_ms);
+
+  /// Stationary random loss at `drop_probability` over [0, until_ms).
+  static FaultScript lossy(double drop_probability, double until_ms = 1e18);
+};
+
+/// Counters of faults actually applied (link-level ground truth; the
+/// mobile side can only infer these through timeouts).
+struct FaultStats {
+  int messages = 0;
+  int dropped = 0;         // kDrop losses
+  int outage_dropped = 0;  // kOutage losses
+  int duplicated = 0;
+  int reordered = 0;
+
+  [[nodiscard]] int total_lost() const { return dropped + outage_dropped; }
+};
+
+/// The fate of one message entering the link.
+struct FaultDecision {
+  bool drop = false;
+  bool duplicate = false;
+  double extra_delay_ms = 0.0;      // reorder delay on the primary copy
+  double duplicate_delay_ms = 0.0;  // additional lag of the duplicate copy
+};
+
+/// Applies a FaultScript message by message. Owns its own Rng stream so a
+/// fault-free script consumes no randomness and leaves fault-free runs
+/// byte-identical to runs without an injector.
+class FaultInjector {
+ public:
+  FaultInjector() : rng_(0) {}
+  FaultInjector(FaultScript script, rt::Rng rng)
+      : script_(std::move(script)), rng_(rng) {}
+
+  /// Decide the fate of one message entering the link at `now_ms`.
+  FaultDecision on_message(double now_ms);
+
+  /// True while any kOutage window covers `now_ms`.
+  [[nodiscard]] bool in_outage(double now_ms) const;
+
+  [[nodiscard]] const FaultStats& stats() const { return stats_; }
+  [[nodiscard]] const FaultScript& script() const { return script_; }
+
+ private:
+  FaultScript script_;
+  rt::Rng rng_;
+  FaultStats stats_;
+};
+
+}  // namespace edgeis::net

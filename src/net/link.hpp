@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "net/faults.hpp"
 #include "runtime/rng.hpp"
 
 namespace edgeis::net {
@@ -44,13 +45,31 @@ class Channel {
     queue_.push_back({now_ms + latency_ms, std::move(payload)});
   }
 
-  /// Pop the next message delivered by `now_ms`, oldest first.
+  /// Send through a fault injector: the message may be lost, duplicated or
+  /// delayed past later sends. Returns false when the message was lost.
+  bool send(double now_ms, double latency_ms, Payload payload,
+            FaultInjector& faults) {
+    const FaultDecision d = faults.on_message(now_ms);
+    if (d.drop) return false;
+    if (d.duplicate) {
+      queue_.push_back({now_ms + latency_ms + d.extra_delay_ms +
+                            d.duplicate_delay_ms,
+                        payload});
+    }
+    queue_.push_back({now_ms + latency_ms + d.extra_delay_ms,
+                      std::move(payload)});
+    return true;
+  }
+
+  /// Pop the next message delivered by `now_ms`, oldest first. Messages
+  /// with equal delivery times come out in send order (FIFO).
   [[nodiscard]] bool try_receive(double now_ms, Payload& out) {
     std::size_t best = queue_.size();
-    double best_time = now_ms;
     for (std::size_t i = 0; i < queue_.size(); ++i) {
-      if (queue_[i].deliver_at_ms <= best_time) {
-        best_time = queue_[i].deliver_at_ms;
+      if (queue_[i].deliver_at_ms > now_ms) continue;
+      // Strict <: the earliest-sent of equal delivery times wins.
+      if (best == queue_.size() ||
+          queue_[i].deliver_at_ms < queue_[best].deliver_at_ms) {
         best = i;
       }
     }

@@ -119,4 +119,32 @@ class SampleSet {
   std::vector<double> samples_;
 };
 
+/// Mobile-side link health accounting under fault injection: what the
+/// request ledger observed (timeouts, retries, degraded-mode time) plus
+/// the link-level faults actually injected. Filled by the pipelines;
+/// consumed by the fault-sweep bench and the fault tests. All fields are
+/// deterministic for a fixed seed and fault script.
+struct LinkHealthStats {
+  // Request ledger.
+  int requests_sent = 0;        // unique requests (first attempts only)
+  int retransmissions = 0;      // backoff-scheduled re-sends
+  int attempt_timeouts = 0;     // attempts whose deadline expired
+  int requests_failed = 0;      // requests that exhausted every retry
+  int responses_received = 0;   // responses matched to a ledger entry
+  int stale_responses = 0;      // duplicate / post-abandon deliveries ignored
+  // Degraded mode.
+  int probes_sent = 0;          // liveness pings while degraded
+  int degraded_entries = 0;     // times degraded mode was entered
+  int degraded_frames = 0;
+  double time_in_degraded_ms = 0.0;
+  int refresh_requests = 0;     // full-quality refreshes after recovery
+  // Link-level ground truth (from the fault injectors).
+  int uplink_drops = 0;
+  int downlink_drops = 0;
+  int duplicates_injected = 0;
+  int reorders_injected = 0;
+  /// Per-frame age of the newest applied edge annotation while running.
+  SampleSet mask_staleness_ms;
+};
+
 }  // namespace edgeis::rt

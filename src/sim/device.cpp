@@ -70,7 +70,8 @@ DeviceProfile dream_glass() {
 }
 
 void ResourceMonitor::record_frame(double busy_ms, std::size_t map_bytes,
-                                   std::size_t tx_bytes) {
+                                   std::size_t tx_bytes,
+                                   bool radio_listening) {
   ++frames_;
   busy_ms_total_ += busy_ms;
   last_memory_ = map_bytes;
@@ -82,6 +83,9 @@ void ResourceMonitor::record_frame(double busy_ms, std::size_t map_bytes,
   energy_j_ += (profile_.idle_power_w +
                 profile_.busy_power_w * utilization) * frame_s;
   energy_j_ += profile_.radio_nj_per_byte * static_cast<double>(tx_bytes) * 1e-9;
+  if (radio_listening) {
+    energy_j_ += profile_.radio_listen_w * frame_s;
+  }
 }
 
 double ResourceMonitor::mean_cpu_utilization() const {

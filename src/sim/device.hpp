@@ -23,6 +23,9 @@ struct DeviceProfile {
   double idle_power_w = 0.9;
   double busy_power_w = 2.6;       // at 100% of one sustained core budget
   double radio_nj_per_byte = 90.0; // WiFi transmit energy
+  /// Extra draw while the radio stays awake awaiting an edge response
+  /// (request outstanding); retransmission storms show up as battery cost.
+  double radio_listen_w = 0.15;
   double battery_wh = 11.91;       // iPhone 11
 };
 
@@ -61,9 +64,10 @@ class ResourceMonitor {
       : profile_(std::move(profile)), frame_budget_ms_(1000.0 / fps) {}
 
   /// Record one processed frame: busy CPU milliseconds spent, current map
-  /// memory, bytes transmitted this frame.
+  /// memory, bytes transmitted this frame. `radio_listening` marks frames
+  /// spent with a request outstanding (radio held awake for the response).
   void record_frame(double busy_ms, std::size_t map_bytes,
-                    std::size_t tx_bytes);
+                    std::size_t tx_bytes, bool radio_listening = false);
 
   [[nodiscard]] double mean_cpu_utilization() const;  // [0, 1] of one core budget
   [[nodiscard]] std::size_t peak_memory_bytes() const { return peak_memory_; }

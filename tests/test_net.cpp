@@ -66,6 +66,65 @@ TEST(Channel, InFlightCount) {
   EXPECT_EQ(ch.in_flight(), 1u);
 }
 
+TEST(Channel, EqualDeliveryTimeTiesAreFifo) {
+  // Messages landing at the same instant come out in send order.
+  Channel<int> ch;
+  ch.send(0.0, 10.0, 1);
+  ch.send(0.0, 10.0, 2);
+  ch.send(0.0, 10.0, 3);
+  int out = 0;
+  ASSERT_TRUE(ch.try_receive(10.0, out));
+  EXPECT_EQ(out, 1);
+  ASSERT_TRUE(ch.try_receive(10.0, out));
+  EXPECT_EQ(out, 2);
+  ASSERT_TRUE(ch.try_receive(10.0, out));
+  EXPECT_EQ(out, 3);
+  EXPECT_FALSE(ch.try_receive(10.0, out));
+}
+
+TEST(Channel, InFlightCountInvariant) {
+  // in_flight() == sends - successful receives, at every step; a failed
+  // receive never perturbs the count.
+  Channel<int> ch;
+  std::size_t sent = 0, received = 0;
+  for (int i = 0; i < 8; ++i) {
+    ch.send(0.0, 10.0 * (8 - i), i);  // decreasing latencies
+    ++sent;
+    EXPECT_EQ(ch.in_flight(), sent - received);
+  }
+  int out;
+  EXPECT_FALSE(ch.try_receive(5.0, out));  // nothing due yet
+  EXPECT_EQ(ch.in_flight(), sent - received);
+  while (ch.try_receive(1e9, out)) {
+    ++received;
+    EXPECT_EQ(ch.in_flight(), sent - received);
+  }
+  EXPECT_EQ(received, sent);
+  EXPECT_EQ(ch.in_flight(), 0u);
+}
+
+TEST(Link, CongestionTailFiresAtApproxProbability) {
+  // The congestion tail adds >= 0.5 * penalty; with a small jitter the
+  // only way past the threshold is the congestion branch, so the exceed
+  // rate estimates congestion_probability.
+  LinkProfile link;
+  link.name = "synthetic";
+  link.bandwidth_mbps = 100.0;
+  link.base_latency_ms = 5.0;
+  link.jitter_ms = 0.5;  // half-normal; P(> 10 sigma) is negligible
+  link.congestion_probability = 0.1;
+  link.congestion_penalty_ms = 100.0;
+
+  rt::Rng rng(123);
+  const int trials = 20000;
+  int tail = 0;
+  for (int i = 0; i < trials; ++i) {
+    if (transmit_ms(link, 1000, rng) > 20.0) ++tail;
+  }
+  EXPECT_NEAR(static_cast<double>(tail) / trials,
+              link.congestion_probability, 0.01);
+}
+
 // ---- Wire protocol (net/protocol.hpp). -------------------------------------
 
 #include "net/protocol.hpp"
