@@ -1,9 +1,13 @@
 // Fig. 17 companion: the field study's link, made hostile on purpose.
 // Sweeps scripted fault scenarios (loss, duplication+reorder, total
-// outages) over the oil-field scene on LTE and compares edgeIS — with its
-// request ledger and MAMT degraded mode — against the best-effort+mv
-// baseline that faces the exact same faults. Prints accuracy alongside
-// the LinkHealthStats block (timeouts, retries, degraded time, staleness).
+// outages, bandwidth collapse, asymmetric up/down faults) over the
+// oil-field scene on LTE and compares edgeIS — adaptive RTT-EWMA
+// timeouts, request ledger, MAMT degraded mode — against (a) the same
+// pipeline pinned to the old fixed 1500 ms timeout and (b) the
+// best-effort+mv baseline, all facing the exact same faults. Prints
+// accuracy alongside the LinkHealthStats block, plus machine-readable
+// HEADLINE lines the nightly CI job diffs against checked-in
+// expectations (scripts/check_headline.py).
 #include "bench/common.hpp"
 
 using namespace edgeis;
@@ -12,22 +16,55 @@ namespace {
 
 struct Scenario {
   const char* name;
-  net::FaultScript script;
+  net::DuplexFaultScript script;
 };
 
-core::PipelineConfig field_config(const net::FaultScript& script) {
+core::PipelineConfig field_config(const net::DuplexFaultScript& script) {
   core::PipelineConfig cfg;
   cfg.link = net::lte();
   cfg.edge = sim::jetson_agx_xavier();
   cfg.faults = script;
-  // Field-tuned failure handling: tight enough that a 2 s blackout walks
-  // the whole timeout -> retry -> degraded -> probe -> refresh machine,
-  // loose enough that typical clean LTE round trips complete.
-  cfg.request_timeout_ms = 600.0;
-  cfg.max_retries = 1;
-  cfg.degraded_entry_timeouts = 2;
+  // No per-link timeout tuning: the adaptive RTO seeds itself from the
+  // LTE profile and converges on the observed round trips. Only the
+  // probe cadence remains a field knob.
   cfg.probe_interval_frames = 10;
   return cfg;
+}
+
+/// The pre-RTO configuration: per-attempt deadline pinned to the old
+/// hand-tuned 1500 ms default, everything else identical.
+core::PipelineConfig fixed_timeout_config(
+    const net::DuplexFaultScript& script) {
+  auto cfg = field_config(script);
+  cfg.rto.min_rto_ms = 1500.0;
+  cfg.rto.max_rto_ms = 1500.0;
+  return cfg;
+}
+
+void run_edgeis_row(const char* scenario, const char* display,
+                    const char* label, const scene::SceneConfig& scene_cfg,
+                    const core::PipelineConfig& cfg) {
+  scene::SceneSimulator sim(scene_cfg);
+  core::EdgeISPipeline p(scene_cfg, cfg);
+  const auto r = core::run_pipeline(sim, p, bench::kWarmupFrames);
+  const auto h = p.link_health();
+  eval::print_table_row(
+      {display, label, eval::fmt_percent(r.summary.mean_iou),
+       eval::fmt_percent(r.summary.false_rate_loose),
+       eval::fmt(static_cast<double>(r.total_tx_bytes) / 1e6, 2),
+       std::to_string(h.attempt_timeouts),
+       std::to_string(h.retransmissions),
+       std::to_string(h.spurious_retransmissions),
+       eval::fmt(h.time_in_degraded_ms, 0),
+       eval::fmt(h.mask_staleness_ms.percentile(95.0), 0)});
+  std::printf(
+      "HEADLINE scenario=%s system=%s iou=%.4f timeouts=%d rtx=%d "
+      "spurious=%d failed=%d degraded_ms=%.0f stale_p95=%.0f "
+      "tx_bytes=%zu\n",
+      scenario, label, r.summary.mean_iou, h.attempt_timeouts,
+      h.retransmissions, h.spurious_retransmissions, h.requests_failed,
+      h.time_in_degraded_ms, h.mask_staleness_ms.percentile(95.0),
+      r.total_tx_bytes);
 }
 
 }  // namespace
@@ -35,50 +72,65 @@ core::PipelineConfig field_config(const net::FaultScript& script) {
 int main() {
   bench::banner("Fig. 17b", "field links under scripted faults");
 
-  const int frames = 240;  // 8 s @ 30 fps
+  const int frames = 360;  // 12 s @ 30 fps
+  using net::DuplexFaultScript;
+  using net::FaultMode;
+  using net::FaultScript;
   Scenario scenarios[] = {
-      {"clean", net::FaultScript::none()},
-      {"loss-5%", net::FaultScript::lossy(0.05)},
-      {"loss-20%", net::FaultScript::lossy(0.20)},
+      {"clean", FaultScript::none()},
+      {"loss-5%", FaultScript::lossy(0.05)},
+      {"loss-20%", FaultScript::lossy(0.20)},
       {"dup+reorder",
-       net::FaultScript()
-           .add({0.0, 1e18, net::FaultMode::kDuplicate, 0.3, 0.0})
-           .add({0.0, 1e18, net::FaultMode::kReorder, 0.3, 120.0})},
-      {"outage-2s", net::FaultScript::outage(3000.0, 5000.0)},
-      {"outage-2x1s", net::FaultScript()
-                          .add({2500.0, 3500.0, net::FaultMode::kOutage})
-                          .add({5500.0, 6500.0, net::FaultMode::kOutage})},
+       DuplexFaultScript(FaultScript()
+           .add({0.0, 1e18, FaultMode::kDuplicate, 0.3, 0.0})
+           .add({0.0, 1e18, FaultMode::kReorder, 0.3, 120.0}))},
+      {"outage-2s", FaultScript::outage(3000.0, 5000.0)},
+      {"outage-2x1s", DuplexFaultScript(FaultScript()
+                          .add({2500.0, 3500.0, FaultMode::kOutage})
+                          .add({5500.0, 6500.0, FaultMode::kOutage}))},
+      // Long blackout: RTO backoff inflates past the degraded-entry
+      // threshold, the ledger abandons in-flight requests and only 64 B
+      // probes touch the radio until the link answers again.
+      {"outage-4.5s", FaultScript::outage(2500.0, 7000.0)},
+      // Mild bandwidth squeeze: round trips stretch but stay inside both
+      // deadlines — neither system should fire a single timeout.
+      {"throttle-6x", FaultScript::throttle(2500.0, 6000.0, 6.0)},
+      // Bandwidth collapse to ~4% of capacity: every transmit takes 25x
+      // as long, so round trips blow through a fixed 1500 ms deadline
+      // while every message still arrives. The window spans several
+      // keyframe round trips: the fixed deadline fires spuriously on each
+      // one, where the adaptive RTO pays once to learn the stretched RTT
+      // and then rides it out.
+      {"collapse-25x", FaultScript::throttle(2500.0, 9500.0, 25.0)},
+      // Asymmetric LTE: the uplink-limited cell collapses only the
+      // uplink; the downlink stays clean.
+      {"up-throttle-6x",
+       DuplexFaultScript::asymmetric(
+           FaultScript::throttle(2500.0, 6000.0, 6.0),
+           FaultScript::none())},
+      // Uplink loss with a clean downlink (interference at the mobile).
+      {"up-loss-20%",
+       DuplexFaultScript::asymmetric(FaultScript::lossy(0.20),
+                                     FaultScript::none())},
   };
 
   eval::print_table_header({"scenario", "system", "IoU", "false", "tx MB",
-                            "t/o", "rtx", "degr ms", "stale p95"});
+                            "t/o", "rtx", "spur", "degr ms", "stale p95"});
 
   for (const auto& sc : scenarios) {
     const auto scene_cfg = scene::make_field_scene(42, frames);
-    const auto cfg = field_config(sc.script);
-
-    {  // edgeIS: ledger + degraded mode + MAMT carry-through.
-      scene::SceneSimulator sim(scene_cfg);
-      core::EdgeISPipeline p(scene_cfg, cfg);
-      const auto r = core::run_pipeline(sim, p, bench::kWarmupFrames);
-      const auto h = p.link_health();
-      eval::print_table_row(
-          {sc.name, "edgeIS", eval::fmt_percent(r.summary.mean_iou),
-           eval::fmt_percent(r.summary.false_rate_loose),
-           eval::fmt(static_cast<double>(r.total_tx_bytes) / 1e6, 2),
-           std::to_string(h.attempt_timeouts),
-           std::to_string(h.retransmissions),
-           eval::fmt(h.time_in_degraded_ms, 0),
-           eval::fmt(h.mask_staleness_ms.percentile(95.0), 0)});
-    }
+    run_edgeis_row(sc.name, sc.name, "edgeIS", scene_cfg,
+                   field_config(sc.script));
+    run_edgeis_row(sc.name, "  \"", "edgeIS-fixed1500", scene_cfg,
+                   fixed_timeout_config(sc.script));
     {  // Baseline: same faults, no failure handling beyond re-offering.
       const auto r = bench::run_system(bench::System::kBestEffortMv,
-                                       scene_cfg, cfg);
+                                       scene_cfg, field_config(sc.script));
       eval::print_table_row(
           {"  \"", "best-effort+mv", eval::fmt_percent(r.summary.mean_iou),
            eval::fmt_percent(r.summary.false_rate_loose),
            eval::fmt(static_cast<double>(r.total_tx_bytes) / 1e6, 2),
-           "-", "-", "-", "-"});
+           "-", "-", "-", "-", "-"});
     }
   }
 
@@ -86,6 +138,9 @@ int main() {
       "\nExpected shape: edgeIS holds IoU through loss and outages by\n"
       "serving MAMT-transferred masks and refusing to pay for a dead\n"
       "link (degraded ms > 0, tx MB flat), while best-effort keeps\n"
-      "uploading into the blackout and renders ever-staler masks.\n");
+      "uploading into the blackout and renders ever-staler masks. On\n"
+      "the throttle scenarios the adaptive RTO inflates with the\n"
+      "stretched round trips where the fixed 1500 ms deadline fires\n"
+      "spuriously on responses that were merely late (spur column).\n");
   return 0;
 }

@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Diff a benchmark's HEADLINE lines against checked-in expectations.
+
+Benchmarks print one machine-readable line per (scenario, system) row:
+
+    HEADLINE scenario=clean system=edgeIS iou=0.6353 timeouts=0 ...
+
+The simulation is deterministic for a fixed seed, but headline numbers
+still drift when intentional changes land (model tweaks, link profiles,
+scenario edits). The nightly job is a tripwire, not a lockfile: numeric
+fields match within a tolerance, and the failure message shows exactly
+which field of which row moved so the expectation file can be
+regenerated deliberately (run the bench, replace the file).
+
+Usage:
+    bench/fig17b_fault_sweep | scripts/check_headline.py bench/expected/fig17b_headline.txt
+    scripts/check_headline.py expected.txt actual.txt
+"""
+
+import sys
+
+# Per-field tolerances. Counters compare within max(abs, rel * expected)
+# so small counts must match near-exactly while large ones may drift a
+# little; unlisted fields must match exactly (they are labels).
+TOLERANCES = {
+    "iou": (0.02, 0.10),
+    "timeouts": (1, 0.25),
+    "rtx": (1, 0.25),
+    "spurious": (0, 0.0),
+    "failed": (1, 0.0),
+    "degraded_ms": (150, 0.25),
+    "stale_p95": (150, 0.25),
+    "tx_bytes": (4096, 0.15),
+}
+
+
+def parse(stream):
+    rows = {}
+    for line in stream:
+        parts = line.split()
+        if not parts or parts[0] != "HEADLINE":
+            continue
+        fields = dict(p.split("=", 1) for p in parts[1:] if "=" in p)
+        key = (fields.pop("scenario", "?"), fields.pop("system", "?"))
+        if key in rows:
+            raise SystemExit(f"duplicate headline row {key}")
+        rows[key] = fields
+    return rows
+
+
+def close_enough(field, expected, actual):
+    tol = TOLERANCES.get(field)
+    if tol is None:
+        return expected == actual
+    try:
+        e, a = float(expected), float(actual)
+    except ValueError:
+        return expected == actual
+    abs_tol, rel_tol = tol
+    return abs(a - e) <= max(abs_tol, rel_tol * abs(e))
+
+
+def main(argv):
+    if len(argv) not in (2, 3):
+        print(__doc__, file=sys.stderr)
+        return 2
+    with open(argv[1]) as f:
+        expected = parse(f)
+    if len(argv) == 3:
+        with open(argv[2]) as f:
+            actual = parse(f)
+    else:
+        actual = parse(sys.stdin)
+
+    failures = []
+    for key, efields in expected.items():
+        arow = actual.get(key)
+        if arow is None:
+            failures.append(f"{key[0]}/{key[1]}: row missing from output")
+            continue
+        for field, evalue in efields.items():
+            avalue = arow.get(field)
+            if avalue is None:
+                failures.append(f"{key[0]}/{key[1]}: field {field} missing")
+            elif not close_enough(field, evalue, avalue):
+                failures.append(
+                    f"{key[0]}/{key[1]}: {field} expected {evalue}, got {avalue}"
+                )
+    for key in actual:
+        if key not in expected:
+            failures.append(
+                f"{key[0]}/{key[1]}: new row not in expectations "
+                "(regenerate the expectation file)"
+            )
+
+    if failures:
+        print(f"HEADLINE check FAILED ({len(failures)} mismatches):")
+        for f in failures:
+            print(f"  {f}")
+        return 1
+    print(f"HEADLINE check OK ({len(expected)} rows within tolerance)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

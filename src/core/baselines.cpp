@@ -98,10 +98,10 @@ TrackDetectPipeline::TrackDetectPipeline(
       instance_class_(class_table(scene_config)),
       rng_(config_.seed ^ 0x7d7dULL),
       edge_(config_.model, config_.edge, rt::Rng(config_.seed ^ 0xab1eULL),
-            net::FaultInjector(config_.faults,
+            net::FaultInjector(config_.faults.uplink,
                                rt::Rng(config_.seed ^ 0xfa017ULL))),
       render_queue_(scene_config.fps),
-      downlink_faults_(config_.faults,
+      downlink_faults_(config_.faults.downlink,
                        rt::Rng(config_.seed ^ 0xfa02eULL)) {}
 
 std::string TrackDetectPipeline::name() const {
@@ -228,7 +228,7 @@ FrameOutput TrackDetectPipeline::process(const scene::RenderedFrame& frame) {
     // No CIIA: these systems run the unmodified model.
     const double up_ms =
         net::transmit_ms(config_.link, encoded.total_bytes, rng_);
-    edge_.submit(frame.index, now_ms + up_ms, req);
+    edge_.submit(frame.index, now_ms, up_ms, req);
     auto responses = edge_.poll(1e18);
     for (auto& r : responses) {
       const double down_ms =
@@ -236,12 +236,17 @@ FrameOutput TrackDetectPipeline::process(const scene::RenderedFrame& frame) {
       const auto fate = downlink_faults_.on_message(r.ready_ms);
       if (fate.drop) continue;  // lost response: these systems just retry
       if (fate.duplicate) {
-        pending_.push_back({r.ready_ms + down_ms + fate.extra_delay_ms +
+        // Independent transmit sample for the duplicate copy (it is its
+        // own transmission, not a replay of the primary's timing).
+        const double dup_down_ms =
+            net::transmit_ms(config_.link, r.payload_bytes, rng_);
+        pending_.push_back({r.ready_ms + dup_down_ms * fate.latency_scale +
                                 fate.duplicate_delay_ms,
                             r});
       }
-      pending_.push_back(
-          {r.ready_ms + down_ms + fate.extra_delay_ms, std::move(r)});
+      pending_.push_back({r.ready_ms + down_ms * fate.latency_scale +
+                              fate.extra_delay_ms,
+                          std::move(r)});
     }
     out.transmitted = true;
     out.tx_bytes = encoded.total_bytes;

@@ -4,21 +4,26 @@
 
 namespace edgeis::core {
 
-void EdgeServer::submit(int frame_index, double arrive_ms,
-                        const segnet::InferenceRequest& request) {
-  const auto fate = uplink_faults_.on_message(arrive_ms);
+void EdgeServer::submit(int frame_index, double sent_ms, double transmit_ms,
+                        const segnet::InferenceRequest& request,
+                        int attempt) {
+  // Fault windows key off the time the message *enters* the link, so a
+  // throttle window can stretch the transmit of a message sent inside it.
+  const auto fate = uplink_faults_.on_message(sent_ms);
   if (fate.drop) return;  // lost on the uplink; sender's ledger times out
-  arrive_ms += fate.extra_delay_ms;  // reorder: delayed arrival
+  const double arrive_ms =
+      sent_ms + transmit_ms * fate.latency_scale + fate.extra_delay_ms;
   const int copies = fate.duplicate ? 2 : 1;
   for (int copy = 0; copy < copies; ++copy) {
     const double at =
         arrive_ms + (copy == 0 ? 0.0 : fate.duplicate_delay_ms);
-    run_inference(frame_index, at, request);
+    run_inference(frame_index, at, request, attempt);
   }
 }
 
 void EdgeServer::run_inference(int frame_index, double arrive_ms,
-                               const segnet::InferenceRequest& request) {
+                               const segnet::InferenceRequest& request,
+                               int attempt) {
   const double start = std::max(arrive_ms, free_at_ms_);
   segnet::InferenceResult result = model_.infer(request);
   const double compute_ms =
@@ -27,6 +32,7 @@ void EdgeServer::run_inference(int frame_index, double arrive_ms,
   Response r;
   r.frame_index = frame_index;
   r.ready_ms = start + compute_ms;
+  r.attempt = attempt;
   r.stats = result.stats;
   r.masks.reserve(result.instances.size());
   for (auto& inst : result.instances) {
@@ -37,14 +43,16 @@ void EdgeServer::run_inference(int frame_index, double arrive_ms,
   completed_.push_back(std::move(r));
 }
 
-void EdgeServer::submit_ping(int ping_id, double arrive_ms) {
-  const auto fate = uplink_faults_.on_message(arrive_ms);
+void EdgeServer::submit_ping(int ping_id, double sent_ms,
+                             double transmit_ms) {
+  const auto fate = uplink_faults_.on_message(sent_ms);
   if (fate.drop) return;
   Response r;
   r.frame_index = ping_id;
   r.is_ping = true;
   // Echoed from the network stack: no inference queue involved.
-  r.ready_ms = arrive_ms + fate.extra_delay_ms + 0.2;
+  r.ready_ms = sent_ms + transmit_ms * fate.latency_scale +
+               fate.extra_delay_ms + 0.2;
   r.payload_bytes = 64;
   completed_.push_back(std::move(r));
 }

@@ -32,19 +32,26 @@ class EdgeServer {
     segnet::InferenceStats stats;
     std::size_t payload_bytes = 0;  // serialized contour payload size
     bool is_ping = false;           // liveness echo, no inference attached
+    /// Echo of the sender's attempt number: lets the ledger apply Karn's
+    /// rule exactly and detect spurious retransmissions (an attempt-0
+    /// response arriving after attempt 1 was already on the wire).
+    int attempt = 0;
   };
 
-  /// Submit a request arriving at the server at `arrive_ms`. Inference is
-  /// evaluated immediately (the simulation is deterministic) but its result
-  /// is stamped with the queue-aware completion time. A request lost on
-  /// the uplink never reaches the server: no inference runs, no response
-  /// is produced, and the sender's ledger is left to time out.
-  void submit(int frame_index, double arrive_ms,
-              const segnet::InferenceRequest& request);
+  /// Submit a request entering the uplink at `sent_ms` with a nominal
+  /// transmit time of `transmit_ms` (faults may stretch it — a throttle
+  /// window multiplies the transmit component, not the send time).
+  /// Inference is evaluated immediately (the simulation is deterministic)
+  /// but its result is stamped with the queue-aware completion time. A
+  /// request lost on the uplink never reaches the server: no inference
+  /// runs, no response is produced, and the sender's ledger is left to
+  /// time out.
+  void submit(int frame_index, double sent_ms, double transmit_ms,
+              const segnet::InferenceRequest& request, int attempt = 0);
 
   /// Submit a liveness probe (degraded-mode recovery detection). The echo
   /// bypasses the inference queue; it is subject to the same uplink faults.
-  void submit_ping(int ping_id, double arrive_ms);
+  void submit_ping(int ping_id, double sent_ms, double transmit_ms);
 
   /// Pop all responses completed by `now_ms` (server-side; caller adds
   /// downlink latency).
@@ -63,7 +70,7 @@ class EdgeServer {
 
  private:
   void run_inference(int frame_index, double arrive_ms,
-                     const segnet::InferenceRequest& request);
+                     const segnet::InferenceRequest& request, int attempt);
 
   segnet::SegmentationModel model_;
   sim::DeviceProfile device_;

@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
 
 #include "core/local_trackers.hpp"
 #include "encoding/tiles.hpp"
 #include "features/matcher.hpp"
+#include "runtime/log.hpp"
 
 namespace edgeis::core {
 
@@ -15,11 +17,13 @@ EdgeISPipeline::EdgeISPipeline(const scene::SceneConfig& scene_config,
       config_(std::move(config)),
       rng_(config_.seed ^ 0xed9e15ULL),
       edge_(config_.model, config_.edge, rt::Rng(config_.seed ^ 0x5e7fULL),
-            net::FaultInjector(config_.faults,
+            net::FaultInjector(config_.faults.uplink,
                                rt::Rng(config_.seed ^ 0xfa017ULL))),
       render_queue_(scene_config.fps),
-      downlink_faults_(config_.faults,
-                       rt::Rng(config_.seed ^ 0xfa02eULL)) {
+      downlink_faults_(config_.faults.downlink,
+                       rt::Rng(config_.seed ^ 0xfa02eULL)),
+      rto_(config_.rto, 2.0 * config_.link.base_latency_ms +
+                            config_.rto.initial_compute_guess_ms) {
   for (const auto& obj : scene_config_.objects) {
     instance_class_[obj.instance_id] = static_cast<int>(obj.cls);
   }
@@ -67,9 +71,17 @@ void EdgeISPipeline::deliver_due_responses(double now_ms) {
       ++health_.stale_responses;
       continue;
     }
+    // Feed the RTT estimator. Karn's rule: a retransmitted request is
+    // ambiguous (which attempt does this response answer?) and is never
+    // sampled; it does not deflate the timeout backoff either — the
+    // inflated RTO stands until a never-retransmitted request (or ping)
+    // completes cleanly. An attempt-0 response overtaken by a
+    // retransmission proves the deadline fired on a slow response, not a
+    // lost one — the definition of a spurious retransmission.
+    if (resp.attempt < entry->attempt) ++health_.spurious_retransmissions;
+    if (entry->attempt == 0) rto_.sample(now_ms - entry->sent_ms);
     ledger_.erase(entry);
     ++health_.responses_received;
-    consecutive_timeouts_ = 0;
     if (degraded_) {
       // Any response proves the link is back. A ping carries no masks, so
       // recovery via ping owes the tracker a full-quality refresh; an
@@ -91,10 +103,13 @@ void EdgeISPipeline::deliver_due_responses(double now_ms) {
       }
       try_initialize();
     } else if (phase_ == Phase::kRunning) {
-      if (getenv("EDGEIS_DEBUG")) {
-        fprintf(stderr, "resp kf=%d masks=[", resp.frame_index);
-        for (auto& m : resp.masks) fprintf(stderr, "%d ", m.instance_id);
-        fprintf(stderr, "]\n");
+      if (rt::Log::level() <= rt::LogLevel::kDebug) {
+        std::string ids;
+        for (const auto& m : resp.masks) {
+          ids += std::to_string(m.instance_id) + ' ';
+        }
+        rt::Log::debug("resp kf=%d masks=[%s]", resp.frame_index,
+                       ids.c_str());
       }
       tracker_->annotate_keyframe(resp.frame_index, resp.masks);
       cached_masks_ = std::move(resp.masks);  // MAMT-off fallback cache
@@ -106,16 +121,17 @@ void EdgeISPipeline::send_attempt(LedgerEntry& e, double now_ms) {
   const double up_ms = net::transmit_ms(
       config_.link, std::max<std::size_t>(e.bytes, 1), rng_);
   if (e.is_ping) {
-    edge_.submit_ping(e.request_id, now_ms + up_ms);
+    edge_.submit_ping(e.request_id, now_ms, up_ms);
   } else {
-    edge_.submit(e.frame_index, now_ms + up_ms, e.request);
+    edge_.submit(e.frame_index, now_ms, up_ms, e.request, e.attempt);
   }
   // The server result and completion time are deterministic at submission;
   // stamp the downlink (with faults) and queue the delivery.
   for (auto& r : edge_.poll(1e18)) {
     queue_response_with_faults(std::move(r));
   }
-  e.deadline_ms = now_ms + config_.request_timeout_ms;
+  e.sent_ms = now_ms;
+  e.deadline_ms = now_ms + rto_.rto_ms();
   e.resend_at_ms = -1.0;
 }
 
@@ -125,18 +141,24 @@ void EdgeISPipeline::queue_response_with_faults(EdgeServer::Response r) {
   const auto fate = downlink_faults_.on_message(r.ready_ms);
   if (fate.drop) return;  // the ledger deadline will notice
   if (fate.duplicate) {
-    pending_.push_back({r.ready_ms + down_ms + fate.extra_delay_ms +
+    // The duplicate is its own transmission: sample an independent
+    // transmit time and do not inherit the primary's reorder delay, so
+    // the two copies don't arrive in lockstep.
+    const double dup_down_ms = net::transmit_ms(
+        config_.link, std::max<std::size_t>(r.payload_bytes, 1), rng_);
+    pending_.push_back({r.ready_ms + dup_down_ms * fate.latency_scale +
                             fate.duplicate_delay_ms,
                         r});
   }
-  pending_.push_back({r.ready_ms + down_ms + fate.extra_delay_ms,
+  pending_.push_back({r.ready_ms + down_ms * fate.latency_scale +
+                          fate.extra_delay_ms,
                       std::move(r)});
 }
 
 void EdgeISPipeline::service_ledger(double now_ms) {
   bool init_failed = false;
   for (auto& e : ledger_) {
-    if (e.dead) continue;
+    if (e.dead || e.abandoned) continue;
     if (e.resend_at_ms >= 0.0) {
       if (now_ms >= e.resend_at_ms) {
         ++e.attempt;
@@ -147,7 +169,9 @@ void EdgeISPipeline::service_ledger(double now_ms) {
     }
     if (now_ms < e.deadline_ms) continue;
     ++health_.attempt_timeouts;
-    ++consecutive_timeouts_;
+    // Inflate the RTO: the next attempt (of any request) waits longer
+    // before concluding loss. Any response deflates it again.
+    rto_.on_timeout();
     if (e.is_ping || e.attempt >= config_.max_retries) {
       // Pings never retry: the probe cadence replaces them.
       e.dead = true;
@@ -156,23 +180,38 @@ void EdgeISPipeline::service_ledger(double now_ms) {
         if (e.is_init) init_failed = true;
       }
     } else {
+      // exp2 of an unbounded attempt count overflows to inf and schedules
+      // the resend past the end of the scenario; clamp to the same bound
+      // as the RTO itself.
       e.resend_at_ms =
-          now_ms + config_.retry_backoff_base_ms * std::exp2(e.attempt);
+          now_ms + std::min(config_.retry_backoff_base_ms *
+                                std::exp2(std::min(e.attempt, 16)),
+                            config_.rto.max_rto_ms);
     }
   }
 
-  if (!degraded_ &&
-      consecutive_timeouts_ >= config_.degraded_entry_timeouts) {
+  if (!degraded_ && rto_.backoff() >= config_.degraded_entry_rto_inflation) {
     degraded_ = true;
     ++health_.degraded_entries;
-    // Stop paying the link: abandon every outstanding inference request.
+    // Stop paying the link: no more retransmissions for outstanding
+    // inference requests. Their uplink cost is sunk, so keep them
+    // listen-only — a response that was merely late (bandwidth collapse,
+    // not loss) still annotates the tracker and proves the link is back.
     // MAMT keeps serving masks off the last labeled keyframe; only the
     // probe cadence touches the radio until the link answers again.
+    // Initialization pairs are the exception: both halves must arrive for
+    // the pair to be usable, so a degraded entry voids them outright and
+    // bootstrap restarts once the link recovers.
     for (auto& e : ledger_) {
-      if (e.is_ping || e.dead) continue;
-      e.dead = true;
-      ++health_.requests_failed;
-      if (e.is_init) init_failed = true;
+      if (e.is_ping || e.dead || e.abandoned) continue;
+      if (e.is_init) {
+        e.dead = true;
+        ++health_.requests_failed;
+        init_failed = true;
+      } else {
+        e.abandoned = true;
+        e.resend_at_ms = -1.0;
+      }
     }
   }
 
@@ -196,7 +235,7 @@ void EdgeISPipeline::abort_initialization() {
 
 bool EdgeISPipeline::has_outstanding_request() const {
   for (const auto& e : ledger_) {
-    if (!e.is_ping && !e.dead) return true;
+    if (!e.is_ping && !e.dead && !e.abandoned) return true;
   }
   return false;
 }
@@ -209,6 +248,11 @@ rt::LinkHealthStats EdgeISPipeline::link_health() const {
   h.downlink_drops = down.total_lost();
   h.duplicates_injected = up.duplicated + down.duplicated;
   h.reorders_injected = up.reordered + down.reordered;
+  h.srtt_ms = rto_.srtt_ms();
+  h.rttvar_ms = rto_.rttvar_ms();
+  h.rto_ms = rto_.rto_ms();
+  h.rtt_samples = rto_.samples();
+  h.rto_backoffs = rto_.timeouts();
   return h;
 }
 
@@ -328,11 +372,9 @@ void EdgeISPipeline::try_initialize() {
   mamt_ = std::make_unique<transfer::MaskTransfer>(scene_config_.camera,
                                                    &map_);
   phase_ = Phase::kRunning;
-  if (getenv("EDGEIS_DEBUG")) {
-    fprintf(stderr, "initialized from probe map: pair (%d,%d), %zu points\n",
-            init_ref_->frame_index, init_pair_second_->frame_index,
-            map_.point_count());
-  }
+  rt::Log::debug("initialized from probe map: pair (%d,%d), %zu points",
+                 init_ref_->frame_index, init_pair_second_->frame_index,
+                 map_.point_count());
 }
 
 std::vector<mask::Box> EdgeISPipeline::new_area_boxes(
@@ -393,6 +435,15 @@ std::size_t EdgeISPipeline::transmit(
     req.use_dynamic_anchor_placement = !req.priors.empty();
     req.use_roi_pruning = !req.priors.empty();
   }
+
+  // A fresh request supersedes any listen-only survivors of a degraded
+  // episode: their answer, if it ever comes, would now be older than this
+  // keyframe. Only now do they count as failed.
+  std::erase_if(ledger_, [&](const LedgerEntry& e) {
+    if (!e.abandoned) return false;
+    ++health_.requests_failed;
+    return true;
+  });
 
   LedgerEntry entry;
   entry.request_id = frame.index;
@@ -521,10 +572,10 @@ FrameOutput EdgeISPipeline::process(const scene::RenderedFrame& frame) {
   }
   vo::FrameObservation obs = tracker_->track(frame.index, std::move(features));
   out.tracking_ok = obs.tracking_ok;
-  if (!obs.tracking_ok && getenv("EDGEIS_DEBUG")) {
-    fprintf(stderr, "track fail f%d: matched=%d inliers=%d feats=%zu\n",
-            frame.index, obs.matched_total, obs.pose_inliers,
-            obs.features.size());
+  if (!obs.tracking_ok) {
+    rt::Log::debug("track fail f%d: matched=%d inliers=%d feats=%zu",
+                   frame.index, obs.matched_total, obs.pose_inliers,
+                   obs.features.size());
   }
   // Sustained tracking loss (fast motion, scene change beyond the search
   // window): discard the map and re-initialize from scratch, as a real
@@ -560,16 +611,18 @@ FrameOutput EdgeISPipeline::process(const scene::RenderedFrame& frame) {
   std::vector<mask::InstanceMask> frame_masks;
   if (config_.enable_mamt) {
     preds = mamt_->predict(obs);
-    if (getenv("EDGEIS_DEBUG") && frame.index % 15 == 0) {
-      fprintf(stderr, "f%d visible=[", frame.index);
-      for (int v : mamt_->visible_instances(obs)) fprintf(stderr, "%d ", v);
-      fprintf(stderr, "] preds=[");
-      for (auto& p : preds) fprintf(stderr, "%d ", p.instance_id);
-      fprintf(stderr, "] objpts=[");
-      for (auto& [oid, trk] : map_.objects())
-        fprintf(stderr, "%d:%d%s ", oid, trk.point_count,
-                trk.is_moving ? "M" : "");
-      fprintf(stderr, "]\n");
+    if (rt::Log::level() <= rt::LogLevel::kDebug && frame.index % 15 == 0) {
+      std::string vis, pred, obj;
+      for (int v : mamt_->visible_instances(obs)) {
+        vis += std::to_string(v) + ' ';
+      }
+      for (const auto& p : preds) pred += std::to_string(p.instance_id) + ' ';
+      for (const auto& [oid, trk] : map_.objects()) {
+        obj += std::to_string(oid) + ':' + std::to_string(trk.point_count) +
+               (trk.is_moving ? "M " : " ");
+      }
+      rt::Log::debug("f%d visible=[%s] preds=[%s] objpts=[%s]", frame.index,
+                     vis.c_str(), pred.c_str(), obj.c_str());
     }
     int contour_points = 0;
     for (const auto& p : preds) {
@@ -663,11 +716,9 @@ FrameOutput EdgeISPipeline::process(const scene::RenderedFrame& frame) {
     // leaves pending_ empty but the request is still outstanding until
     // its timeout, and must not wedge transmission forever.
     if (has_outstanding_request()) want_tx = false;
-    if (getenv("EDGEIS_DEBUG")) {
-      fprintf(stderr, "kf@%d unlab=%.2f last_tx=%d outstanding=%zu want=%d\n",
-              frame.index, obs.unlabeled_fraction, last_tx_frame_,
-              ledger_.size(), (int)want_tx);
-    }
+    rt::Log::debug("kf@%d unlab=%.2f last_tx=%d outstanding=%zu want=%d",
+                   frame.index, obs.unlabeled_fraction, last_tx_frame_,
+                   ledger_.size(), (int)want_tx);
   }
   // Degraded: stop paying transmission cost; MAMT carries the masks.
   if (degraded_) want_tx = false;

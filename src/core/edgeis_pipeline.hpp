@@ -68,8 +68,15 @@ class EdgeISPipeline : public Pipeline {
     int frame_index = 0;
     bool is_ping = false;
     bool is_init = false;     // an initialization-pair annotation request
-    bool dead = false;        // abandoned, pending removal
+    bool dead = false;        // failed, pending removal
+    // Listen-only: degraded mode gave up on this request — no further
+    // retransmissions, and it no longer blocks the half-duplex gate — but
+    // its uplink cost is already paid, so a late response still completes
+    // it (and proves the link is back). Purged when superseded by a new
+    // transmission.
+    bool abandoned = false;
     int attempt = 0;          // 0 = first send
+    double sent_ms = 0.0;     // uplink entry time of the live attempt
     double deadline_ms = 0.0; // response deadline of the live attempt
     double resend_at_ms = -1.0;  // >= 0: waiting out the backoff
     std::size_t bytes = 0;
@@ -132,11 +139,13 @@ class EdgeISPipeline : public Pipeline {
   std::vector<PendingResponse> pending_;
   // Failure handling: request ledger + degraded-mode state machine.
   net::FaultInjector downlink_faults_;
+  // Adaptive per-attempt deadlines: Jacobson/Karels RTT estimator seeded
+  // from the link profile, fed by completed requests and ping probes.
+  net::RttEstimator rto_;
   std::vector<LedgerEntry> ledger_;
   rt::LinkHealthStats health_;
   bool degraded_ = false;
   bool force_refresh_ = false;    // full-quality refresh due after recovery
-  int consecutive_timeouts_ = 0;
   int next_ping_id_ = -1;
   int last_probe_frame_ = -1000000;
   double last_annotation_ms_ = -1.0;

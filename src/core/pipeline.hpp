@@ -11,6 +11,7 @@
 
 #include "eval/metrics.hpp"
 #include "net/link.hpp"
+#include "net/rto.hpp"
 #include "scene/scene.hpp"
 #include "segnet/model.hpp"
 #include "sim/device.hpp"
@@ -35,13 +36,21 @@ struct PipelineConfig {
   int max_tx_interval_frames = 15;      // refresh cadence upper bound
 
   // Failure handling (DESIGN.md "Failure handling"). `faults` scripts the
-  // link in both directions; the remaining knobs drive the request ledger
-  // and the degraded-mode state machine of EdgeISPipeline.
-  net::FaultScript faults;
-  double request_timeout_ms = 1500.0;  // per-attempt response deadline
+  // link — per direction, or symmetrically via the implicit conversion
+  // from a single FaultScript; the remaining knobs drive the request
+  // ledger and the degraded-mode state machine of EdgeISPipeline.
+  net::DuplexFaultScript faults;
+  // Per-attempt deadlines come from an adaptive RTT estimator (net/rto.hpp)
+  // seeded from `link.base_latency_ms` — there is no fixed per-link
+  // request timeout to tune. `rto` only bounds and shapes the estimator.
+  net::RtoConfig rto;
   int max_retries = 2;                 // retransmissions per request
-  double retry_backoff_base_ms = 60.0; // backoff = base * 2^attempt
-  int degraded_entry_timeouts = 3;     // consecutive attempt timeouts
+  double retry_backoff_base_ms = 60.0; // backoff = base * 2^attempt,
+                                       // clamped to rto.max_rto_ms
+  // Degraded-mode entry is keyed off RTO inflation: enter once timeout
+  // backoff has multiplied the RTO by this factor (2^k after k
+  // consecutive unanswered deadlines; any response resets it).
+  double degraded_entry_rto_inflation = 8.0;
   int probe_interval_frames = 15;      // ping cadence while degraded
 };
 

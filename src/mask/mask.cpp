@@ -102,6 +102,7 @@ Contour trace_boundary(const InstanceMask& m, int sx, int sy) {
   // Backtrack starts at W of the start pixel (we scan left-to-right, so the
   // pixel to the left of the first foreground pixel is background).
   int backtrack = 0;
+  int fx = -1, fy = -1;  // target of the first move
 
   const std::size_t max_steps =
       static_cast<std::size_t>(m.width()) * static_cast<std::size_t>(m.height()) * 4 + 16;
@@ -123,15 +124,27 @@ Contour trace_boundary(const InstanceMask& m, int sx, int sy) {
     }
     if (!found) break;  // isolated pixel
 
-    // Jacob's stopping criterion: back at start entered from the same
-    // direction as the initial entry.
-    if (nx == sx && ny == sy && contour.size() > 2) break;
+    // Jacob's stopping criterion: the walk is back at the start pixel and
+    // about to repeat its first move, so the loop has closed. Stopping on
+    // position alone is wrong — a pinched (8-connected) boundary passes
+    // through the start pixel more than once before the loop closes.
+    if (step == 0) {
+      fx = nx;
+      fy = ny;
+    } else if (cx == sx && cy == sy && nx == fx && ny == fy) {
+      contour.pop_back();  // drop the re-pushed start: the loop is closed
+      break;
+    }
 
     contour.push_back({static_cast<double>(nx), static_cast<double>(ny)});
-    // New backtrack: two steps counter-clockwise from the direction we
-    // moved in, so the next clockwise search starts just past the last
-    // background pixel we examined.
-    backtrack = (ndir + 6) % 8;
+    // New backtrack: points from the new pixel at the last background cell
+    // the clockwise search examined before finding it. That cell is at
+    // (ndir - 1) relative to the OLD pixel; re-expressed relative to the
+    // new pixel it is two steps back for cardinal moves but three for
+    // diagonal ones — using the cardinal offset for both lets the search
+    // restart on a foreground cell and walk cycles that never re-enter
+    // the start state.
+    backtrack = (ndir % 2 == 0) ? (ndir + 6) % 8 : (ndir + 5) % 8;
     cx = nx;
     cy = ny;
   }

@@ -8,6 +8,7 @@ const char* fault_mode_name(FaultMode mode) {
     case FaultMode::kDuplicate: return "duplicate";
     case FaultMode::kReorder: return "reorder";
     case FaultMode::kOutage: return "outage";
+    case FaultMode::kThrottle: return "throttle";
   }
   return "?";
 }
@@ -21,6 +22,19 @@ FaultScript FaultScript::outage(double start_ms, double end_ms) {
 FaultScript FaultScript::lossy(double drop_probability, double until_ms) {
   FaultScript s;
   s.windows.push_back({0.0, until_ms, FaultMode::kDrop, drop_probability, 0.0});
+  return s;
+}
+
+FaultScript FaultScript::throttle(double start_ms, double end_ms,
+                                  double factor) {
+  FaultWindow w;
+  w.start_ms = start_ms;
+  w.end_ms = end_ms;
+  w.mode = FaultMode::kThrottle;
+  w.probability = 1.0;
+  w.throttle_factor = factor;
+  FaultScript s;
+  s.windows.push_back(w);
   return s;
 }
 
@@ -57,6 +71,15 @@ FaultDecision FaultInjector::on_message(double now_ms) {
         if (rng_.chance(w.probability)) {
           ++stats_.reordered;
           d.extra_delay_ms += w.reorder_delay_ms * rng_.uniform(0.5, 1.5);
+        }
+        break;
+      case FaultMode::kThrottle:
+        // probability >= 1.0 consumes no randomness: a deterministic
+        // bandwidth collapse leaves the rest of the run's Rng stream
+        // identical to the unthrottled run.
+        if (w.probability >= 1.0 || rng_.chance(w.probability)) {
+          ++stats_.throttled;
+          d.latency_scale *= w.throttle_factor;
         }
         break;
     }

@@ -18,6 +18,7 @@ enum class FaultMode {
   kDuplicate,  // message delivered twice (second copy lags)
   kReorder,    // message delayed so later sends overtake it
   kOutage,     // blackout: every message in the window is lost
+  kThrottle,   // bandwidth collapse: transmit time is stretched, not lost
 };
 
 const char* fault_mode_name(FaultMode mode);
@@ -34,6 +35,10 @@ struct FaultWindow {
   /// Mean extra delay applied by kReorder (actual delay is uniform in
   /// [0.5, 1.5] of this, matching the congestion-tail convention).
   double reorder_delay_ms = 80.0;
+  /// kThrottle: multiplier applied to the message's transmit time while
+  /// the window is active (a bandwidth collapse — messages arrive late,
+  /// not never). Overlapping throttle windows compound.
+  double throttle_factor = 4.0;
 
   [[nodiscard]] bool active(double now_ms) const {
     return now_ms >= start_ms && now_ms < end_ms;
@@ -60,6 +65,45 @@ struct FaultScript {
 
   /// Stationary random loss at `drop_probability` over [0, until_ms).
   static FaultScript lossy(double drop_probability, double until_ms = 1e18);
+
+  /// Bandwidth collapse: every message entering the link in
+  /// [start_ms, end_ms) has its transmit time multiplied by `factor`.
+  static FaultScript throttle(double start_ms, double end_ms, double factor);
+};
+
+/// Independent uplink/downlink scripts, so asymmetric behaviour (an
+/// uplink-limited LTE cell, a throttled downlink) is expressible. A bare
+/// FaultScript converts implicitly to the symmetric case — both
+/// directions get the same windows, applied through each direction's own
+/// seeded Rng stream.
+struct DuplexFaultScript {
+  FaultScript uplink;
+  FaultScript downlink;
+
+  DuplexFaultScript() = default;
+  // NOLINTNEXTLINE(google-explicit-constructor): symmetric scripts are
+  // the common case and predate the split; every `cfg.faults = script`
+  // call site reads better without a wrapper.
+  DuplexFaultScript(FaultScript symmetric)
+      : uplink(symmetric), downlink(std::move(symmetric)) {}
+
+  static DuplexFaultScript asymmetric(FaultScript up, FaultScript down) {
+    DuplexFaultScript s;
+    s.uplink = std::move(up);
+    s.downlink = std::move(down);
+    return s;
+  }
+
+  /// Append `w` to both directions (symmetric-script composition).
+  DuplexFaultScript& add(FaultWindow w) {
+    uplink.add(w);
+    downlink.add(w);
+    return *this;
+  }
+
+  [[nodiscard]] bool empty() const {
+    return uplink.empty() && downlink.empty();
+  }
 };
 
 /// Counters of faults actually applied (link-level ground truth; the
@@ -70,6 +114,7 @@ struct FaultStats {
   int outage_dropped = 0;  // kOutage losses
   int duplicated = 0;
   int reordered = 0;
+  int throttled = 0;  // messages that crossed a bandwidth-collapse window
 
   [[nodiscard]] int total_lost() const { return dropped + outage_dropped; }
 };
@@ -80,6 +125,7 @@ struct FaultDecision {
   bool duplicate = false;
   double extra_delay_ms = 0.0;      // reorder delay on the primary copy
   double duplicate_delay_ms = 0.0;  // additional lag of the duplicate copy
+  double latency_scale = 1.0;       // kThrottle multiplier on transmit time
 };
 
 /// Applies a FaultScript message by message. Owns its own Rng stream so a

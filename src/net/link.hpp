@@ -45,19 +45,18 @@ class Channel {
     queue_.push_back({now_ms + latency_ms, std::move(payload)});
   }
 
-  /// Send through a fault injector: the message may be lost, duplicated or
-  /// delayed past later sends. Returns false when the message was lost.
+  /// Send through a fault injector: the message may be lost, duplicated,
+  /// delayed past later sends, or stretched by a bandwidth-collapse
+  /// window (latency_scale). Returns false when the message was lost.
   bool send(double now_ms, double latency_ms, Payload payload,
             FaultInjector& faults) {
     const FaultDecision d = faults.on_message(now_ms);
     if (d.drop) return false;
+    const double transit_ms = latency_ms * d.latency_scale + d.extra_delay_ms;
     if (d.duplicate) {
-      queue_.push_back({now_ms + latency_ms + d.extra_delay_ms +
-                            d.duplicate_delay_ms,
-                        payload});
+      queue_.push_back({now_ms + transit_ms + d.duplicate_delay_ms, payload});
     }
-    queue_.push_back({now_ms + latency_ms + d.extra_delay_ms,
-                      std::move(payload)});
+    queue_.push_back({now_ms + transit_ms, std::move(payload)});
     return true;
   }
 

@@ -132,6 +132,16 @@ struct LinkHealthStats {
   int requests_failed = 0;      // requests that exhausted every retry
   int responses_received = 0;   // responses matched to a ledger entry
   int stale_responses = 0;      // duplicate / post-abandon deliveries ignored
+  // A retransmission proved unnecessary: the response to an earlier
+  // attempt arrived after a later attempt was already on the wire (the
+  // deadline fired on a slow response, not a lost one).
+  int spurious_retransmissions = 0;
+  // Adaptive RTO (net/rto.hpp) — gauges read at the end of the run.
+  double srtt_ms = 0.0;
+  double rttvar_ms = 0.0;
+  double rto_ms = 0.0;
+  int rtt_samples = 0;          // accepted samples (Karn's rule filters)
+  int rto_backoffs = 0;         // timeout-driven RTO inflations
   // Degraded mode.
   int probes_sent = 0;          // liveness pings while degraded
   int degraded_entries = 0;     // times degraded mode was entered

@@ -101,12 +101,16 @@ core::PipelineConfig fast_failure_config() {
   core::PipelineConfig cfg;
   // Tight failure handling so a 2 s outage exercises the whole state
   // machine. The fast edge keeps clean-link round trips (~100-400 ms,
-  // Mask R-CNN on Xavier) safely under the 400 ms timeout.
+  // Mask R-CNN on Xavier) safely under the adaptive RTO; max_rto is
+  // pulled down so backoff and probe deadlines stay short relative to
+  // the 7 s scenarios.
   cfg.edge = sim::jetson_agx_xavier();
-  cfg.request_timeout_ms = 400.0;
+  cfg.rto.min_rto_ms = 150.0;
+  cfg.rto.max_rto_ms = 1200.0;
+  cfg.rto.initial_compute_guess_ms = 500.0;
   cfg.max_retries = 1;
   cfg.retry_backoff_base_ms = 30.0;
-  cfg.degraded_entry_timeouts = 2;
+  cfg.degraded_entry_rto_inflation = 4.0;  // two unanswered deadlines
   cfg.probe_interval_frames = 8;
   return cfg;
 }
@@ -187,6 +191,12 @@ TEST(FaultIntegration, SeededFaultRunIsReproducible) {
   EXPECT_EQ(ha.requests_failed, hb.requests_failed);
   EXPECT_EQ(ha.responses_received, hb.responses_received);
   EXPECT_EQ(ha.stale_responses, hb.stale_responses);
+  EXPECT_EQ(ha.spurious_retransmissions, hb.spurious_retransmissions);
+  EXPECT_EQ(ha.rtt_samples, hb.rtt_samples);
+  EXPECT_EQ(ha.rto_backoffs, hb.rto_backoffs);
+  EXPECT_DOUBLE_EQ(ha.srtt_ms, hb.srtt_ms);
+  EXPECT_DOUBLE_EQ(ha.rttvar_ms, hb.rttvar_ms);
+  EXPECT_DOUBLE_EQ(ha.rto_ms, hb.rto_ms);
   EXPECT_EQ(ha.probes_sent, hb.probes_sent);
   EXPECT_EQ(ha.degraded_entries, hb.degraded_entries);
   EXPECT_EQ(ha.degraded_frames, hb.degraded_frames);

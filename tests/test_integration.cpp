@@ -45,8 +45,8 @@ TEST(EdgeServer, FifoQueueing) {
   segnet::InferenceRequest req;
   req.width = 320;
   req.height = 240;
-  server.submit(1, 0.0, req);
-  server.submit(2, 1.0, req);  // arrives while busy: queued
+  server.submit(1, 0.0, 0.0, req);
+  server.submit(2, 1.0, 0.0, req);  // arrives while busy: queued
   auto all = server.poll(1e18);
   ASSERT_EQ(all.size(), 2u);
   EXPECT_EQ(all[0].frame_index, 1);
@@ -60,7 +60,7 @@ TEST(EdgeServer, PollRespectsTime) {
   segnet::InferenceRequest req;
   req.width = 320;
   req.height = 240;
-  server.submit(7, 0.0, req);
+  server.submit(7, 0.0, 0.0, req);
   EXPECT_EQ(server.pending(0.0), 1);
   EXPECT_TRUE(server.poll(0.1).empty());
   const auto done = server.poll(1e6);

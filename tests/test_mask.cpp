@@ -179,3 +179,59 @@ TEST(MaskFromIds, SelectsMatchingPixels) {
   EXPECT_FALSE(m5.get(4, 4));
   EXPECT_EQ(m5.instance_id, 5);
 }
+
+// Regression: a pinched (8-connected) boundary used to send the Moore
+// tracer into a cycle that never revisited its start state, so it only
+// stopped at the width*height*4 safety cap — producing million-vertex
+// "contours" for masks of a few tens of kilopixels (and, downstream,
+// megabyte mask payloads that stretched simulated downlinks by seconds).
+TEST(Contours, PinchedBoundaryTerminatesWithBoundedContour) {
+  // Two solid squares joined only through a diagonal pixel pair: the
+  // boundary walk passes through the pinch twice before closing.
+  InstanceMask m(16, 16);
+  for (int y = 1; y <= 6; ++y) {
+    for (int x = 1; x <= 6; ++x) m.set(x, y);
+  }
+  for (int y = 7; y <= 12; ++y) {
+    for (int x = 7; x <= 12; ++x) m.set(x, y);
+  }
+  const auto contours = find_contours(m);
+  // One walk through the pinch or one loop per square are both sane; a
+  // runaway trace is not.
+  ASSERT_GE(contours.size(), 1u);
+  ASSERT_LE(contours.size(), 2u);
+  for (const auto& c : contours) {
+    // The whole component has 72 pixels; a sane trace visits each boundary
+    // pixel at most a couple of times. The buggy tracer returned ~1000
+    // vertices here (the 16*16*4 step cap).
+    EXPECT_LE(c.size(), 64u);
+    // Every vertex lies on a foreground pixel and consecutive vertices are
+    // Moore neighbors (the trace is a connected walk on the boundary).
+    for (std::size_t i = 0; i < c.size(); ++i) {
+      const int x = static_cast<int>(c[i].x), y = static_cast<int>(c[i].y);
+      EXPECT_TRUE(m.get(x, y)) << "vertex off-mask at " << x << "," << y;
+      const auto& n = c[(i + 1) % c.size()];
+      EXPECT_LE(std::abs(static_cast<int>(n.x) - x), 1);
+      EXPECT_LE(std::abs(static_cast<int>(n.y) - y), 1);
+    }
+  }
+}
+
+TEST(Contours, NoisyBlobContourStaysProportionalToPerimeter) {
+  // A disc whose boundary is perturbed pixel-by-pixel — the shape that
+  // triggered runaway traces when corrupt_mask() rasterized noisy
+  // polygons. Vertices must scale with the perimeter, not the area.
+  InstanceMask m(200, 200);
+  for (int y = 0; y < 200; ++y) {
+    for (int x = 0; x < 200; ++x) {
+      const double dx = x - 100.0, dy = y - 100.0;
+      const double wobble =
+          6.0 * std::sin(0.9 * std::atan2(dy, dx) * 7.0);
+      if (std::sqrt(dx * dx + dy * dy) < 70.0 + wobble) m.set(x, y);
+    }
+  }
+  std::size_t verts = 0;
+  for (const auto& c : find_contours(m)) verts += c.size();
+  EXPECT_GT(verts, 100u);
+  EXPECT_LE(verts, 4u * 2u * 220u);  // O(perimeter), far below area ~15k
+}
