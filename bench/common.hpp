@@ -12,6 +12,8 @@
 #include "core/edgeis_pipeline.hpp"
 #include "core/pipeline.hpp"
 #include "eval/metrics.hpp"
+#include "runtime/log.hpp"
+#include "runtime/trace.hpp"
 #include "scene/presets.hpp"
 
 namespace edgeis::bench {
@@ -69,13 +71,16 @@ inline std::unique_ptr<core::Pipeline> make_pipeline(
 inline core::RunResult run_system(System s,
                                   const scene::SceneConfig& scene_cfg,
                                   const core::PipelineConfig& cfg,
-                                  int warmup = kWarmupFrames) {
+                                  int warmup = kWarmupFrames,
+                                  rt::Tracer* tracer = nullptr) {
   scene::SceneSimulator sim(scene_cfg);
   auto pipeline = make_pipeline(s, scene_cfg, cfg);
-  return core::run_pipeline(sim, *pipeline, warmup);
+  return core::run_pipeline(sim, *pipeline, warmup, /*memory_sample=*/10,
+                            tracer);
 }
 
 inline void banner(const char* figure, const char* description) {
+  rt::Log::init_from_env();  // EDGEIS_LOG=debug|info|warn|error|off
   std::printf("\n================================================================\n");
   std::printf("%s — %s\n", figure, description);
   std::printf("================================================================\n");

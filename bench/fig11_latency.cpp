@@ -1,5 +1,15 @@
 // Fig. 11: average per-frame mobile latency and accuracy under WiFi 5 GHz.
 // Paper: edgeIS 28 ms / 0.89 IoU; EAAR 41 ms / 0.83; EdgeDuet 49 ms / 0.78.
+//
+// The per-stage latency breakdown is derived from the span tracer rather
+// than ad-hoc accumulators: each system runs with a Tracer attached, and
+// the table below aggregates the "frame" stage children on the mobile
+// track (post-warmup). By construction the stage spans of one frame sum to
+// its mobile latency, so the stage means must sum to the mean latency —
+// the harness asserts this to 1%.
+#include <cmath>
+#include <cstdlib>
+
 #include "bench/common.hpp"
 
 using namespace edgeis;
@@ -14,17 +24,80 @@ int main() {
 
   const System systems[] = {System::kEdgeIs, System::kEaar,
                             System::kEdgeDuet};
+  // Aggregate only spans beginning after warmup, matching the scored
+  // frames of run_pipeline().
+  const double warmup_ms =
+      static_cast<double>(bench::kWarmupFrames) / scene_cfg.fps * 1000.0;
+  // Sequential stage layout on the mobile track (trace.hpp).
+  const char* stages[] = {"extract", "track", "transfer", "encode",
+                          "render"};
 
   eval::print_table_header(
       {"system", "latency(ms)", "p95(ms)", "mean IoU", "tx", "KB sent"});
+  std::vector<std::map<std::string, rt::Tracer::StageStats>> breakdowns;
+  std::vector<double> frame_means;
+  std::vector<int> frame_counts;
   for (System s : systems) {
-    const auto r = bench::run_system(s, scene_cfg, cfg);
+    rt::Tracer tracer;
+    const auto r = bench::run_system(s, scene_cfg, cfg, bench::kWarmupFrames,
+                                     &tracer);
     eval::print_table_row(
         {bench::system_name(s), eval::fmt(r.summary.mean_latency_ms, 1),
          eval::fmt(r.summary.p95_latency_ms, 1),
          eval::fmt(r.summary.mean_iou, 3), std::to_string(r.transmissions),
          std::to_string(r.total_tx_bytes / 1024)});
+
+    auto agg = tracer.aggregate(rt::track::kMobile, warmup_ms);
+    const auto& frame = agg["frame"];
+    // Cross-check the trace against the evaluator: stage spans of a frame
+    // sum to its latency, so the aggregated stage totals must reproduce
+    // the reported mean to within rounding.
+    double stage_sum_ms = 0.0;
+    for (const char* st : stages) stage_sum_ms += agg[st].total_ms;
+    if (frame.count > 0 &&
+        std::fabs(stage_sum_ms - frame.total_ms) >
+            0.01 * frame.total_ms + 1e-6) {
+      std::fprintf(stderr,
+                   "FATAL: %s stage spans sum to %.3f ms but frame spans "
+                   "total %.3f ms\n",
+                   bench::system_name(s), stage_sum_ms, frame.total_ms);
+      return 1;
+    }
+    if (frame.count > 0 &&
+        std::fabs(frame.mean_ms() - r.summary.mean_latency_ms) >
+            0.01 * r.summary.mean_latency_ms + 1e-6) {
+      std::fprintf(stderr,
+                   "FATAL: %s traced frame mean %.3f ms disagrees with "
+                   "evaluator mean %.3f ms\n",
+                   bench::system_name(s), frame.mean_ms(),
+                   r.summary.mean_latency_ms);
+      return 1;
+    }
+    frame_means.push_back(frame.mean_ms());
+    frame_counts.push_back(frame.count);
+    breakdowns.push_back(std::move(agg));
   }
+
+  std::printf("\nPer-stage breakdown from span aggregation "
+              "(mean ms/frame, %d post-warmup frames):\n",
+              frame_counts.empty() ? 0 : frame_counts[0]);
+  eval::print_table_header({"system", "extract", "track", "transfer",
+                            "encode", "render", "sum", "frame"});
+  for (std::size_t i = 0; i < breakdowns.size(); ++i) {
+    auto& agg = breakdowns[i];
+    const double frames = std::max(1, frame_counts[i]);
+    double sum = 0.0;
+    std::vector<std::string> row = {bench::system_name(systems[i])};
+    for (const char* st : stages) {
+      const double per_frame = agg[st].total_ms / frames;
+      sum += per_frame;
+      row.push_back(eval::fmt(per_frame, 2));
+    }
+    row.push_back(eval::fmt(sum, 2));
+    row.push_back(eval::fmt(frame_means[i], 2));
+    eval::print_table_row(row);
+  }
+
   std::printf(
       "\nPaper shape: edgeIS stays within the 33 ms frame budget; the\n"
       "correlation-tracker baseline (EdgeDuet) is the slowest; accuracy\n"

@@ -8,6 +8,15 @@
 // accuracy alongside the LinkHealthStats block, plus machine-readable
 // HEADLINE lines the nightly CI job diffs against checked-in
 // expectations (scripts/check_headline.py).
+//
+// `--trace out.json` additionally exports a Chrome trace of the edgeIS
+// run of one scenario (default collapse-25x, override with
+// `--trace-scenario NAME`) — the fault-annotated spans are the debugging
+// view of the ledger behaviour the HEADLINE numbers summarize. Tracing
+// must not change any printed number (checked in CI against the same
+// expectations as the untraced run).
+#include <cstring>
+
 #include "bench/common.hpp"
 
 using namespace edgeis;
@@ -43,10 +52,12 @@ core::PipelineConfig fixed_timeout_config(
 
 void run_edgeis_row(const char* scenario, const char* display,
                     const char* label, const scene::SceneConfig& scene_cfg,
-                    const core::PipelineConfig& cfg) {
+                    const core::PipelineConfig& cfg,
+                    rt::Tracer* tracer = nullptr) {
   scene::SceneSimulator sim(scene_cfg);
   core::EdgeISPipeline p(scene_cfg, cfg);
-  const auto r = core::run_pipeline(sim, p, bench::kWarmupFrames);
+  const auto r = core::run_pipeline(sim, p, bench::kWarmupFrames,
+                                    /*memory_sample=*/10, tracer);
   const auto h = p.link_health();
   eval::print_table_row(
       {display, label, eval::fmt_percent(r.summary.mean_iou),
@@ -69,7 +80,23 @@ void run_edgeis_row(const char* scenario, const char* display,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const char* trace_path = nullptr;
+  const char* trace_scenario = "collapse-25x";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      trace_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--trace-scenario") == 0 &&
+               i + 1 < argc) {
+      trace_scenario = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--trace out.json] [--trace-scenario NAME]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
   bench::banner("Fig. 17b", "field links under scripted faults");
 
   const int frames = 360;  // 12 s @ 30 fps
@@ -117,10 +144,15 @@ int main() {
   eval::print_table_header({"scenario", "system", "IoU", "false", "tx MB",
                             "t/o", "rtx", "spur", "degr ms", "stale p95"});
 
+  rt::Tracer tracer;
+  bool traced = false;
   for (const auto& sc : scenarios) {
     const auto scene_cfg = scene::make_field_scene(42, frames);
+    const bool trace_this =
+        trace_path != nullptr && std::strcmp(sc.name, trace_scenario) == 0;
     run_edgeis_row(sc.name, sc.name, "edgeIS", scene_cfg,
-                   field_config(sc.script));
+                   field_config(sc.script), trace_this ? &tracer : nullptr);
+    traced |= trace_this;
     run_edgeis_row(sc.name, "  \"", "edgeIS-fixed1500", scene_cfg,
                    fixed_timeout_config(sc.script));
     {  // Baseline: same faults, no failure handling beyond re-offering.
@@ -142,5 +174,19 @@ int main() {
       "the throttle scenarios the adaptive RTO inflates with the\n"
       "stretched round trips where the fixed 1500 ms deadline fires\n"
       "spuriously on responses that were merely late (spur column).\n");
+
+  if (trace_path != nullptr) {
+    if (!traced) {
+      std::fprintf(stderr, "error: --trace-scenario %s not in the sweep\n",
+                   trace_scenario);
+      return 2;
+    }
+    if (!tracer.write_json(trace_path)) {
+      std::fprintf(stderr, "error: cannot write %s\n", trace_path);
+      return 1;
+    }
+    std::printf("trace: %s scenario of the edgeIS row -> %s (%zu events)\n",
+                trace_scenario, trace_path, tracer.event_count());
+  }
   return 0;
 }

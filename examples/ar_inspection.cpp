@@ -5,6 +5,7 @@
 #include <cstdio>
 
 #include "core/edgeis_pipeline.hpp"
+#include "runtime/log.hpp"
 #include "scene/presets.hpp"
 
 using namespace edgeis;
@@ -51,6 +52,7 @@ void run_device(const char* label, const sim::DeviceProfile& device,
 }  // namespace
 
 int main() {
+  rt::Log::init_from_env();
   std::printf("edgeIS AR inspection demo — oil-field equipment, AGX Xavier edge\n\n");
   run_device("dream-glass (indoor)", sim::dream_glass(), net::wifi_5ghz(), 42);
   run_device("iphone-11 (remote)", sim::iphone11(), net::lte(), 4242);

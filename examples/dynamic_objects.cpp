@@ -4,6 +4,7 @@
 #include <cstdio>
 
 #include "core/edgeis_pipeline.hpp"
+#include "runtime/log.hpp"
 #include "features/orb.hpp"
 #include "scene/presets.hpp"
 #include "transfer/mask_transfer.hpp"
@@ -13,6 +14,7 @@
 using namespace edgeis;
 
 int main() {
+  rt::Log::init_from_env();
   std::printf("edgeIS dynamic-objects demo — hard complexity scene\n\n");
 
   const auto scene_cfg =

@@ -6,6 +6,13 @@
 //              [--link wifi5|wifi24|lte]
 //              [--frames N] [--seed S]
 //              [--no-mamt] [--no-ciia] [--no-cfrs]
+//              [--trace out.json] [--metrics out.json]
+//
+// --trace writes a Chrome trace-event JSON of the whole run (open in
+// Perfetto / chrome://tracing; validate with scripts/trace_summary.py).
+// --metrics writes a JSON snapshot of the run's summary metrics and, for
+// edgeIS, the LinkHealthStats block. Both are deterministic: same seed +
+// same fault script => byte-identical files.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -14,6 +21,9 @@
 
 #include "core/baselines.hpp"
 #include "core/edgeis_pipeline.hpp"
+#include "runtime/log.hpp"
+#include "runtime/metrics.hpp"
+#include "runtime/trace.hpp"
 #include "scene/presets.hpp"
 
 using namespace edgeis;
@@ -26,16 +36,20 @@ void usage(const char* argv0) {
                "          [--dataset davis|kitti|xiph|field] [--link "
                "wifi5|wifi24|lte]\n"
                "          [--frames N] [--seed S] [--no-mamt] [--no-ciia] "
-               "[--no-cfrs]\n",
+               "[--no-cfrs]\n"
+               "          [--trace out.json] [--metrics out.json]\n",
                argv0);
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  rt::Log::init_from_env();
   std::string system = "edgeis";
   std::string dataset = "davis";
   std::string link = "wifi5";
+  std::string trace_path;
+  std::string metrics_path;
   int frames = 180;
   std::uint64_t seed = 42;
   core::PipelineConfig cfg;
@@ -57,6 +71,8 @@ int main(int argc, char** argv) {
     else if (arg == "--no-mamt") cfg.enable_mamt = false;
     else if (arg == "--no-ciia") cfg.enable_ciia = false;
     else if (arg == "--no-cfrs") cfg.enable_cfrs = false;
+    else if (arg == "--trace") trace_path = next();
+    else if (arg == "--metrics") metrics_path = next();
     else {
       usage(argv[0]);
       return 2;
@@ -100,7 +116,11 @@ int main(int argc, char** argv) {
   }
 
   scene::SceneSimulator sim(scene_cfg);
-  const auto r = core::run_pipeline(sim, *pipeline);
+  rt::Tracer tracer;
+  const bool tracing = !trace_path.empty();
+  const auto r =
+      core::run_pipeline(sim, *pipeline, /*warmup_frames=*/45,
+                         /*memory_sample=*/10, tracing ? &tracer : nullptr);
 
   std::printf("system=%s dataset=%s link=%s frames=%d seed=%llu\n",
               pipeline->name().c_str(), dataset.c_str(), link.c_str(),
@@ -115,5 +135,59 @@ int main(int argc, char** argv) {
   std::printf("cpu_utilization=%.3f\n", r.mean_cpu_utilization);
   std::printf("peak_memory_mb=%.2f\n",
               static_cast<double>(r.peak_memory_bytes) / 1048576.0);
+
+  if (tracing) {
+    if (!tracer.write_json(trace_path)) {
+      std::fprintf(stderr, "error: cannot write %s\n", trace_path.c_str());
+      return 1;
+    }
+    std::printf("trace=%s events=%zu\n", trace_path.c_str(),
+                tracer.event_count());
+  }
+
+  if (!metrics_path.empty()) {
+    rt::MetricsRegistry reg;
+    reg.gauge_set("mean_iou", r.summary.mean_iou);
+    reg.gauge_set("false_rate_strict", r.summary.false_rate_strict);
+    reg.gauge_set("false_rate_loose", r.summary.false_rate_loose);
+    reg.gauge_set("mean_latency_ms", r.summary.mean_latency_ms);
+    reg.gauge_set("p95_latency_ms", r.summary.p95_latency_ms);
+    reg.gauge_set("cpu_utilization", r.mean_cpu_utilization);
+    reg.gauge_set("battery_percent", r.battery_percent);
+    reg.counter_add("transmissions", r.transmissions);
+    reg.counter_add("tx_bytes", static_cast<double>(r.total_tx_bytes));
+    reg.counter_add("peak_memory_bytes",
+                    static_cast<double>(r.peak_memory_bytes));
+    if (const auto* eis =
+            dynamic_cast<const core::EdgeISPipeline*>(pipeline.get())) {
+      const auto h = eis->link_health();
+      reg.counter_add("requests_sent", h.requests_sent);
+      reg.counter_add("responses_received", h.responses_received);
+      reg.counter_add("retransmissions", h.retransmissions);
+      reg.counter_add("attempt_timeouts", h.attempt_timeouts);
+      reg.counter_add("requests_failed", h.requests_failed);
+      reg.counter_add("stale_responses", h.stale_responses);
+      reg.counter_add("spurious_retransmissions",
+                      h.spurious_retransmissions);
+      reg.counter_add("uplink_drops", h.uplink_drops);
+      reg.counter_add("downlink_drops", h.downlink_drops);
+      reg.counter_add("probes_sent", h.probes_sent);
+      reg.counter_add("degraded_entries", h.degraded_entries);
+      reg.counter_add("degraded_frames", h.degraded_frames);
+      reg.gauge_set("time_in_degraded_ms", h.time_in_degraded_ms);
+      reg.gauge_set("srtt_ms", h.srtt_ms);
+      reg.gauge_set("rttvar_ms", h.rttvar_ms);
+      reg.gauge_set("rto_ms", h.rto_ms);
+      for (double v : h.mask_staleness_ms.samples()) {
+        reg.observe("mask_staleness_ms", v);
+      }
+    }
+    if (!reg.write_json(metrics_path)) {
+      std::fprintf(stderr, "error: cannot write %s\n",
+                   metrics_path.c_str());
+      return 1;
+    }
+    std::printf("metrics=%s\n", metrics_path.c_str());
+  }
   return 0;
 }

@@ -5,12 +5,14 @@
 #include <cstdio>
 
 #include "core/edgeis_pipeline.hpp"
+#include "runtime/log.hpp"
 #include "encoding/tiles.hpp"
 #include "scene/presets.hpp"
 
 using namespace edgeis;
 
 int main() {
+  rt::Log::init_from_env();
   std::printf("edgeIS network-adaptation demo — CFRS tile encoding\n\n");
 
   // A representative mask: one object in the middle of the frame.

@@ -4,11 +4,13 @@
 #include <cstdio>
 
 #include "core/edgeis_pipeline.hpp"
+#include "runtime/log.hpp"
 #include "scene/presets.hpp"
 
 using namespace edgeis;
 
 int main() {
+  rt::Log::init_from_env();
   std::printf("edgeIS quickstart: DAVIS-style scene, WiFi 5 GHz, Jetson TX2 edge\n\n");
 
   // 1. A synthetic scene standing in for the camera feed: three objects,

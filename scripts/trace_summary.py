@@ -1,0 +1,201 @@
+#!/usr/bin/env python3
+"""Validate and summarize a Chrome trace exported by the edgeIS tracer.
+
+The tracer (src/runtime/trace.hpp) promises a handful of structural
+invariants; this script is the executable statement of them:
+
+  1. Schema: the file is {"traceEvents": [...]}; every event has ph, pid,
+     tid, ts (and name except for E events; dur for X; args.value for C).
+  2. Balanced spans: on every (pid, tid) track, B/E events pair up like
+     parentheses when replayed in emission order, every E closes the most
+     recent open B, no span is left open, and each E timestamp >= its B
+     timestamp (monotone within a span).
+  3. Non-negative durations on X events.
+  4. Frame containment: on the mobile track (pid 1, tid 1) the B/E stage
+     spans nested inside each "frame" span have durations that sum to at
+     most the frame span's duration (within a small epsilon). X events are
+     exempt: they model work that legitimately overlaps frames (e.g. the
+     pure-mobile on-device inference).
+
+With --check, exit non-zero on the first violated invariant (CI mode).
+Otherwise additionally print a per-track event census and a per-stage
+duration breakdown like the Fig. 11 table.
+
+Usage:
+    scripts/trace_summary.py trace.json
+    scripts/trace_summary.py --check trace.json
+"""
+
+import argparse
+import collections
+import json
+import sys
+
+EPS_US = 0.5  # span-sum slack: one export rounding step (0.001 us) per
+              # stage would be enough; be generous and still catch bugs
+
+
+def fail(msg):
+    print(f"trace_summary: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"cannot parse {path}: {e}")
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        fail("top level must be an object with a traceEvents array")
+    events = doc["traceEvents"]
+    if not isinstance(events, list):
+        fail("traceEvents must be an array")
+    return events
+
+
+def check_schema(events):
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            fail(f"event {i} is not an object")
+        ph = ev.get("ph")
+        if ph not in ("B", "E", "X", "i", "C", "M"):
+            fail(f"event {i}: unknown ph {ph!r}")
+        for key in ("pid", "tid"):
+            if not isinstance(ev.get(key), int):
+                fail(f"event {i} (ph={ph}): missing integer {key}")
+        if ph != "M" and not isinstance(ev.get("ts"), (int, float)):
+            fail(f"event {i} (ph={ph}): missing numeric ts")
+        if ph != "E" and not isinstance(ev.get("name"), str):
+            fail(f"event {i} (ph={ph}): missing name")
+        if ph == "X" and not isinstance(ev.get("dur"), (int, float)):
+            fail(f"event {i} (ph=X): missing numeric dur")
+        if ph == "X" and ev["dur"] < 0:
+            fail(f"event {i} ({ev.get('name')}): negative dur {ev['dur']}")
+        if ph == "C":
+            args = ev.get("args")
+            if not isinstance(args, dict) or "value" not in args:
+                fail(f"event {i} (ph=C {ev.get('name')}): missing args.value")
+        if ph == "i" and ev.get("s") != "t":
+            fail(f"event {i} (ph=i {ev.get('name')}): missing scope s=t")
+
+
+def check_balance(events):
+    """Replay B/E per track; return closed spans as (pid, tid, name, ts,
+    dur, depth, parent_index_in_result)."""
+    stacks = collections.defaultdict(list)  # (pid,tid) -> [open span]
+    spans = []
+    for i, ev in enumerate(events):
+        ph = ev["ph"]
+        if ph == "B":
+            stacks[(ev["pid"], ev["tid"])].append(
+                {"name": ev["name"], "ts": ev["ts"], "index": i})
+        elif ph == "E":
+            key = (ev["pid"], ev["tid"])
+            if not stacks[key]:
+                fail(f"event {i}: E with no open span on track {key}")
+            b = stacks[key].pop()
+            if ev["ts"] < b["ts"] - 1e-9:
+                fail(f"event {i}: span {b['name']!r} ends at {ev['ts']} "
+                     f"before it begins at {b['ts']}")
+            spans.append({
+                "pid": key[0], "tid": key[1], "name": b["name"],
+                "ts": b["ts"], "dur": ev["ts"] - b["ts"],
+                "depth": len(stacks[key]),
+            })
+    for key, stack in stacks.items():
+        if stack:
+            names = [s["name"] for s in stack]
+            fail(f"track {key}: {len(stack)} unclosed span(s): {names}")
+    return spans
+
+
+def check_frame_containment(spans):
+    """On the mobile track, stage spans inside each frame span must not
+    outlast it in total."""
+    mobile = [s for s in spans if (s["pid"], s["tid"]) == (1, 1)]
+    frames = [s for s in mobile if s["name"] == "frame"]
+    stages = [s for s in mobile if s["name"] != "frame" and s["depth"] > 0]
+    # Stage spans close before their frame (emission order), so a simple
+    # interval scan suffices: attribute each stage to the frame containing
+    # its start.
+    frames.sort(key=lambda s: s["ts"])
+    for fr in frames:
+        inside = [s for s in stages
+                  if fr["ts"] - 1e-9 <= s["ts"]
+                  and s["ts"] + s["dur"] <= fr["ts"] + fr["dur"] + 1e-6]
+        total = sum(s["dur"] for s in inside
+                    if fr["ts"] - 1e-9 <= s["ts"] < fr["ts"] + fr["dur"])
+        if total > fr["dur"] + EPS_US:
+            fail(f"frame at ts={fr['ts']}: stage spans sum to {total:.3f} "
+                 f"us > frame duration {fr['dur']:.3f} us")
+    return frames, stages
+
+
+def summarize(events, spans, frames, stages):
+    track_names = {}
+    for ev in events:
+        if ev["ph"] == "M" and ev.get("name") == "thread_name":
+            track_names[(ev["pid"], ev["tid"])] = ev["args"]["name"]
+
+    census = collections.Counter(
+        (ev["pid"], ev["tid"], ev["ph"]) for ev in events)
+    print(f"{len(events)} events, {len(spans)} B/E spans, "
+          f"{len(frames)} frames")
+    print("\nper-track census (B/E X i C):")
+    tracks = sorted({(ev["pid"], ev["tid"]) for ev in events})
+    for key in tracks:
+        label = track_names.get(key, f"pid{key[0]}/tid{key[1]}")
+        counts = " ".join(
+            f"{ph}={census.get((key[0], key[1], ph), 0)}"
+            for ph in ("B", "E", "X", "i", "C"))
+        print(f"  {label:<28} {counts}")
+
+    if frames:
+        frame_total = sum(f["dur"] for f in frames)
+        print(f"\nmobile stage breakdown over {len(frames)} frames "
+              f"(mean ms/frame):")
+        by_name = collections.defaultdict(float)
+        for s in stages:
+            by_name[s["name"]] += s["dur"]
+        stage_sum = 0.0
+        for name in sorted(by_name, key=by_name.get, reverse=True):
+            per_frame_ms = by_name[name] / len(frames) / 1000.0
+            stage_sum += by_name[name]
+            print(f"  {name:<12} {per_frame_ms:8.3f}")
+        print(f"  {'(stages)':<12} {stage_sum / len(frames) / 1000.0:8.3f}")
+        print(f"  {'frame':<12} {frame_total / len(frames) / 1000.0:8.3f}")
+
+    x_by_track = collections.defaultdict(float)
+    for ev in events:
+        if ev["ph"] == "X":
+            x_by_track[(ev["pid"], ev["tid"], ev["name"])] += ev["dur"]
+    if x_by_track:
+        print("\nX-event busy time (total ms):")
+        for (pid, tid, name), dur in sorted(x_by_track.items()):
+            label = track_names.get((pid, tid), f"pid{pid}/tid{tid}")
+            print(f"  {label:<20} {name:<14} {dur / 1000.0:10.3f}")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("trace", help="Chrome trace-event JSON file")
+    ap.add_argument("--check", action="store_true",
+                    help="validate only; no summary output")
+    args = ap.parse_args()
+
+    events = load(args.trace)
+    if not events:
+        fail("empty trace")
+    check_schema(events)
+    spans = check_balance(events)
+    frames, stages = check_frame_containment(spans)
+    if args.check:
+        print(f"trace_summary: OK: {len(events)} events, "
+              f"{len(spans)} spans balanced, {len(frames)} frames")
+        return
+    summarize(events, spans, frames, stages)
+
+
+if __name__ == "__main__":
+    main()

@@ -55,9 +55,19 @@ FrameOutput PureMobilePipeline::process(const scene::RenderedFrame& frame) {
   FrameOutput out;
   out.frame_index = frame.index;
 
+  // Frame budget span; the on-device inference is an X event because it
+  // runs for many frame intervals and must be allowed to overlap them.
+  rt::ScopedSpan frame_span(tracer_, rt::track::kMobile, "frame", now_ms,
+                            {{"frame", frame.index}});
+  frame_span.set_end(now_ms + 1000.0 / scene_config_.fps);
+
   if (in_flight_ && in_flight_->first <= now_ms) {
     latest_masks_ = std::move(in_flight_->second);
     in_flight_.reset();
+    if (tracer_ != nullptr) {
+      tracer_->instant(rt::track::kMobile, "masks_adopted", now_ms,
+                       {{"masks", latest_masks_.size()}});
+    }
   }
 
   if (!in_flight_ && now_ms >= busy_until_ms_) {
@@ -74,6 +84,11 @@ FrameOutput PureMobilePipeline::process(const scene::RenderedFrame& frame) {
     masks.reserve(result.instances.size());
     for (auto& inst : result.instances) masks.push_back(std::move(inst.mask));
     busy_until_ms_ = now_ms + compute_ms;
+    if (tracer_ != nullptr) {
+      tracer_->complete(rt::track::kMobile, "infer", now_ms, compute_ms,
+                        {{"frame", frame.index},
+                         {"instances", result.instances.size()}});
+    }
     in_flight_ = {busy_until_ms_, std::move(masks)};
   }
 
@@ -125,6 +140,24 @@ FrameOutput TrackDetectPipeline::process(const scene::RenderedFrame& frame) {
   FrameOutput out;
   out.frame_index = frame.index;
 
+  // Same stage-span layout as EdgeISPipeline::process(): sequential spans
+  // whose durations sum to the mobile latency, starting at the frame
+  // timestamp or wherever the previous (overrunning) frame span ended.
+  const double span_begin_ms = std::max(now_ms, trace_frame_end_ms_);
+  rt::ScopedSpan frame_span(tracer_, rt::track::kMobile, "frame",
+                            span_begin_ms, {{"frame", frame.index}});
+  double stage_start = span_begin_ms;
+  auto stage = [&](const char* name, double dur_ms,
+                   rt::TraceArgs args = {}) {
+    if (tracer_ == nullptr) return;
+    if (dur_ms > 1e-12) {
+      tracer_->begin(rt::track::kMobile, name, stage_start,
+                     std::move(args));
+      tracer_->end(rt::track::kMobile, stage_start + dur_ms);
+    }
+    stage_start += dur_ms;
+  };
+
   // Deliver due responses: the cached masks are replaced wholesale.
   {
     auto it = pending_.begin();
@@ -144,6 +177,9 @@ FrameOutput TrackDetectPipeline::process(const scene::RenderedFrame& frame) {
       cost_model_.feature_extract_us_per_feature *
           static_cast<double>(features.size()) / 1000.0 +
       cost_model_.render_ms;
+  stage("extract", latency_ms - cost_model_.render_ms,
+        {{"features", features.size()}});
+  const double latency_before_track_ms = latency_ms;
 
   // ---- Local mask update. -------------------------------------------------
   const bool use_motion_vector =
@@ -173,6 +209,9 @@ FrameOutput TrackDetectPipeline::process(const scene::RenderedFrame& frame) {
       }
     }
   }
+
+  stage("track", latency_ms - latency_before_track_ms,
+        {{"masks", cached_masks_.size()}});
 
   // ---- Transmission policy. -----------------------------------------------
   bool want_tx = false;
@@ -228,18 +267,25 @@ FrameOutput TrackDetectPipeline::process(const scene::RenderedFrame& frame) {
     // No CIIA: these systems run the unmodified model.
     const double up_ms =
         net::transmit_ms(config_.link, encoded.total_bytes, rng_);
-    edge_.submit(frame.index, now_ms, up_ms, req);
+    edge_.submit(frame.index, now_ms, up_ms, req, /*attempt=*/0,
+                 encoded.total_bytes);
     auto responses = edge_.poll(1e18);
     for (auto& r : responses) {
       const double down_ms =
           net::transmit_ms(config_.link, r.payload_bytes, rng_);
       const auto fate = downlink_faults_.on_message(r.ready_ms);
+      // Independent transmit sample for the duplicate copy (it is its own
+      // transmission, not a replay of the primary's timing). Sampled under
+      // the exact pre-trace condition so tracing never shifts the RNG.
+      double dup_down_ms = 0.0;
+      if (!fate.drop && fate.duplicate) {
+        dup_down_ms = net::transmit_ms(config_.link, r.payload_bytes, rng_);
+      }
+      net::trace_transfer(tracer_, /*uplink=*/false, r.ready_ms, down_ms,
+                          r.payload_bytes, fate, r.frame_index, r.attempt,
+                          dup_down_ms);
       if (fate.drop) continue;  // lost response: these systems just retry
       if (fate.duplicate) {
-        // Independent transmit sample for the duplicate copy (it is its
-        // own transmission, not a replay of the primary's timing).
-        const double dup_down_ms =
-            net::transmit_ms(config_.link, r.payload_bytes, rng_);
         pending_.push_back({r.ready_ms + dup_down_ms * fate.latency_scale +
                                 fate.duplicate_delay_ms,
                             r});
@@ -252,13 +298,24 @@ FrameOutput TrackDetectPipeline::process(const scene::RenderedFrame& frame) {
     out.tx_bytes = encoded.total_bytes;
     last_tx_frame_ = frame.index;
     const int tiles = (cam.width / 64 + 1) * (cam.height / 64 + 1);
-    latency_ms += cost_model_.encode_us_per_tile * tiles / 1000.0;
+    const double encode_dur_ms =
+        cost_model_.encode_us_per_tile * tiles / 1000.0;
+    latency_ms += encode_dur_ms;
+    stage("encode", encode_dur_ms,
+          {{"tiles", tiles}, {"bytes", out.tx_bytes}});
   }
 
   prev_features_ = std::move(features);
   prev_image_ = frame.intensity;
   out.awaiting_response = !pending_.empty();
   out.mobile_latency_ms = latency_ms;
+  stage("render", cost_model_.render_ms, {{"masks", cached_masks_.size()}});
+  if (tracer_ != nullptr) {
+    // See EdgeISPipeline: the frame ends exactly at the last stage end so
+    // mobile-track timestamps never step backwards by a rounding bit.
+    trace_frame_end_ms_ = stage_start;
+    frame_span.set_end(trace_frame_end_ms_);
+  }
   out.rendered_masks = render_queue_.push_and_render(
       frame.index, cached_masks_, latency_ms);
   out.tracking_ok = true;

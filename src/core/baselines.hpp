@@ -33,6 +33,7 @@ class PureMobilePipeline : public Pipeline {
 
   [[nodiscard]] std::string name() const override { return "pure-mobile"; }
   FrameOutput process(const scene::RenderedFrame& frame) override;
+  void set_tracer(rt::Tracer* tracer) override { tracer_ = tracer; }
 
  private:
   scene::SceneConfig scene_config_;
@@ -40,6 +41,7 @@ class PureMobilePipeline : public Pipeline {
   std::unordered_map<int, int> instance_class_;
   segnet::SegmentationModel model_;
   rt::Rng rng_;
+  rt::Tracer* tracer_ = nullptr;
 
   double busy_until_ms_ = 0.0;
   std::vector<mask::InstanceMask> latest_masks_;
@@ -56,6 +58,10 @@ class TrackDetectPipeline : public Pipeline {
 
   [[nodiscard]] std::string name() const override;
   FrameOutput process(const scene::RenderedFrame& frame) override;
+  void set_tracer(rt::Tracer* tracer) override {
+    tracer_ = tracer;
+    edge_.set_tracer(tracer);
+  }
 
  private:
   std::vector<segnet::OracleInstance> build_oracle(
@@ -66,6 +72,7 @@ class TrackDetectPipeline : public Pipeline {
   TrackDetectPolicy policy_;
   bool best_effort_motion_vector_;
   std::unordered_map<int, int> instance_class_;
+  rt::Tracer* tracer_ = nullptr;
 
   feat::OrbExtractor orb_;
   rt::Rng rng_;
@@ -87,6 +94,9 @@ class TrackDetectPipeline : public Pipeline {
   std::vector<feat::Feature> prev_features_;
   img::GrayImage prev_image_;
   int last_tx_frame_ = -1000;
+  // See EdgeISPipeline::trace_frame_end_ms_: keeps frame spans
+  // non-overlapping when latency exceeds the frame interval.
+  double trace_frame_end_ms_ = 0.0;
 };
 
 }  // namespace edgeis::core

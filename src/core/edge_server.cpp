@@ -2,14 +2,18 @@
 
 #include <algorithm>
 
+#include "net/link.hpp"
+
 namespace edgeis::core {
 
 void EdgeServer::submit(int frame_index, double sent_ms, double transmit_ms,
                         const segnet::InferenceRequest& request,
-                        int attempt) {
+                        int attempt, std::size_t bytes) {
   // Fault windows key off the time the message *enters* the link, so a
   // throttle window can stretch the transmit of a message sent inside it.
   const auto fate = uplink_faults_.on_message(sent_ms);
+  net::trace_transfer(tracer_, /*uplink=*/true, sent_ms, transmit_ms, bytes,
+                      fate, frame_index, attempt, transmit_ms);
   if (fate.drop) return;  // lost on the uplink; sender's ledger times out
   const double arrive_ms =
       sent_ms + transmit_ms * fate.latency_scale + fate.extra_delay_ms;
@@ -29,6 +33,48 @@ void EdgeServer::run_inference(int frame_index, double arrive_ms,
   const double compute_ms =
       result.stats.total_ms() * device_.model_compute_scale;
 
+  if (tracer_ != nullptr) {
+    // Edge-side spans are X (complete) events: a retransmitted request can
+    // arrive while the server is busy with its sibling, so spans on this
+    // track may overlap and must not rely on B/E nesting. The decode step
+    // has no modeled cost; it appears as an instant at arrival.
+    const double scale = device_.model_compute_scale;
+    const auto& s = result.stats;
+    tracer_->instant(rt::track::kEdge, "decode", arrive_ms,
+                     {{"frame", frame_index}, {"attempt", attempt}});
+    if (start > arrive_ms) {
+      tracer_->complete(rt::track::kEdge, "queue_wait", arrive_ms,
+                        start - arrive_ms, {{"frame", frame_index}});
+    }
+    tracer_->complete(
+        rt::track::kEdge, "infer", start, compute_ms,
+        {{"frame", frame_index},
+         {"attempt", attempt},
+         {"instances", result.instances.size()},
+         {"anchors", s.anchors_evaluated},
+         {"rois_selected", s.rois_after_selection},
+         {"rois_after_pruning", s.rois_after_pruning}});
+    double t = start;
+    tracer_->complete(rt::track::kEdge, "backbone", t, s.backbone_ms * scale);
+    t += s.backbone_ms * scale;
+    // CIIA instrumentation: the RPN span carries the anchor-placement
+    // numbers, the mask-head span the RoI-pruning numbers — the work CIIA
+    // saves is exactly the difference these args show under ablation.
+    tracer_->complete(rt::track::kEdge, "rpn", t, s.rpn_ms * scale,
+                      {{"anchors", s.anchors_evaluated},
+                       {"dynamic_placement",
+                        request.use_dynamic_anchor_placement},
+                       {"proposals", s.proposals_pre_nms}});
+    t += s.rpn_ms * scale;
+    tracer_->complete(rt::track::kEdge, "head", t, s.head_ms * scale,
+                      {{"rois", s.rois_after_selection}});
+    t += s.head_ms * scale;
+    tracer_->complete(rt::track::kEdge, "mask_head", t,
+                      s.mask_head_ms * scale,
+                      {{"rois", s.rois_after_pruning},
+                       {"roi_pruning", request.use_roi_pruning}});
+  }
+
   Response r;
   r.frame_index = frame_index;
   r.ready_ms = start + compute_ms;
@@ -46,6 +92,8 @@ void EdgeServer::run_inference(int frame_index, double arrive_ms,
 void EdgeServer::submit_ping(int ping_id, double sent_ms,
                              double transmit_ms) {
   const auto fate = uplink_faults_.on_message(sent_ms);
+  net::trace_transfer(tracer_, /*uplink=*/true, sent_ms, transmit_ms, 64,
+                      fate, ping_id, 0, transmit_ms);
   if (fate.drop) return;
   Response r;
   r.frame_index = ping_id;
@@ -53,6 +101,10 @@ void EdgeServer::submit_ping(int ping_id, double sent_ms,
   // Echoed from the network stack: no inference queue involved.
   r.ready_ms = sent_ms + transmit_ms * fate.latency_scale +
                fate.extra_delay_ms + 0.2;
+  if (tracer_ != nullptr) {
+    tracer_->instant(rt::track::kEdge, "ping_echo", r.ready_ms,
+                     {{"request", ping_id}});
+  }
   r.payload_bytes = 64;
   completed_.push_back(std::move(r));
 }

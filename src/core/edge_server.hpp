@@ -9,6 +9,7 @@
 #include "mask/mask.hpp"
 #include "net/faults.hpp"
 #include "runtime/rng.hpp"
+#include "runtime/trace.hpp"
 #include "segnet/model.hpp"
 #include "sim/device.hpp"
 
@@ -45,13 +46,20 @@ class EdgeServer {
   /// but its result is stamped with the queue-aware completion time. A
   /// request lost on the uplink never reaches the server: no inference
   /// runs, no response is produced, and the sender's ledger is left to
-  /// time out.
+  /// time out. `bytes` is the request's wire size, used only for trace
+  /// annotation.
   void submit(int frame_index, double sent_ms, double transmit_ms,
-              const segnet::InferenceRequest& request, int attempt = 0);
+              const segnet::InferenceRequest& request, int attempt = 0,
+              std::size_t bytes = 0);
 
   /// Submit a liveness probe (degraded-mode recovery detection). The echo
   /// bypasses the inference queue; it is subject to the same uplink faults.
   void submit_ping(int ping_id, double sent_ms, double transmit_ms);
+
+  /// Attach/detach a span tracer: per-message uplink spans, queue-wait and
+  /// staged inference spans (backbone / RPN incl. CIIA anchor placement /
+  /// heads incl. RoI pruning). Non-owning.
+  void set_tracer(rt::Tracer* tracer) { tracer_ = tracer; }
 
   /// Pop all responses completed by `now_ms` (server-side; caller adds
   /// downlink latency).
@@ -75,6 +83,7 @@ class EdgeServer {
   segnet::SegmentationModel model_;
   sim::DeviceProfile device_;
   net::FaultInjector uplink_faults_;
+  rt::Tracer* tracer_ = nullptr;
   double free_at_ms_ = 0.0;
   std::vector<Response> completed_;
 };

@@ -7,6 +7,7 @@
 #include "core/local_trackers.hpp"
 #include "encoding/tiles.hpp"
 #include "features/matcher.hpp"
+#include "net/link.hpp"
 #include "runtime/log.hpp"
 
 namespace edgeis::core {
@@ -69,6 +70,11 @@ void EdgeISPipeline::deliver_due_responses(double now_ms) {
         });
     if (entry == ledger_.end()) {
       ++health_.stale_responses;
+      if (tracer_ != nullptr) {
+        tracer_->instant(rt::track::kLedger, "stale_response", now_ms,
+                         {{"request", resp.frame_index},
+                          {"attempt", resp.attempt}});
+      }
       continue;
     }
     // Feed the RTT estimator. Karn's rule: a retransmitted request is
@@ -78,8 +84,25 @@ void EdgeISPipeline::deliver_due_responses(double now_ms) {
     // completes cleanly. An attempt-0 response overtaken by a
     // retransmission proves the deadline fired on a slow response, not a
     // lost one — the definition of a spurious retransmission.
-    if (resp.attempt < entry->attempt) ++health_.spurious_retransmissions;
-    if (entry->attempt == 0) rto_.sample(now_ms - entry->sent_ms);
+    if (resp.attempt < entry->attempt) {
+      ++health_.spurious_retransmissions;
+      if (tracer_ != nullptr) {
+        tracer_->instant(rt::track::kLedger, "spurious_retransmission",
+                         now_ms, {{"request", resp.frame_index}});
+      }
+    }
+    if (entry->attempt == 0) {
+      rto_.sample(now_ms - entry->sent_ms);
+      trace_rto_counters(now_ms);
+    }
+    if (tracer_ != nullptr) {
+      tracer_->instant(rt::track::kLedger,
+                       resp.is_ping ? "ping_response" : "response", now_ms,
+                       {{"request", resp.frame_index},
+                        {"attempt", resp.attempt},
+                        {"rtt_ms", now_ms - entry->sent_ms},
+                        {"bytes", resp.payload_bytes}});
+    }
     ledger_.erase(entry);
     ++health_.responses_received;
     if (degraded_) {
@@ -88,6 +111,10 @@ void EdgeISPipeline::deliver_due_responses(double now_ms) {
       // inference response is itself fresh annotation.
       degraded_ = false;
       if (resp.is_ping && phase_ == Phase::kRunning) force_refresh_ = true;
+      if (tracer_ != nullptr) {
+        tracer_->instant(rt::track::kLedger, "degraded.exit", now_ms,
+                         {{"via_ping", resp.is_ping}});
+      }
     }
     if (resp.is_ping) continue;
 
@@ -120,10 +147,18 @@ void EdgeISPipeline::deliver_due_responses(double now_ms) {
 void EdgeISPipeline::send_attempt(LedgerEntry& e, double now_ms) {
   const double up_ms = net::transmit_ms(
       config_.link, std::max<std::size_t>(e.bytes, 1), rng_);
+  if (tracer_ != nullptr) {
+    tracer_->instant(rt::track::kLedger, "send", now_ms,
+                     {{"request", e.request_id},
+                      {"attempt", e.attempt},
+                      {"bytes", e.bytes},
+                      {"ping", e.is_ping}});
+  }
   if (e.is_ping) {
     edge_.submit_ping(e.request_id, now_ms, up_ms);
   } else {
-    edge_.submit(e.frame_index, now_ms, up_ms, e.request, e.attempt);
+    edge_.submit(e.frame_index, now_ms, up_ms, e.request, e.attempt,
+                 e.bytes);
   }
   // The server result and completion time are deterministic at submission;
   // stamp the downlink (with faults) and queue the delivery.
@@ -139,13 +174,21 @@ void EdgeISPipeline::queue_response_with_faults(EdgeServer::Response r) {
   const double down_ms = net::transmit_ms(
       config_.link, std::max<std::size_t>(r.payload_bytes, 1), rng_);
   const auto fate = downlink_faults_.on_message(r.ready_ms);
+  // The duplicate is its own transmission: sample an independent transmit
+  // time and do not inherit the primary's reorder delay, so the two copies
+  // don't arrive in lockstep. Sampled before the trace call but with the
+  // exact condition of the pre-trace code, so tracing never shifts the
+  // RNG stream.
+  double dup_down_ms = 0.0;
+  if (!fate.drop && fate.duplicate) {
+    dup_down_ms = net::transmit_ms(
+        config_.link, std::max<std::size_t>(r.payload_bytes, 1), rng_);
+  }
+  net::trace_transfer(tracer_, /*uplink=*/false, r.ready_ms, down_ms,
+                      r.payload_bytes, fate, r.frame_index, r.attempt,
+                      dup_down_ms);
   if (fate.drop) return;  // the ledger deadline will notice
   if (fate.duplicate) {
-    // The duplicate is its own transmission: sample an independent
-    // transmit time and do not inherit the primary's reorder delay, so
-    // the two copies don't arrive in lockstep.
-    const double dup_down_ms = net::transmit_ms(
-        config_.link, std::max<std::size_t>(r.payload_bytes, 1), rng_);
     pending_.push_back({r.ready_ms + dup_down_ms * fate.latency_scale +
                             fate.duplicate_delay_ms,
                         r});
@@ -153,6 +196,16 @@ void EdgeISPipeline::queue_response_with_faults(EdgeServer::Response r) {
   pending_.push_back({r.ready_ms + down_ms * fate.latency_scale +
                           fate.extra_delay_ms,
                       std::move(r)});
+}
+
+void EdgeISPipeline::trace_rto_counters(double now_ms) const {
+  if (tracer_ == nullptr) return;
+  tracer_->counter(rt::track::kLedger, "srtt_ms", now_ms, rto_.srtt_ms());
+  tracer_->counter(rt::track::kLedger, "rttvar_ms", now_ms,
+                   rto_.rttvar_ms());
+  tracer_->counter(rt::track::kLedger, "rto_ms", now_ms, rto_.rto_ms());
+  tracer_->counter(rt::track::kLedger, "rto_backoff", now_ms,
+                   rto_.backoff());
 }
 
 void EdgeISPipeline::service_ledger(double now_ms) {
@@ -163,6 +216,11 @@ void EdgeISPipeline::service_ledger(double now_ms) {
       if (now_ms >= e.resend_at_ms) {
         ++e.attempt;
         ++health_.retransmissions;
+        if (tracer_ != nullptr) {
+          tracer_->instant(rt::track::kLedger, "retransmit", now_ms,
+                           {{"request", e.request_id},
+                            {"attempt", e.attempt}});
+        }
         send_attempt(e, now_ms);
       }
       continue;
@@ -172,12 +230,24 @@ void EdgeISPipeline::service_ledger(double now_ms) {
     // Inflate the RTO: the next attempt (of any request) waits longer
     // before concluding loss. Any response deflates it again.
     rto_.on_timeout();
+    if (tracer_ != nullptr) {
+      tracer_->instant(rt::track::kLedger, "timeout", now_ms,
+                       {{"request", e.request_id},
+                        {"attempt", e.attempt},
+                        {"ping", e.is_ping}});
+      trace_rto_counters(now_ms);
+    }
     if (e.is_ping || e.attempt >= config_.max_retries) {
       // Pings never retry: the probe cadence replaces them.
       e.dead = true;
       if (!e.is_ping) {
         ++health_.requests_failed;
         if (e.is_init) init_failed = true;
+        if (tracer_ != nullptr) {
+          tracer_->instant(rt::track::kLedger, "request_failed", now_ms,
+                           {{"request", e.request_id},
+                            {"init", e.is_init}});
+        }
       }
     } else {
       // exp2 of an unbounded attempt count overflows to inf and schedules
@@ -193,6 +263,11 @@ void EdgeISPipeline::service_ledger(double now_ms) {
   if (!degraded_ && rto_.backoff() >= config_.degraded_entry_rto_inflation) {
     degraded_ = true;
     ++health_.degraded_entries;
+    if (tracer_ != nullptr) {
+      tracer_->instant(rt::track::kLedger, "degraded.enter", now_ms,
+                       {{"rto_backoff", rto_.backoff()},
+                        {"outstanding", ledger_.size()}});
+    }
     // Stop paying the link: no more retransmissions for outstanding
     // inference requests. Their uplink cost is sunk, so keep them
     // listen-only — a response that was merely late (bandwidth collapse,
@@ -211,6 +286,11 @@ void EdgeISPipeline::service_ledger(double now_ms) {
       } else {
         e.abandoned = true;
         e.resend_at_ms = -1.0;
+        if (tracer_ != nullptr) {
+          tracer_->instant(rt::track::kLedger, "abandon", now_ms,
+                           {{"request", e.request_id},
+                            {"attempt", e.attempt}});
+        }
       }
     }
   }
@@ -442,6 +522,10 @@ std::size_t EdgeISPipeline::transmit(
   std::erase_if(ledger_, [&](const LedgerEntry& e) {
     if (!e.abandoned) return false;
     ++health_.requests_failed;
+    if (tracer_ != nullptr) {
+      tracer_->instant(rt::track::kLedger, "superseded", now_ms,
+                       {{"request", e.request_id}});
+    }
     return true;
   });
 
@@ -461,9 +545,43 @@ FrameOutput EdgeISPipeline::process(const scene::RenderedFrame& frame) {
   const double now_ms = frame.timestamp * 1000.0;
   FrameOutput out;
   out.frame_index = frame.index;
+
+  // Per-frame span with sequential stage children. The simulated stage
+  // costs accrue into a single latency scalar; the spans lay them out
+  // back-to-back, so child durations always sum exactly to the frame's
+  // mobile latency. The span starts at the frame timestamp unless the
+  // previous frame overran the frame interval, in which case it starts
+  // where that one ended (the device is still busy) — mobile-track spans
+  // never overlap. Tracing must not perturb the run: it reads state but
+  // never touches the RNG or the cost model.
+  const double span_begin_ms = std::max(now_ms, trace_frame_end_ms_);
+  rt::ScopedSpan frame_span(tracer_, rt::track::kMobile, "frame",
+                            span_begin_ms,
+                            {{"frame", frame.index}, {"degraded", degraded_}});
+  double stage_start = span_begin_ms;
+  auto stage = [&](const char* name, double dur_ms,
+                   rt::TraceArgs args = {}) {
+    if (tracer_ == nullptr) return;
+    if (dur_ms > 1e-12) {
+      tracer_->begin(rt::track::kMobile, name, stage_start,
+                     std::move(args));
+      tracer_->end(rt::track::kMobile, stage_start + dur_ms);
+    }
+    stage_start += dur_ms;
+  };
   auto stamp_link_state = [&](FrameOutput& o) {
     o.awaiting_response = !ledger_.empty();
     o.degraded = degraded_;
+    if (tracer_ != nullptr) {
+      stage("render", cost_model_.render_ms,
+            {{"masks", o.rendered_masks.size()}});
+      // End the frame exactly where the last stage ended: stage_start is
+      // the floating-point sum of the stage durations, which can differ
+      // from span_begin + latency in the last bits, and the E events must
+      // never step backwards in time.
+      trace_frame_end_ms_ = stage_start;
+      frame_span.set_end(trace_frame_end_ms_);
+    }
   };
 
   if (degraded_) {
@@ -484,6 +602,10 @@ FrameOutput EdgeISPipeline::process(const scene::RenderedFrame& frame) {
       ping.is_ping = true;
       ping.bytes = 64;
       ++health_.probes_sent;
+      if (tracer_ != nullptr) {
+        tracer_->instant(rt::track::kLedger, "degraded.probe", now_ms,
+                         {{"request", ping.request_id}});
+      }
       send_attempt(ping, now_ms);
       ledger_.push_back(std::move(ping));
       last_probe_frame_ = frame.index;
@@ -498,6 +620,8 @@ FrameOutput EdgeISPipeline::process(const scene::RenderedFrame& frame) {
       cost_model_.feature_extract_us_per_feature *
           static_cast<double>(features.size()) / 1000.0 +
       cost_model_.render_ms;
+  stage("extract", latency_ms - cost_model_.render_ms,
+        {{"features", features.size()}});
 
   // ---------------- Bootstrap / await phases. ----------------------------
   if (phase_ == Phase::kBootstrap) {
@@ -582,6 +706,10 @@ FrameOutput EdgeISPipeline::process(const scene::RenderedFrame& frame) {
   // deployment would. Cached masks keep rendering meanwhile.
   consecutive_lost_frames_ = obs.tracking_ok ? 0 : consecutive_lost_frames_ + 1;
   if (consecutive_lost_frames_ > 25) {
+    if (tracer_ != nullptr) {
+      tracer_->instant(rt::track::kMobile, "tracker.reset", now_ms,
+                       {{"frame", frame.index}});
+    }
     map_ = vo::Map{};
     tracker_.reset();
     mamt_.reset();
@@ -600,13 +728,20 @@ FrameOutput EdgeISPipeline::process(const scene::RenderedFrame& frame) {
     stamp_link_state(out);
     return out;
   }
-  latency_ms += cost_model_.track_us_per_matched_point *
-                    static_cast<double>(obs.matched_total) / 1000.0 +
-                cost_model_.pnp_ms_per_solve *
-                    (1.0 + static_cast<double>(obs.tracked_objects.size()));
+  const double track_dur_ms =
+      cost_model_.track_us_per_matched_point *
+          static_cast<double>(obs.matched_total) / 1000.0 +
+      cost_model_.pnp_ms_per_solve *
+          (1.0 + static_cast<double>(obs.tracked_objects.size()));
+  latency_ms += track_dur_ms;
+  stage("track", track_dur_ms,
+        {{"matched", obs.matched_total},
+         {"objects", obs.tracked_objects.size()},
+         {"tracking_ok", obs.tracking_ok}});
 
   // Masks for this frame: MAMT transfer, or the motion-vector fallback for
   // the ablation with MAMT disabled.
+  const double latency_before_transfer_ms = latency_ms;
   std::vector<transfer::TransferredMask> preds;
   std::vector<mask::InstanceMask> frame_masks;
   if (config_.enable_mamt) {
@@ -682,6 +817,8 @@ FrameOutput EdgeISPipeline::process(const scene::RenderedFrame& frame) {
     }
     frame_masks = cached_masks_;
   }
+  stage("transfer", latency_ms - latency_before_transfer_ms,
+        {{"masks", frame_masks.size()}, {"mamt", config_.enable_mamt}});
 
   // ---------------- CFRS transmission decision. ---------------------------
   bool want_tx = false;
@@ -729,6 +866,16 @@ FrameOutput EdgeISPipeline::process(const scene::RenderedFrame& frame) {
     full_frame_refresh_ = true;
     force_refresh_ = false;
     ++health_.refresh_requests;
+    if (tracer_ != nullptr) {
+      tracer_->instant(rt::track::kLedger, "recovery_refresh", now_ms, {});
+    }
+  }
+  if (tracer_ != nullptr && obs.created_keyframe) {
+    tracer_->instant(rt::track::kMobile, "cfrs.decide", now_ms,
+                     {{"transmit", want_tx},
+                      {"unlabeled_fraction", obs.unlabeled_fraction},
+                      {"full_frame_refresh", full_frame_refresh_},
+                      {"cfrs", config_.enable_cfrs}});
   }
 
   if (want_tx) {
@@ -784,7 +931,11 @@ FrameOutput EdgeISPipeline::process(const scene::RenderedFrame& frame) {
     ++tx_count_;
     const int tiles = (scene_config_.camera.width / 64 + 1) *
                       (scene_config_.camera.height / 64 + 1);
-    latency_ms += cost_model_.encode_us_per_tile * tiles / 1000.0;
+    const double encode_dur_ms =
+        cost_model_.encode_us_per_tile * tiles / 1000.0;
+    latency_ms += encode_dur_ms;
+    stage("encode", encode_dur_ms,
+          {{"tiles", tiles}, {"bytes", out.tx_bytes}});
     for (auto& [instance_id, track] : map_.objects()) {
       track.displacement_at_last_tx = track.displacement;
     }

@@ -30,6 +30,13 @@ class EdgeISPipeline : public Pipeline {
 
   [[nodiscard]] std::string name() const override { return "edgeis"; }
   FrameOutput process(const scene::RenderedFrame& frame) override;
+  /// Attach a span tracer for the coming run (frame stage spans, ledger
+  /// events, RTO counter series; the edge server and both link directions
+  /// are instrumented through it too). Nullptr detaches.
+  void set_tracer(rt::Tracer* tracer) override {
+    tracer_ = tracer;
+    edge_.set_tracer(tracer);
+  }
 
   /// Edge-side inference statistics of the most recent completed request
   /// (for the Fig. 14 acceleration study).
@@ -93,6 +100,9 @@ class EdgeISPipeline : public Pipeline {
   /// completes (downlink faults applied).
   void send_attempt(LedgerEntry& e, double now_ms);
   void queue_response_with_faults(EdgeServer::Response r);
+  /// Emit the RTT-estimator state as counter series on the ledger track
+  /// (trace satellite of LinkHealthStats). No-op without a tracer.
+  void trace_rto_counters(double now_ms) const;
   void abort_initialization();
   [[nodiscard]] bool has_outstanding_request() const;
   void try_initialize();
@@ -111,6 +121,11 @@ class EdgeISPipeline : public Pipeline {
 
   scene::SceneConfig scene_config_;
   PipelineConfig config_;
+  rt::Tracer* tracer_ = nullptr;  // non-owning; null = tracing off
+  // End of the previous frame's span: a frame whose latency exceeds the
+  // frame interval pushes the next span later (the device is still busy),
+  // keeping mobile-track B/E spans non-overlapping and in ts order.
+  double trace_frame_end_ms_ = 0.0;
   std::unordered_map<int, int> instance_class_;  // instance id -> class id
 
   feat::OrbExtractor orb_;

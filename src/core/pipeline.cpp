@@ -1,14 +1,24 @@
 #include "core/pipeline.hpp"
 
+#include "runtime/log.hpp"
+
 namespace edgeis::core {
 
 RunResult run_pipeline(const scene::SceneSimulator& sim, Pipeline& pipeline,
-                       int warmup_frames, int memory_sample) {
+                       int warmup_frames, int memory_sample,
+                       rt::Tracer* tracer) {
   RunResult result;
   sim::ResourceMonitor monitor(sim::iphone11(), sim.config().fps);
 
+  pipeline.set_tracer(tracer);
+  // Stamp log lines with the simulation clock for the duration of the run
+  // so they line up with trace timestamps.
+  double sim_now_ms = 0.0;
+  rt::ScopedLogClock log_clock([&sim_now_ms] { return sim_now_ms; });
+
   for (int i = 0; i < sim.total_frames(); ++i) {
     const scene::RenderedFrame frame = sim.render(i);
+    sim_now_ms = frame.timestamp * 1000.0;
     FrameOutput out = pipeline.process(frame);
 
     monitor.record_frame(out.mobile_latency_ms, out.map_memory_bytes,
@@ -20,12 +30,21 @@ RunResult run_pipeline(const scene::SceneSimulator& sim, Pipeline& pipeline,
     if (memory_sample > 0 && i % memory_sample == 0) {
       result.memory_curve.emplace_back(i, out.map_memory_bytes);
     }
+    if (tracer != nullptr) {
+      tracer->counter(rt::track::kMobile, "latency_ms", sim_now_ms,
+                      out.mobile_latency_ms);
+      tracer->counter(rt::track::kMobile, "map_memory_kb", sim_now_ms,
+                      static_cast<double>(out.map_memory_bytes) / 1024.0);
+      tracer->counter(rt::track::kMobile, "tx_kb_total", sim_now_ms,
+                      static_cast<double>(result.total_tx_bytes) / 1024.0);
+    }
 
     if (i < warmup_frames) continue;
     const auto gts = sim.ground_truth_masks(frame);
     result.evaluator.add(eval::score_frame(i, out.rendered_masks, gts,
                                            out.mobile_latency_ms));
   }
+  pipeline.set_tracer(nullptr);
 
   result.summary = result.evaluator.summarize();
   result.mean_cpu_utilization = monitor.mean_cpu_utilization();

@@ -12,6 +12,7 @@
 #include "eval/metrics.hpp"
 #include "net/link.hpp"
 #include "net/rto.hpp"
+#include "runtime/trace.hpp"
 #include "scene/scene.hpp"
 #include "segnet/model.hpp"
 #include "sim/device.hpp"
@@ -71,6 +72,11 @@ class Pipeline {
   virtual ~Pipeline() = default;
   [[nodiscard]] virtual std::string name() const = 0;
   virtual FrameOutput process(const scene::RenderedFrame& frame) = 0;
+  /// Attach a span tracer (see runtime/trace.hpp) for the coming run, or
+  /// detach with nullptr. Non-owning; the tracer must outlive the run.
+  /// Instrumented pipelines emit per-frame stage spans, link-transfer
+  /// spans, and ledger events; the default is no instrumentation.
+  virtual void set_tracer(rt::Tracer* tracer) { (void)tracer; }
 };
 
 struct RunResult {
@@ -88,8 +94,13 @@ struct RunResult {
 
 /// Drive `pipeline` over all frames of `sim`'s scene. Scoring starts after
 /// `warmup_frames` (initialization / first edge round trip); resource
-/// accounting covers the whole run.
+/// accounting covers the whole run. A non-null `tracer` is attached to the
+/// pipeline for the run (per-frame stage spans, link transfers, ledger
+/// events) and additionally receives per-frame counter series
+/// (latency_ms, map_memory_kb, cumulative tx_kb) plus a sim-time log
+/// clock; tracing must never change the simulation's outputs.
 RunResult run_pipeline(const scene::SceneSimulator& sim, Pipeline& pipeline,
-                       int warmup_frames = 45, int memory_sample = 10);
+                       int warmup_frames = 45, int memory_sample = 10,
+                       rt::Tracer* tracer = nullptr);
 
 }  // namespace edgeis::core

@@ -37,6 +37,49 @@ LinkProfile lte() {
   return p;
 }
 
+void trace_transfer(rt::Tracer* tracer, bool uplink, double enter_ms,
+                    double transit_ms, std::size_t bytes,
+                    const FaultDecision& fate, int request_id, int attempt,
+                    double duplicate_transit_ms) {
+  if (tracer == nullptr) return;
+  const rt::TraceTrack track =
+      uplink ? rt::track::kUplink : rt::track::kDownlink;
+  const char* name = uplink ? "uplink" : "downlink";
+  rt::TraceArgs args;
+  args.emplace_back("bytes", bytes);
+  args.emplace_back("request", request_id);
+  args.emplace_back("attempt", attempt);
+  const char* fault = "none";
+  if (fate.drop) fault = "dropped";
+  else if (fate.duplicate) fault = "duplicated";
+  else if (fate.extra_delay_ms > 0.0) fault = "reordered";
+  else if (fate.latency_scale != 1.0) fault = "throttled";
+  args.emplace_back("fault", fault);
+  if (fate.latency_scale != 1.0) {
+    args.emplace_back("latency_scale", fate.latency_scale);
+  }
+  if (fate.extra_delay_ms > 0.0) {
+    args.emplace_back("reorder_delay_ms", fate.extra_delay_ms);
+  }
+  // A dropped message dies somewhere on the wire: show its nominal extent
+  // so blackouts appear as a run of annotated would-have-been transfers.
+  const double dur = fate.drop ? transit_ms
+                               : transit_ms * fate.latency_scale +
+                                     fate.extra_delay_ms;
+  tracer->complete(track, name, enter_ms, dur, std::move(args));
+  if (!fate.drop && fate.duplicate) {
+    rt::TraceArgs dup_args;
+    dup_args.emplace_back("bytes", bytes);
+    dup_args.emplace_back("request", request_id);
+    dup_args.emplace_back("attempt", attempt);
+    dup_args.emplace_back("fault", "duplicate-copy");
+    tracer->complete(track, name, enter_ms,
+                     duplicate_transit_ms * fate.latency_scale +
+                         fate.duplicate_delay_ms,
+                     std::move(dup_args));
+  }
+}
+
 double transmit_ms(const LinkProfile& link, std::size_t bytes,
                    edgeis::rt::Rng& rng) {
   const double serialization_ms =

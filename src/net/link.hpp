@@ -10,6 +10,7 @@
 
 #include "net/faults.hpp"
 #include "runtime/rng.hpp"
+#include "runtime/trace.hpp"
 
 namespace edgeis::net {
 
@@ -29,6 +30,20 @@ LinkProfile lte();
 /// Simulated one-way message delivery time for `bytes` over the link.
 double transmit_ms(const LinkProfile& link, std::size_t bytes,
                    edgeis::rt::Rng& rng);
+
+/// Emit the per-message link-transfer span(s) for one send: an X span on
+/// the uplink/downlink track covering the message's time on the wire,
+/// annotated with its size and the injected fault (dropped / duplicated /
+/// reordered / throttled). `transit_ms` is the nominal (pre-fault)
+/// transmit time; the span applies the fate's stretch and delay exactly as
+/// the delivery path does. A dropped message still gets a span (its
+/// nominal extent) so outages are visible as annotated gaps, and a
+/// duplicated one gets a second span for the lagging copy. No-op when
+/// `tracer` is null.
+void trace_transfer(rt::Tracer* tracer, bool uplink, double enter_ms,
+                    double transit_ms, std::size_t bytes,
+                    const FaultDecision& fate, int request_id, int attempt,
+                    double duplicate_transit_ms = 0.0);
 
 /// A half-duplex request/response channel with in-order delivery and at
 /// most `capacity` requests in flight (the transmission-module thread of

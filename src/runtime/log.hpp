@@ -1,9 +1,16 @@
 // Tiny leveled logger. Off by default in benchmarks; experiments flip the
-// level to Info for progress lines. Not thread-safe by design: the project
-// is a single-threaded discrete-time simulation.
+// level to Info for progress lines, or export EDGEIS_LOG=debug|info|warn|
+// error|off (init_from_env, called by every bench/example main). When a
+// sim-time clock is installed (run_pipeline does this for the duration of
+// a run), lines are stamped with simulation milliseconds so they line up
+// with trace timestamps. Not thread-safe by design: the project is a
+// single-threaded discrete-time simulation.
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
 #include <string_view>
 #include <utility>
 
@@ -13,9 +20,37 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 
 class Log {
  public:
+  /// Returns the simulation time in milliseconds; installed by the run
+  /// harness so log lines match trace timestamps.
+  using Clock = std::function<double()>;
+
   static LogLevel& level() noexcept {
     static LogLevel lvl = LogLevel::kWarn;
     return lvl;
+  }
+
+  static void set_clock(Clock clock) { clock_slot() = std::move(clock); }
+
+  /// Install a new clock, returning the previous one (ScopedLogClock uses
+  /// this to restore it; runs can nest inside a traced bench).
+  static Clock exchange_clock(Clock clock) {
+    Clock old = std::move(clock_slot());
+    clock_slot() = std::move(clock);
+    return old;
+  }
+
+  /// Parse EDGEIS_LOG=debug|info|warn|error|off. Unset or unrecognized
+  /// values leave the current level untouched (the benches' default is
+  /// warn, so a typo degrades to the quiet default, not to spam).
+  static void init_from_env() {
+    const char* v = std::getenv("EDGEIS_LOG");
+    if (v == nullptr) return;
+    const std::string_view s(v);
+    if (s == "debug") level() = LogLevel::kDebug;
+    else if (s == "info") level() = LogLevel::kInfo;
+    else if (s == "warn") level() = LogLevel::kWarn;
+    else if (s == "error") level() = LogLevel::kError;
+    else if (s == "off") level() = LogLevel::kOff;
   }
 
   template <typename... Args>
@@ -36,11 +71,20 @@ class Log {
   }
 
  private:
+  static Clock& clock_slot() {
+    static Clock clock;
+    return clock;
+  }
+
   template <typename... Args>
   static void write(LogLevel lvl, const char* tag, const char* fmt,
                     Args&&... args) {
     if (lvl < level()) return;
-    std::fprintf(stderr, "[%s] ", tag);
+    if (const Clock& clock = clock_slot()) {
+      std::fprintf(stderr, "[%9.1fms] [%s] ", clock(), tag);
+    } else {
+      std::fprintf(stderr, "[%s] ", tag);
+    }
     if constexpr (sizeof...(args) == 0) {
       std::fputs(fmt, stderr);
     } else {
@@ -51,6 +95,20 @@ class Log {
     }
     std::fputc('\n', stderr);
   }
+};
+
+/// Installs a sim-time clock for the current scope and restores the
+/// previous one on exit (runs nest: a bench may drive several pipelines).
+class ScopedLogClock {
+ public:
+  explicit ScopedLogClock(Log::Clock clock)
+      : prev_(Log::exchange_clock(std::move(clock))) {}
+  ScopedLogClock(const ScopedLogClock&) = delete;
+  ScopedLogClock& operator=(const ScopedLogClock&) = delete;
+  ~ScopedLogClock() { Log::set_clock(std::move(prev_)); }
+
+ private:
+  Log::Clock prev_;
 };
 
 }  // namespace edgeis::rt

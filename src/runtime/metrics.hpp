@@ -1,0 +1,267 @@
+// Named metrics registry: monotonically increasing counters, last-value
+// gauges, and histograms built on the existing RunningStats/SampleSet
+// accumulators. A snapshot exports to JSON (edgeis_cli --metrics) and
+// parses back (MetricsSnapshot::parse_json) so harnesses and tests can
+// round-trip the numbers without an external JSON dependency.
+#pragma once
+
+#include <cctype>
+#include <cstdio>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "runtime/stats.hpp"
+
+namespace edgeis::rt {
+
+/// Flattened registry contents: what to_json() writes, what parse_json()
+/// reads back. Histograms are summarized (count/mean/min/max/percentiles);
+/// raw samples never leave the registry.
+struct MetricsSnapshot {
+  std::map<std::string, double> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, std::map<std::string, double>> histograms;
+
+  /// Parse the subset of JSON that to_json() emits. Returns nullopt on
+  /// malformed input.
+  static std::optional<MetricsSnapshot> parse_json(std::string_view json);
+};
+
+class MetricsRegistry {
+ public:
+  void counter_add(const std::string& name, double delta = 1.0) {
+    counters_[name] += delta;
+  }
+  void gauge_set(const std::string& name, double value) {
+    gauges_[name] = value;
+  }
+  void observe(const std::string& name, double sample) {
+    histograms_[name].add(sample);
+  }
+
+  [[nodiscard]] double counter(const std::string& name) const {
+    const auto it = counters_.find(name);
+    return it == counters_.end() ? 0.0 : it->second;
+  }
+  [[nodiscard]] double gauge(const std::string& name) const {
+    const auto it = gauges_.find(name);
+    return it == gauges_.end() ? 0.0 : it->second;
+  }
+  [[nodiscard]] const SampleSet* histogram(const std::string& name) const {
+    const auto it = histograms_.find(name);
+    return it == histograms_.end() ? nullptr : &it->second;
+  }
+
+  [[nodiscard]] MetricsSnapshot snapshot() const {
+    MetricsSnapshot s;
+    s.counters = counters_;
+    s.gauges = gauges_;
+    for (const auto& [name, set] : histograms_) {
+      auto& h = s.histograms[name];
+      h["count"] = static_cast<double>(set.count());
+      h["mean"] = set.mean();
+      h["min"] = set.min();
+      h["max"] = set.max();
+      h["p50"] = set.percentile(50.0);
+      h["p90"] = set.percentile(90.0);
+      h["p99"] = set.percentile(99.0);
+    }
+    return s;
+  }
+
+  [[nodiscard]] std::string to_json() const { return to_json(snapshot()); }
+
+  static std::string to_json(const MetricsSnapshot& s) {
+    std::string out = "{\n  \"counters\": {";
+    append_flat(out, s.counters);
+    out += "},\n  \"gauges\": {";
+    append_flat(out, s.gauges);
+    out += "},\n  \"histograms\": {";
+    bool first = true;
+    for (const auto& [name, fields] : s.histograms) {
+      if (!first) out += ',';
+      first = false;
+      out += "\n    \"";
+      append_escaped(out, name);
+      out += "\": {";
+      append_flat(out, fields);
+      out += '}';
+    }
+    if (!s.histograms.empty()) out += "\n  ";
+    out += "}\n}\n";
+    return out;
+  }
+
+  bool write_json(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    if (f == nullptr) return false;
+    const std::string json = to_json();
+    const bool ok =
+        std::fwrite(json.data(), 1, json.size(), f) == json.size();
+    return std::fclose(f) == 0 && ok;
+  }
+
+ private:
+  static void append_escaped(std::string& out, const std::string& s) {
+    for (char c : s) {
+      if (c == '"' || c == '\\') out += '\\';
+      out += c;
+    }
+  }
+
+  static void append_flat(std::string& out,
+                          const std::map<std::string, double>& kv) {
+    bool first = true;
+    char buf[48];
+    for (const auto& [key, value] : kv) {
+      if (!first) out += ", ";
+      first = false;
+      out += '"';
+      append_escaped(out, key);
+      out += "\": ";
+      const auto ll = static_cast<long long>(value);
+      if (static_cast<double>(ll) == value && value > -1e15 && value < 1e15) {
+        std::snprintf(buf, sizeof(buf), "%lld", ll);
+      } else {
+        std::snprintf(buf, sizeof(buf), "%.17g", value);
+      }
+      out += buf;
+    }
+  }
+
+  std::map<std::string, double> counters_;
+  std::map<std::string, double> gauges_;
+  std::map<std::string, SampleSet> histograms_;
+};
+
+namespace detail {
+
+/// Minimal recursive-descent reader for the two-level JSON objects of
+/// numbers that MetricsRegistry emits. Not a general JSON parser.
+class MetricsJsonReader {
+ public:
+  explicit MetricsJsonReader(std::string_view s) : s_(s) {}
+
+  bool parse(MetricsSnapshot& out) {
+    skip_ws();
+    if (!consume('{')) return false;
+    bool first = true;
+    while (true) {
+      skip_ws();
+      if (consume('}')) break;
+      if (!first && !consume(',')) return false;
+      first = false;
+      skip_ws();
+      std::string section;
+      if (!read_string(section)) return false;
+      skip_ws();
+      if (!consume(':')) return false;
+      skip_ws();
+      if (section == "counters") {
+        if (!read_flat(out.counters)) return false;
+      } else if (section == "gauges") {
+        if (!read_flat(out.gauges)) return false;
+      } else if (section == "histograms") {
+        if (!consume('{')) return false;
+        bool hfirst = true;
+        while (true) {
+          skip_ws();
+          if (consume('}')) break;
+          if (!hfirst && !consume(',')) return false;
+          hfirst = false;
+          skip_ws();
+          std::string name;
+          if (!read_string(name)) return false;
+          skip_ws();
+          if (!consume(':')) return false;
+          skip_ws();
+          if (!read_flat(out.histograms[name])) return false;
+        }
+      } else {
+        return false;
+      }
+    }
+    skip_ws();
+    return pos_ == s_.size();
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_]))) {
+      ++pos_;
+    }
+  }
+  bool consume(char c) {
+    if (pos_ < s_.size() && s_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  bool read_string(std::string& out) {
+    if (!consume('"')) return false;
+    out.clear();
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      char c = s_[pos_++];
+      if (c == '\\') {
+        if (pos_ >= s_.size()) return false;
+        c = s_[pos_++];  // only \" and \\ are ever emitted
+      }
+      out += c;
+    }
+    return consume('"');
+  }
+  bool read_number(double& out) {
+    const std::size_t start = pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+            s_[pos_] == '-' || s_[pos_] == '+' || s_[pos_] == '.' ||
+            s_[pos_] == 'e' || s_[pos_] == 'E')) {
+      ++pos_;
+    }
+    if (pos_ == start) return false;
+    try {
+      out = std::stod(std::string(s_.substr(start, pos_ - start)));
+    } catch (...) {
+      return false;
+    }
+    return true;
+  }
+  bool read_flat(std::map<std::string, double>& out) {
+    if (!consume('{')) return false;
+    bool first = true;
+    while (true) {
+      skip_ws();
+      if (consume('}')) return true;
+      if (!first && !consume(',')) return false;
+      first = false;
+      skip_ws();
+      std::string key;
+      if (!read_string(key)) return false;
+      skip_ws();
+      if (!consume(':')) return false;
+      skip_ws();
+      double value = 0.0;
+      if (!read_number(value)) return false;
+      out[key] = value;
+    }
+  }
+
+  std::string_view s_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace detail
+
+inline std::optional<MetricsSnapshot> MetricsSnapshot::parse_json(
+    std::string_view json) {
+  MetricsSnapshot s;
+  detail::MetricsJsonReader reader(json);
+  if (!reader.parse(s)) return std::nullopt;
+  return s;
+}
+
+}  // namespace edgeis::rt

@@ -42,9 +42,15 @@ class RunningStats {
 };
 
 /// Batch sample collection with percentile queries and CDF export.
+/// Order statistics (percentile, min/max, CDF) share a lazily-sorted cache
+/// rebuilt at most once per batch of add()s — the evaluator and the CDF
+/// benches query percentiles repeatedly between insertions.
 class SampleSet {
  public:
-  void add(double x) { samples_.push_back(x); }
+  void add(double x) {
+    samples_.push_back(x);
+    sorted_valid_ = false;
+  }
   void reserve(std::size_t n) { samples_.reserve(n); }
 
   [[nodiscard]] std::size_t count() const noexcept { return samples_.size(); }
@@ -60,8 +66,7 @@ class SampleSet {
   /// Linear-interpolated percentile; p in [0, 100].
   [[nodiscard]] double percentile(double p) const {
     if (samples_.empty()) return 0.0;
-    std::vector<double> s = samples_;
-    std::sort(s.begin(), s.end());
+    const std::vector<double>& s = sorted();
     const double rank =
         p / 100.0 * static_cast<double>(s.size() - 1);
     const auto lo = static_cast<std::size_t>(rank);
@@ -71,30 +76,26 @@ class SampleSet {
   }
 
   [[nodiscard]] double min() const {
-    return samples_.empty()
-               ? 0.0
-               : *std::min_element(samples_.begin(), samples_.end());
+    return samples_.empty() ? 0.0 : sorted().front();
   }
   [[nodiscard]] double max() const {
-    return samples_.empty()
-               ? 0.0
-               : *std::max_element(samples_.begin(), samples_.end());
+    return samples_.empty() ? 0.0 : sorted().back();
   }
 
   /// Fraction of samples strictly below `threshold`.
-  [[nodiscard]] double fraction_below(double threshold) const noexcept {
+  [[nodiscard]] double fraction_below(double threshold) const {
     if (samples_.empty()) return 0.0;
-    std::size_t c = 0;
-    for (double x : samples_) c += (x < threshold) ? 1 : 0;
-    return static_cast<double>(c) / static_cast<double>(samples_.size());
+    const std::vector<double>& s = sorted();
+    const auto it = std::lower_bound(s.begin(), s.end(), threshold);
+    return static_cast<double>(it - s.begin()) /
+           static_cast<double>(s.size());
   }
 
   /// Empirical CDF sampled at `points` evenly spaced values across
   /// [lo, hi]. Returns (x, P[X <= x]) pairs.
   [[nodiscard]] std::vector<std::pair<double, double>> cdf(
       double lo, double hi, std::size_t points) const {
-    std::vector<double> s = samples_;
-    std::sort(s.begin(), s.end());
+    const std::vector<double>& s = sorted();
     std::vector<std::pair<double, double>> out;
     out.reserve(points);
     for (std::size_t i = 0; i < points; ++i) {
@@ -116,7 +117,18 @@ class SampleSet {
   }
 
  private:
-  std::vector<double> samples_;
+  const std::vector<double>& sorted() const {
+    if (!sorted_valid_) {
+      sorted_ = samples_;
+      std::sort(sorted_.begin(), sorted_.end());
+      sorted_valid_ = true;
+    }
+    return sorted_;
+  }
+
+  std::vector<double> samples_;  // insertion order (samples() contract)
+  mutable std::vector<double> sorted_;
+  mutable bool sorted_valid_ = false;
 };
 
 /// Mobile-side link health accounting under fault injection: what the

@@ -1,0 +1,242 @@
+#include "runtime/trace.hpp"
+
+#include <cstdio>
+
+namespace edgeis::rt {
+
+namespace {
+
+/// JSON string escaping for names/keys/values. Instrumentation uses plain
+/// identifiers, but a stray quote must not corrupt the file.
+void append_escaped(std::string& out, std::string_view s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+/// Fixed-format number rendering so identical event sequences export to
+/// byte-identical JSON. Integral values (frame indices, byte counts) print
+/// exactly; everything else gets %.6g.
+void append_number(std::string& out, double v) {
+  char buf[40];
+  const auto ll = static_cast<long long>(v);
+  if (static_cast<double>(ll) == v && v > -1e15 && v < 1e15) {
+    std::snprintf(buf, sizeof(buf), "%lld", ll);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+  }
+  out += buf;
+}
+
+/// Timestamps/durations: sim ms -> trace µs with fixed sub-µs precision.
+void append_timestamp_us(std::string& out, double ms) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.3f", ms * 1000.0);
+  out += buf;
+}
+
+void append_args(std::string& out, const TraceArgs& args) {
+  out += "\"args\":{";
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (i) out += ',';
+    out += '"';
+    append_escaped(out, args[i].key);
+    out += "\":";
+    if (args[i].is_text) {
+      out += '"';
+      append_escaped(out, args[i].text);
+      out += '"';
+    } else {
+      append_number(out, args[i].number);
+    }
+  }
+  out += '}';
+}
+
+}  // namespace
+
+Tracer::Tracer() {
+  name_track(track::kMobile, "mobile", "pipeline");
+  name_track(track::kLedger, "mobile", "ledger");
+  name_track(track::kEdge, "edge", "server");
+  name_track(track::kUplink, "link", "uplink");
+  name_track(track::kDownlink, "link", "downlink");
+}
+
+void Tracer::name_track(TraceTrack track, const char* process,
+                        const char* thread) {
+  Event p;
+  p.ph = 'M';
+  p.pid = track.pid;
+  p.tid = track.tid;
+  p.name = "process_name";
+  p.args.emplace_back("name", process);
+  events_.push_back(std::move(p));
+
+  Event t;
+  t.ph = 'M';
+  t.pid = track.pid;
+  t.tid = track.tid;
+  t.name = "thread_name";
+  t.args.emplace_back("name", thread);
+  events_.push_back(std::move(t));
+}
+
+void Tracer::begin(TraceTrack track, std::string_view name, double ts_ms,
+                   TraceArgs args) {
+  Event e;
+  e.ph = 'B';
+  e.pid = track.pid;
+  e.tid = track.tid;
+  e.ts_ms = ts_ms;
+  e.name = name;
+  e.args = std::move(args);
+  open_[{track.pid, track.tid}].push_back(events_.size());
+  events_.push_back(std::move(e));
+}
+
+void Tracer::end(TraceTrack track, double ts_ms) {
+  auto& stack = open_[{track.pid, track.tid}];
+  if (!stack.empty()) stack.pop_back();
+  Event e;
+  e.ph = 'E';
+  e.pid = track.pid;
+  e.tid = track.tid;
+  e.ts_ms = ts_ms;
+  events_.push_back(std::move(e));
+}
+
+void Tracer::complete(TraceTrack track, std::string_view name,
+                      double begin_ms, double dur_ms, TraceArgs args) {
+  Event e;
+  e.ph = 'X';
+  e.pid = track.pid;
+  e.tid = track.tid;
+  e.ts_ms = begin_ms;
+  e.dur_ms = dur_ms;
+  e.name = name;
+  e.args = std::move(args);
+  events_.push_back(std::move(e));
+}
+
+void Tracer::instant(TraceTrack track, std::string_view name, double ts_ms,
+                     TraceArgs args) {
+  Event e;
+  e.ph = 'i';
+  e.pid = track.pid;
+  e.tid = track.tid;
+  e.ts_ms = ts_ms;
+  e.name = name;
+  e.args = std::move(args);
+  events_.push_back(std::move(e));
+}
+
+void Tracer::counter(TraceTrack track, std::string_view name, double ts_ms,
+                     double value) {
+  Event e;
+  e.ph = 'C';
+  e.pid = track.pid;
+  e.tid = track.tid;
+  e.ts_ms = ts_ms;
+  e.name = name;
+  e.args.emplace_back("value", value);
+  events_.push_back(std::move(e));
+}
+
+std::size_t Tracer::open_span_count() const {
+  std::size_t n = 0;
+  for (const auto& [track, stack] : open_) n += stack.size();
+  return n;
+}
+
+std::map<std::string, Tracer::StageStats> Tracer::aggregate(
+    TraceTrack track, double from_ms) const {
+  std::map<std::string, StageStats> out;
+  // Pair B/E by stack in emission order (instrumentation guarantees
+  // nesting on B/E tracks); X events carry their duration directly.
+  struct Open {
+    const Event* begin;
+  };
+  std::vector<Open> stack;
+  for (const auto& e : events_) {
+    if (e.pid != track.pid || e.tid != track.tid) continue;
+    if (e.ph == 'B') {
+      stack.push_back({&e});
+    } else if (e.ph == 'E') {
+      if (stack.empty()) continue;  // malformed; aggregate what we can
+      const Event* b = stack.back().begin;
+      stack.pop_back();
+      if (b->ts_ms + 1e-12 < from_ms) continue;
+      auto& s = out[b->name];
+      s.total_ms += e.ts_ms - b->ts_ms;
+      ++s.count;
+    } else if (e.ph == 'X') {
+      if (e.ts_ms + 1e-12 < from_ms) continue;
+      auto& s = out[e.name];
+      s.total_ms += e.dur_ms;
+      ++s.count;
+    }
+  }
+  return out;
+}
+
+std::string Tracer::to_json() const {
+  std::string out;
+  out.reserve(events_.size() * 96 + 64);
+  out += "{\"traceEvents\":[\n";
+  char buf[64];
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    const Event& e = events_[i];
+    if (i) out += ",\n";
+    out += "{\"ph\":\"";
+    out += e.ph;
+    out += "\",";
+    std::snprintf(buf, sizeof(buf), "\"pid\":%d,\"tid\":%d", e.pid, e.tid);
+    out += buf;
+    if (e.ph != 'M') {
+      out += ",\"ts\":";
+      append_timestamp_us(out, e.ts_ms);
+    }
+    if (e.ph == 'X') {
+      out += ",\"dur\":";
+      append_timestamp_us(out, e.dur_ms);
+    }
+    if (!e.name.empty()) {
+      out += ",\"name\":\"";
+      append_escaped(out, e.name);
+      out += '"';
+    }
+    if (e.ph == 'i') out += ",\"s\":\"t\"";
+    if (!e.args.empty() || e.ph == 'C') {
+      out += ',';
+      append_args(out, e.args);
+    }
+    out += '}';
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+bool Tracer::write_json(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  const std::string json = to_json();
+  const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+}  // namespace edgeis::rt

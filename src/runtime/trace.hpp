@@ -1,0 +1,173 @@
+// Deterministic span tracer driven by the simulation clock. Every event is
+// stamped with sim-time milliseconds supplied by the caller (never wall
+// clock), so two runs with the same seed and fault script produce
+// byte-identical traces. Export is Chrome trace-event JSON, loadable in
+// Perfetto / chrome://tracing; scripts/trace_summary.py validates the
+// invariants and prints a per-stage breakdown.
+//
+// Span discipline (checked by trace_summary.py and test_trace.cpp):
+//  - B/E duration spans are used only on tracks where the instrumentation
+//    is strictly nested by construction (the mobile per-frame stage stack,
+//    via RAII ScopedSpan + complete()).
+//  - Overlappable work (edge inference queue, per-message link transfers)
+//    uses X complete events, which carry an explicit duration and have no
+//    nesting constraint.
+//  - i instant events mark ledger/degraded-mode decisions; C counter
+//    events carry time series (RTO convergence, per-frame latency).
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace edgeis::rt {
+
+/// One key/value annotation on an event. Numeric values keep full identity
+/// through export (%.6g); strings are escaped.
+struct TraceArg {
+  TraceArg(std::string k, const char* v)
+      : key(std::move(k)), text(v), is_text(true) {}
+  TraceArg(std::string k, std::string v)
+      : key(std::move(k)), text(std::move(v)), is_text(true) {}
+  TraceArg(std::string k, double v) : key(std::move(k)), number(v) {}
+  TraceArg(std::string k, int v)
+      : key(std::move(k)), number(static_cast<double>(v)) {}
+  TraceArg(std::string k, std::size_t v)
+      : key(std::move(k)), number(static_cast<double>(v)) {}
+  TraceArg(std::string k, bool v)
+      : key(std::move(k)), number(v ? 1.0 : 0.0) {}
+
+  std::string key;
+  std::string text;
+  double number = 0.0;
+  bool is_text = false;
+};
+using TraceArgs = std::vector<TraceArg>;
+
+/// A (pid, tid) pair naming one horizontal track in the trace viewer.
+struct TraceTrack {
+  int pid = 0;
+  int tid = 0;
+};
+
+/// Canonical tracks of the edgeIS simulation. pid groups the three
+/// "machines" (mobile, edge, the link between them); tid separates
+/// concurrent concerns within one machine.
+namespace track {
+inline constexpr TraceTrack kMobile{1, 1};    // per-frame stage spans (B/E)
+inline constexpr TraceTrack kLedger{1, 2};    // request ledger + RTO series
+inline constexpr TraceTrack kEdge{2, 1};      // server queue + inference (X)
+inline constexpr TraceTrack kUplink{3, 1};    // per-message transfers (X)
+inline constexpr TraceTrack kDownlink{3, 2};  // per-message transfers (X)
+}  // namespace track
+
+class Tracer {
+ public:
+  /// In-memory event record (also the unit tests' introspection surface).
+  /// ts/dur are sim milliseconds; export converts to microseconds.
+  struct Event {
+    char ph = 'i';  // B, E, X, i, C, M
+    int pid = 0;
+    int tid = 0;
+    double ts_ms = 0.0;
+    double dur_ms = 0.0;  // X only
+    std::string name;     // empty for E
+    TraceArgs args;
+  };
+
+  struct StageStats {
+    double total_ms = 0.0;
+    int count = 0;
+    [[nodiscard]] double mean_ms() const {
+      return count > 0 ? total_ms / static_cast<double>(count) : 0.0;
+    }
+  };
+
+  Tracer();
+
+  /// Open a duration span. Must be closed by end() on the same track;
+  /// spans on one track must nest (use ScopedSpan to get this for free).
+  void begin(TraceTrack track, std::string_view name, double ts_ms,
+             TraceArgs args = {});
+  /// Close the innermost open span on `track`.
+  void end(TraceTrack track, double ts_ms);
+  /// A self-contained span with explicit duration (X event): safe for
+  /// overlapping work, no nesting requirement.
+  void complete(TraceTrack track, std::string_view name, double begin_ms,
+                double dur_ms, TraceArgs args = {});
+  void instant(TraceTrack track, std::string_view name, double ts_ms,
+               TraceArgs args = {});
+  /// One sample of a named time series (ph C).
+  void counter(TraceTrack track, std::string_view name, double ts_ms,
+               double value);
+
+  [[nodiscard]] const std::vector<Event>& events() const { return events_; }
+  [[nodiscard]] std::size_t event_count() const { return events_.size(); }
+  /// Open (un-ended) B spans across all tracks; 0 in a finished trace.
+  [[nodiscard]] std::size_t open_span_count() const;
+
+  /// Sum durations by span name on one track (B/E pairs and X events),
+  /// counting only spans that begin at or after `from_ms` — the warmup
+  /// filter the figure harnesses use.
+  [[nodiscard]] std::map<std::string, StageStats> aggregate(
+      TraceTrack track, double from_ms = 0.0) const;
+
+  /// Chrome trace-event JSON ({"traceEvents": [...]}) in emission order.
+  /// Fixed formatting => byte-identical for identical event sequences.
+  [[nodiscard]] std::string to_json() const;
+  /// Write to_json() to `path`. Returns false on I/O failure.
+  bool write_json(const std::string& path) const;
+
+ private:
+  void name_track(TraceTrack track, const char* process,
+                  const char* thread);
+
+  std::vector<Event> events_;
+  // Stack of open B-event indices per (pid, tid), for end() pairing.
+  std::map<std::pair<int, int>, std::vector<std::size_t>> open_;
+};
+
+/// RAII duration span. A null tracer makes every operation a no-op, so
+/// instrumented code reads straight-line with tracing off. The span closes
+/// at the timestamp given to set_end() (callers know the sim-time extent of
+/// their stage before leaving it); without one it closes where it began.
+class ScopedSpan {
+ public:
+  ScopedSpan() = default;
+  ScopedSpan(Tracer* tracer, TraceTrack track, std::string_view name,
+             double begin_ms, TraceArgs args = {})
+      : tracer_(tracer), track_(track), end_ms_(begin_ms) {
+    if (tracer_) tracer_->begin(track_, name, begin_ms, std::move(args));
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+  ScopedSpan(ScopedSpan&& other) noexcept { *this = std::move(other); }
+  ScopedSpan& operator=(ScopedSpan&& other) noexcept {
+    if (this != &other) {
+      close();
+      tracer_ = other.tracer_;
+      track_ = other.track_;
+      end_ms_ = other.end_ms_;
+      other.tracer_ = nullptr;
+    }
+    return *this;
+  }
+  ~ScopedSpan() { close(); }
+
+  void set_end(double ts_ms) { end_ms_ = ts_ms; }
+
+ private:
+  void close() {
+    if (tracer_) tracer_->end(track_, end_ms_);
+    tracer_ = nullptr;
+  }
+
+  Tracer* tracer_ = nullptr;
+  TraceTrack track_{};
+  double end_ms_ = 0.0;
+};
+
+}  // namespace edgeis::rt

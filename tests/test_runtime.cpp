@@ -5,6 +5,9 @@
 #include <cmath>
 #include <set>
 
+#include <cstdlib>
+
+#include "runtime/log.hpp"
 #include "runtime/ring_buffer.hpp"
 #include "runtime/rng.hpp"
 #include "runtime/serialize.hpp"
@@ -191,4 +194,82 @@ TEST(SampleSet, EmptySafe) {
   EXPECT_EQ(s.mean(), 0.0);
   EXPECT_EQ(s.percentile(50), 0.0);
   EXPECT_EQ(s.fraction_below(1.0), 0.0);
+}
+
+TEST(SampleSet, SortedCacheInvalidatedByAdd) {
+  // The lazily sorted view must rebuild after every add(), including adds
+  // that interleave with percentile queries.
+  rt::SampleSet s;
+  s.add(10.0);
+  s.add(30.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100.0), 30.0);  // builds the cache
+  s.add(5.0);  // smaller than everything cached
+  EXPECT_DOUBLE_EQ(s.percentile(0.0), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 5.0);
+  s.add(99.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100.0), 99.0);
+  EXPECT_DOUBLE_EQ(s.max(), 99.0);
+  // samples() keeps insertion order regardless of the sorted cache.
+  const auto& raw = s.samples();
+  ASSERT_EQ(raw.size(), 4u);
+  EXPECT_DOUBLE_EQ(raw[0], 10.0);
+  EXPECT_DOUBLE_EQ(raw[2], 5.0);
+}
+
+TEST(SampleSet, CdfAfterInterleavedAdds) {
+  rt::SampleSet s;
+  for (int i = 0; i < 10; ++i) s.add(1.0);
+  (void)s.cdf(0.0, 2.0, 4);
+  for (int i = 0; i < 10; ++i) s.add(3.0);  // beyond the cached range
+  EXPECT_DOUBLE_EQ(s.fraction_below(2.0), 0.5);
+  const auto cdf = s.cdf(0.0, 4.0, 4);
+  EXPECT_NEAR(cdf.back().second, 1.0, 1e-9);
+}
+
+TEST(Log, ScopedClockInstallsAndRestores) {
+  // No clock installed by default in tests.
+  auto prev = rt::Log::exchange_clock(nullptr);
+  rt::Log::set_clock(std::move(prev));
+
+  {
+    rt::ScopedLogClock outer([] { return 1.0; });
+    {
+      rt::ScopedLogClock inner([] { return 2.0; });
+      auto cur = rt::Log::exchange_clock(nullptr);
+      ASSERT_TRUE(static_cast<bool>(cur));
+      EXPECT_DOUBLE_EQ(cur(), 2.0);
+      rt::Log::set_clock(std::move(cur));
+    }
+    // inner restored outer
+    auto cur = rt::Log::exchange_clock(nullptr);
+    ASSERT_TRUE(static_cast<bool>(cur));
+    EXPECT_DOUBLE_EQ(cur(), 1.0);
+    rt::Log::set_clock(std::move(cur));
+  }
+  // outer restored the (empty) default
+  auto cur = rt::Log::exchange_clock(nullptr);
+  EXPECT_FALSE(static_cast<bool>(cur));
+}
+
+TEST(Log, InitFromEnvParsesLevels) {
+  const rt::LogLevel saved = rt::Log::level();
+
+  setenv("EDGEIS_LOG", "debug", 1);
+  rt::Log::init_from_env();
+  EXPECT_EQ(rt::Log::level(), rt::LogLevel::kDebug);
+
+  setenv("EDGEIS_LOG", "off", 1);
+  rt::Log::init_from_env();
+  EXPECT_EQ(rt::Log::level(), rt::LogLevel::kOff);
+
+  // Unknown values leave the level untouched.
+  setenv("EDGEIS_LOG", "shouty", 1);
+  rt::Log::init_from_env();
+  EXPECT_EQ(rt::Log::level(), rt::LogLevel::kOff);
+
+  unsetenv("EDGEIS_LOG");
+  rt::Log::init_from_env();
+  EXPECT_EQ(rt::Log::level(), rt::LogLevel::kOff);
+
+  rt::Log::level() = saved;
 }

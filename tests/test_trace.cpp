@@ -1,0 +1,281 @@
+// Observability subsystem tests: the Tracer's span bookkeeping and JSON
+// export, byte-identical traces for identical runs, balanced span stacks
+// under degraded-mode episodes and request abandonment, zero perturbation
+// of simulation results, and the metrics registry JSON round trip.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <string>
+
+#include "core/edgeis_pipeline.hpp"
+#include "core/pipeline.hpp"
+#include "net/faults.hpp"
+#include "runtime/metrics.hpp"
+#include "runtime/trace.hpp"
+#include "scene/presets.hpp"
+
+using namespace edgeis;
+using net::FaultScript;
+
+namespace {
+
+// Mirrors tests/test_faults.cpp: tight failure handling so a short run
+// exercises timeouts, retransmissions, degraded entry/exit and probes.
+core::PipelineConfig fast_failure_config() {
+  core::PipelineConfig cfg;
+  cfg.edge = sim::jetson_agx_xavier();
+  cfg.rto.min_rto_ms = 150.0;
+  cfg.rto.max_rto_ms = 1200.0;
+  cfg.rto.initial_compute_guess_ms = 500.0;
+  // Generous retry budget: requests survive their timeouts long enough to
+  // still be outstanding at degraded entry and get abandoned (listen-only)
+  // rather than dying of retry exhaustion first.
+  cfg.max_retries = 5;
+  cfg.retry_backoff_base_ms = 30.0;
+  cfg.degraded_entry_rto_inflation = 4.0;
+  cfg.probe_interval_frames = 8;
+  return cfg;
+}
+
+/// Run edgeIS over a 7 s scene with a mid-run outage, tracing into
+/// `tracer`. The outage drives the full ledger state machine: timeouts,
+/// abandoned requests, degraded entry, probes, recovery.
+core::RunResult run_traced_outage(rt::Tracer* tracer) {
+  const auto scfg = scene::make_davis_scene(42, 210);
+  scene::SceneSimulator sim(scfg);
+  auto cfg = fast_failure_config();
+  cfg.faults = FaultScript::outage(2600.0, 4600.0);
+  core::EdgeISPipeline p(scfg, cfg);
+  return core::run_pipeline(sim, p, 60, 10, tracer);
+}
+
+int count_instants(const rt::Tracer& tracer, const std::string& name) {
+  int n = 0;
+  for (const auto& ev : tracer.events()) {
+    if (ev.ph == 'i' && ev.name == name) ++n;
+  }
+  return n;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Tracer unit tests
+// ---------------------------------------------------------------------------
+
+TEST(Tracer, BeginEndPairAndAggregate) {
+  rt::Tracer t;
+  t.begin(rt::track::kMobile, "frame", 100.0);
+  t.begin(rt::track::kMobile, "extract", 100.0);
+  t.end(rt::track::kMobile, 110.0);
+  t.begin(rt::track::kMobile, "track", 110.0);
+  t.end(rt::track::kMobile, 118.0);
+  t.end(rt::track::kMobile, 120.0);
+  EXPECT_EQ(t.open_span_count(), 0u);
+
+  const auto agg = t.aggregate(rt::track::kMobile);
+  ASSERT_TRUE(agg.count("frame"));
+  EXPECT_NEAR(agg.at("frame").total_ms, 20.0, 1e-12);
+  EXPECT_NEAR(agg.at("extract").total_ms, 10.0, 1e-12);
+  EXPECT_NEAR(agg.at("track").total_ms, 8.0, 1e-12);
+  EXPECT_EQ(agg.at("frame").count, 1);
+}
+
+TEST(Tracer, AggregateWarmupFilterAndCompleteEvents) {
+  rt::Tracer t;
+  t.complete(rt::track::kEdge, "infer", 50.0, 30.0);   // before cutoff
+  t.complete(rt::track::kEdge, "infer", 200.0, 40.0);  // after
+  const auto all = t.aggregate(rt::track::kEdge);
+  EXPECT_NEAR(all.at("infer").total_ms, 70.0, 1e-12);
+  const auto late = t.aggregate(rt::track::kEdge, 100.0);
+  EXPECT_NEAR(late.at("infer").total_ms, 40.0, 1e-12);
+  EXPECT_EQ(late.at("infer").count, 1);
+}
+
+TEST(Tracer, ScopedSpanClosesOnDestructionAndNullIsNoop) {
+  rt::Tracer t;
+  const std::size_t base = t.event_count();
+  {
+    rt::ScopedSpan span(&t, rt::track::kMobile, "frame", 10.0);
+    span.set_end(25.0);
+  }
+  EXPECT_EQ(t.open_span_count(), 0u);
+  EXPECT_EQ(t.event_count(), base + 2);  // B + E
+  {
+    rt::ScopedSpan none(nullptr, rt::track::kMobile, "frame", 10.0);
+    none.set_end(25.0);
+  }
+  EXPECT_EQ(t.event_count(), base + 2);
+}
+
+TEST(Tracer, JsonShapeAndEscaping) {
+  rt::Tracer t;
+  t.instant(rt::track::kLedger, "ev\"il\\name", 1.5, {{"note", "a\nb"}});
+  t.counter(rt::track::kLedger, "rto_ms", 2.0, 340.25);
+  const std::string json = t.to_json();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ev\\\"il\\\\name\""), std::string::npos);
+  EXPECT_NE(json.find("\"a\\nb\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"C\""), std::string::npos);
+  EXPECT_NE(json.find("\"value\":340.25"), std::string::npos);
+  // Instants carry thread scope; timestamps are exported in microseconds.
+  EXPECT_NE(json.find("\"s\":\"t\""), std::string::npos);
+  EXPECT_NE(json.find("\"ts\":1500.000"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Whole-run properties
+// ---------------------------------------------------------------------------
+
+TEST(TraceRun, ByteIdenticalForSameSeedAndFaultScript) {
+  rt::Tracer a, b;
+  run_traced_outage(&a);
+  run_traced_outage(&b);
+  ASSERT_GT(a.event_count(), 1000u);
+  EXPECT_EQ(a.event_count(), b.event_count());
+  EXPECT_EQ(a.to_json(), b.to_json());
+}
+
+TEST(TraceRun, SpansBalanceUnderDegradedEpisodesAndAbandonment) {
+  rt::Tracer t;
+  run_traced_outage(&t);
+  EXPECT_EQ(t.open_span_count(), 0u);
+
+  // The outage must actually have exercised the interesting paths,
+  // otherwise the balance check proves nothing.
+  EXPECT_GE(count_instants(t, "timeout"), 1);
+  EXPECT_GE(count_instants(t, "degraded.enter"), 1);
+  EXPECT_GE(count_instants(t, "degraded.exit"), 1);
+  EXPECT_GE(count_instants(t, "degraded.probe"), 1);
+  EXPECT_GE(count_instants(t, "abandon"), 1);
+
+  // Replay B/E per track: every E closes the innermost B, E.ts >= B.ts,
+  // and mobile-track events never step backwards in time.
+  std::map<std::pair<int, int>, std::vector<const rt::Tracer::Event*>> open;
+  double last_mobile_ts = -1.0;
+  for (const auto& ev : t.events()) {
+    const auto key = std::make_pair(ev.pid, ev.tid);
+    if (ev.ph == 'B') {
+      open[key].push_back(&ev);
+    } else if (ev.ph == 'E') {
+      ASSERT_FALSE(open[key].empty());
+      EXPECT_GE(ev.ts_ms, open[key].back()->ts_ms);
+      open[key].pop_back();
+    }
+    if (key == std::make_pair(1, 1) && (ev.ph == 'B' || ev.ph == 'E')) {
+      EXPECT_GE(ev.ts_ms, last_mobile_ts);
+      last_mobile_ts = ev.ts_ms;
+    }
+  }
+  for (const auto& [key, stack] : open) EXPECT_TRUE(stack.empty());
+}
+
+TEST(TraceRun, StageSpansSumToFrameLatencyAndTracingChangesNothing) {
+  rt::Tracer t;
+  const auto traced = run_traced_outage(&t);
+  const auto plain = run_traced_outage(nullptr);
+
+  // Zero perturbation: attaching a tracer changes no simulation output.
+  EXPECT_EQ(traced.summary.mean_iou, plain.summary.mean_iou);
+  EXPECT_EQ(traced.summary.mean_latency_ms, plain.summary.mean_latency_ms);
+  EXPECT_EQ(traced.total_tx_bytes, plain.total_tx_bytes);
+  EXPECT_EQ(traced.transmissions, plain.transmissions);
+
+  // Frame spans aggregate to the evaluator's mean latency (the fig11
+  // derivation), and the stage children account for every millisecond.
+  const auto agg = t.aggregate(rt::track::kMobile, 60.0 / 30.0 * 1000.0);
+  const auto& frame = agg.at("frame");
+  EXPECT_NEAR(frame.mean_ms(), traced.summary.mean_latency_ms,
+              0.01 * traced.summary.mean_latency_ms);
+  double stage_total = 0.0;
+  for (const char* st : {"extract", "track", "transfer", "encode",
+                         "render"}) {
+    const auto it = agg.find(st);
+    if (it != agg.end()) stage_total += it->second.total_ms;
+  }
+  EXPECT_NEAR(stage_total, frame.total_ms, 1e-6 * frame.total_ms + 1e-9);
+}
+
+TEST(TraceRun, LinkSpansCarryFaultAnnotations) {
+  rt::Tracer t;
+  run_traced_outage(&t);
+  int uplink_spans = 0, dropped = 0;
+  bool bytes_annotated = true;
+  for (const auto& ev : t.events()) {
+    if (ev.ph != 'X' || ev.pid != 3) continue;
+    ++uplink_spans;
+    bool has_bytes = false;
+    for (const auto& arg : ev.args) {
+      if (arg.key == "bytes") has_bytes = true;
+      if (arg.key == "fault" && arg.text == "dropped") ++dropped;
+    }
+    bytes_annotated &= has_bytes;
+  }
+  EXPECT_GT(uplink_spans, 10);
+  EXPECT_TRUE(bytes_annotated);
+  EXPECT_GE(dropped, 1);  // the outage drops whole messages
+}
+
+TEST(TraceRun, RtoCounterSeriesEmitted) {
+  rt::Tracer t;
+  run_traced_outage(&t);
+  int rto_samples = 0;
+  double max_rto = 0.0;
+  for (const auto& ev : t.events()) {
+    if (ev.ph == 'C' && ev.name == "rto_ms") {
+      ++rto_samples;
+      ASSERT_FALSE(ev.args.empty());
+      max_rto = std::max(max_rto, ev.args[0].number);
+    }
+  }
+  EXPECT_GE(rto_samples, 5);
+  EXPECT_GT(max_rto, 150.0);  // backoff inflated it during the outage
+}
+
+// ---------------------------------------------------------------------------
+// Metrics registry
+// ---------------------------------------------------------------------------
+
+TEST(Metrics, SnapshotJsonRoundTrip) {
+  rt::MetricsRegistry reg;
+  reg.counter_add("requests_sent", 13);
+  reg.counter_add("requests_sent", 2);
+  reg.gauge_set("srtt_ms", 412.625);
+  reg.gauge_set("weird \"name\"", -0.5);
+  for (int i = 1; i <= 100; ++i) {
+    reg.observe("staleness_ms", static_cast<double>(i));
+  }
+
+  const std::string json = reg.to_json();
+  const auto parsed = rt::MetricsSnapshot::parse_json(json);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->counters.at("requests_sent"), 15.0);
+  EXPECT_EQ(parsed->gauges.at("srtt_ms"), 412.625);
+  EXPECT_EQ(parsed->gauges.at("weird \"name\""), -0.5);
+  const auto& h = parsed->histograms.at("staleness_ms");
+  EXPECT_EQ(h.at("count"), 100.0);
+  EXPECT_NEAR(h.at("mean"), 50.5, 1e-9);
+  EXPECT_EQ(h.at("min"), 1.0);
+  EXPECT_EQ(h.at("max"), 100.0);
+  EXPECT_NEAR(h.at("p50"), 50.5, 1.0);
+
+  // Export is deterministic: same registry, same bytes.
+  EXPECT_EQ(json, reg.to_json());
+}
+
+TEST(Metrics, ParseRejectsMalformedInput) {
+  EXPECT_FALSE(rt::MetricsSnapshot::parse_json("").has_value());
+  EXPECT_FALSE(rt::MetricsSnapshot::parse_json("{").has_value());
+  EXPECT_FALSE(
+      rt::MetricsSnapshot::parse_json("{\"counters\": [1,2]}").has_value());
+}
+
+TEST(Metrics, EmptyRegistryRoundTrips) {
+  rt::MetricsRegistry reg;
+  const auto parsed = rt::MetricsSnapshot::parse_json(reg.to_json());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(parsed->counters.empty());
+  EXPECT_TRUE(parsed->gauges.empty());
+  EXPECT_TRUE(parsed->histograms.empty());
+}
