@@ -71,11 +71,13 @@ void run_edgeis_row(const char* scenario, const char* display,
   std::printf(
       "HEADLINE scenario=%s system=%s iou=%.4f timeouts=%d rtx=%d "
       "spurious=%d failed=%d degraded_ms=%.0f stale_p95=%.0f "
-      "tx_bytes=%zu\n",
+      "tx_bytes=%zu chunks=%d partial_applies=%d resend_req=%d "
+      "dup_chunks=%d\n",
       scenario, label, r.summary.mean_iou, h.attempt_timeouts,
       h.retransmissions, h.spurious_retransmissions, h.requests_failed,
       h.time_in_degraded_ms, h.mask_staleness_ms.percentile(95.0),
-      r.total_tx_bytes);
+      r.total_tx_bytes, h.chunks_received, h.partial_applies,
+      h.resend_requests, h.duplicate_chunks);
 }
 
 }  // namespace

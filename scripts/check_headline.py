@@ -31,6 +31,11 @@ TOLERANCES = {
     "degraded_ms": (150, 0.25),
     "stale_p95": (150, 0.25),
     "tx_bytes": (4096, 0.15),
+    # Streamed-response accounting (full-duplex transmission).
+    "chunks": (4, 0.15),
+    "partial_applies": (4, 0.25),
+    "resend_req": (1, 0.25),
+    "dup_chunks": (1, 0.25),
 }
 
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "net/link.hpp"
+#include "net/protocol.hpp"
 
 namespace edgeis::core {
 
@@ -21,86 +22,226 @@ void EdgeServer::submit(int frame_index, double sent_ms, double transmit_ms,
   for (int copy = 0; copy < copies; ++copy) {
     const double at =
         arrive_ms + (copy == 0 ? 0.0 : fate.duplicate_delay_ms);
-    run_inference(frame_index, at, request, attempt);
+    run_inference(frame_index, at, request, attempt, /*streamed=*/false);
   }
+}
+
+void EdgeServer::submit_streamed(int frame_index, double sent_ms,
+                                 std::size_t bytes,
+                                 const segnet::InferenceRequest& request,
+                                 int attempt) {
+  const auto out = uplink_queue_.enqueue(sent_ms, bytes, uplink_faults_);
+  net::trace_transfer(tracer_, /*uplink=*/true, out.slot.enter_ms,
+                      out.slot.transit_ms, bytes, out.fate, frame_index,
+                      attempt, out.duplicate_transit_ms,
+                      out.slot.queue_wait_ms);
+  if (out.fate.drop) return;
+  run_inference(frame_index, out.deliver_ms, request, attempt,
+                /*streamed=*/true);
+  if (out.fate.duplicate) {
+    run_inference(frame_index, out.duplicate_deliver_ms, request, attempt,
+                  /*streamed=*/true);
+  }
+}
+
+bool EdgeServer::submit_resend(int frame_index, double sent_ms,
+                               std::size_t bytes,
+                               const std::vector<int>& chunk_indices,
+                               int attempt) {
+  const auto cached = result_cache_.find(frame_index);
+  if (cached == result_cache_.end()) return false;
+
+  const auto out = uplink_queue_.enqueue(sent_ms, bytes, uplink_faults_);
+  net::trace_transfer(tracer_, /*uplink=*/true, out.slot.enter_ms,
+                      out.slot.transit_ms, bytes, out.fate, frame_index,
+                      attempt, out.duplicate_transit_ms,
+                      out.slot.queue_wait_ms, /*chunk_index=*/-1,
+                      /*chunk_count=*/0, /*is_resend=*/true);
+  if (out.fate.drop) return true;  // the request died; ledger retries
+
+  // A duplicated resend request re-emits the chunks twice — the second
+  // stream exercises the receiver's duplicate-chunk idempotence exactly
+  // like a duplicated downlink would.
+  const int copies = out.fate.duplicate ? 2 : 1;
+  bool emitted = false;
+  for (int copy = 0; copy < copies; ++copy) {
+    const double arrive =
+        copy == 0 ? out.deliver_ms : out.duplicate_deliver_ms;
+    if (tracer_ != nullptr) {
+      tracer_->instant(rt::track::kEdge, "resend", arrive,
+                       {{"frame", frame_index},
+                        {"missing", chunk_indices.size()},
+                        {"attempt", attempt}});
+    }
+    for (const auto& chunk : cached->second.chunks) {
+      if (std::find(chunk_indices.begin(), chunk_indices.end(),
+                    chunk.chunk_index) == chunk_indices.end()) {
+        continue;
+      }
+      Response r;
+      r.frame_index = frame_index;
+      // Cache lookup + re-serialization only: no inference queue.
+      r.ready_ms = arrive + 0.3;
+      r.attempt = attempt;
+      r.stats = cached->second.stats;
+      r.chunk_index = chunk.chunk_index;
+      r.chunk_count = cached->second.chunk_count;
+      r.is_resend = true;
+      r.payload_bytes = chunk.wire_bytes;
+      if (chunk.instance_id >= 0) r.masks.push_back(chunk.mask);
+      completed_.push_back(std::move(r));
+      emitted = true;
+    }
+  }
+  return emitted;
+}
+
+void EdgeServer::trace_inference(int frame_index, double arrive_ms,
+                                 double start, double compute_ms,
+                                 const segnet::InferenceRequest& request,
+                                 const segnet::InferenceResult& result,
+                                 int attempt) const {
+  if (tracer_ == nullptr) return;
+  // Edge-side spans are X (complete) events: a retransmitted request can
+  // arrive while the server is busy with its sibling, so spans on this
+  // track may overlap and must not rely on B/E nesting. The decode step
+  // has no modeled cost; it appears as an instant at arrival.
+  const double scale = device_.model_compute_scale;
+  const auto& s = result.stats;
+  tracer_->instant(rt::track::kEdge, "decode", arrive_ms,
+                   {{"frame", frame_index}, {"attempt", attempt}});
+  if (start > arrive_ms) {
+    tracer_->complete(rt::track::kEdge, "queue_wait", arrive_ms,
+                      start - arrive_ms, {{"frame", frame_index}});
+  }
+  tracer_->complete(
+      rt::track::kEdge, "infer", start, compute_ms,
+      {{"frame", frame_index},
+       {"attempt", attempt},
+       {"instances", result.instances.size()},
+       {"anchors", s.anchors_evaluated},
+       {"rois_selected", s.rois_after_selection},
+       {"rois_after_pruning", s.rois_after_pruning}});
+  double t = start;
+  tracer_->complete(rt::track::kEdge, "backbone", t, s.backbone_ms * scale);
+  t += s.backbone_ms * scale;
+  // CIIA instrumentation: the RPN span carries the anchor-placement
+  // numbers, the mask-head span the RoI-pruning numbers — the work CIIA
+  // saves is exactly the difference these args show under ablation.
+  tracer_->complete(rt::track::kEdge, "rpn", t, s.rpn_ms * scale,
+                    {{"anchors", s.anchors_evaluated},
+                     {"dynamic_placement",
+                      request.use_dynamic_anchor_placement},
+                     {"proposals", s.proposals_pre_nms}});
+  t += s.rpn_ms * scale;
+  tracer_->complete(rt::track::kEdge, "head", t, s.head_ms * scale,
+                    {{"rois", s.rois_after_selection}});
+  t += s.head_ms * scale;
+  tracer_->complete(rt::track::kEdge, "mask_head", t,
+                    s.mask_head_ms * scale,
+                    {{"rois", s.rois_after_pruning},
+                     {"roi_pruning", request.use_roi_pruning}});
 }
 
 void EdgeServer::run_inference(int frame_index, double arrive_ms,
                                const segnet::InferenceRequest& request,
-                               int attempt) {
+                               int attempt, bool streamed) {
   const double start = std::max(arrive_ms, free_at_ms_);
   segnet::InferenceResult result = model_.infer(request);
   const double compute_ms =
       result.stats.total_ms() * device_.model_compute_scale;
+  trace_inference(frame_index, arrive_ms, start, compute_ms, request,
+                  result, attempt);
+  free_at_ms_ = start + compute_ms;
 
-  if (tracer_ != nullptr) {
-    // Edge-side spans are X (complete) events: a retransmitted request can
-    // arrive while the server is busy with its sibling, so spans on this
-    // track may overlap and must not rely on B/E nesting. The decode step
-    // has no modeled cost; it appears as an instant at arrival.
-    const double scale = device_.model_compute_scale;
-    const auto& s = result.stats;
-    tracer_->instant(rt::track::kEdge, "decode", arrive_ms,
-                     {{"frame", frame_index}, {"attempt", attempt}});
-    if (start > arrive_ms) {
-      tracer_->complete(rt::track::kEdge, "queue_wait", arrive_ms,
-                        start - arrive_ms, {{"frame", frame_index}});
+  if (!streamed) {
+    Response r;
+    r.frame_index = frame_index;
+    r.ready_ms = start + compute_ms;
+    r.attempt = attempt;
+    r.stats = result.stats;
+    r.masks.reserve(result.instances.size());
+    for (auto& inst : result.instances) {
+      r.masks.push_back(std::move(inst.mask));
     }
-    tracer_->complete(
-        rt::track::kEdge, "infer", start, compute_ms,
-        {{"frame", frame_index},
-         {"attempt", attempt},
-         {"instances", result.instances.size()},
-         {"anchors", s.anchors_evaluated},
-         {"rois_selected", s.rois_after_selection},
-         {"rois_after_pruning", s.rois_after_pruning}});
-    double t = start;
-    tracer_->complete(rt::track::kEdge, "backbone", t, s.backbone_ms * scale);
-    t += s.backbone_ms * scale;
-    // CIIA instrumentation: the RPN span carries the anchor-placement
-    // numbers, the mask-head span the RoI-pruning numbers — the work CIIA
-    // saves is exactly the difference these args show under ablation.
-    tracer_->complete(rt::track::kEdge, "rpn", t, s.rpn_ms * scale,
-                      {{"anchors", s.anchors_evaluated},
-                       {"dynamic_placement",
-                        request.use_dynamic_anchor_placement},
-                       {"proposals", s.proposals_pre_nms}});
-    t += s.rpn_ms * scale;
-    tracer_->complete(rt::track::kEdge, "head", t, s.head_ms * scale,
-                      {{"rois", s.rois_after_selection}});
-    t += s.head_ms * scale;
-    tracer_->complete(rt::track::kEdge, "mask_head", t,
-                      s.mask_head_ms * scale,
-                      {{"rois", s.rois_after_pruning},
-                       {"roi_pruning", request.use_roi_pruning}});
+    r.payload_bytes = mask_payload_bytes(r.masks);
+    completed_.push_back(std::move(r));
+    return;
   }
 
-  Response r;
-  r.frame_index = frame_index;
-  r.ready_ms = start + compute_ms;
-  r.attempt = attempt;
-  r.stats = result.stats;
-  r.masks.reserve(result.instances.size());
+  // Streamed: frame the result as per-instance protocol chunks (wire
+  // sizes come from actually serializing each chunk message) and emit
+  // each chunk as its mask leaves the mask head — the first-stage work
+  // (backbone + RPN + box head) completes before any mask exists, then
+  // the mask head finishes instances one by one.
+  std::vector<mask::InstanceMask> masks;
+  masks.reserve(result.instances.size());
   for (auto& inst : result.instances) {
-    r.masks.push_back(std::move(inst.mask));
+    masks.push_back(std::move(inst.mask));
   }
-  r.payload_bytes = mask_payload_bytes(r.masks);
-  free_at_ms_ = r.ready_ms;
-  completed_.push_back(std::move(r));
+  const auto chunks = net::chunk_mask_result(net::build_mask_result(
+      frame_index, request.width, request.height, masks));
+  const double scale = device_.model_compute_scale;
+  const double first_stage_ms =
+      (result.stats.backbone_ms + result.stats.rpn_ms +
+       result.stats.head_ms) * scale;
+  const double mask_head_ms = result.stats.mask_head_ms * scale;
+  const auto n = static_cast<double>(chunks.size());
+
+  CachedResult cache;
+  cache.chunk_count = static_cast<int>(chunks.size());
+  cache.stats = result.stats;
+  for (std::size_t i = 0; i < chunks.size(); ++i) {
+    const auto& chunk = chunks[i];
+    Response r;
+    r.frame_index = frame_index;
+    r.ready_ms = start + first_stage_ms +
+                 mask_head_ms * (static_cast<double>(i) + 1.0) / n;
+    r.attempt = attempt;
+    r.stats = result.stats;
+    r.chunk_index = static_cast<int>(i);
+    r.chunk_count = static_cast<int>(chunks.size());
+    r.payload_bytes = net::wire_bytes(chunk);
+
+    CachedChunk cc;
+    cc.wire_bytes = r.payload_bytes;
+    cc.chunk_index = r.chunk_index;
+    if (!chunk.instances.empty()) {
+      const int instance_id = chunk.instances.front().instance_id;
+      for (const auto& m : masks) {
+        if (m.instance_id == instance_id) {
+          r.masks.push_back(m);
+          cc.mask = m;
+          break;
+        }
+      }
+      cc.instance_id = instance_id;
+    }
+    if (tracer_ != nullptr) {
+      tracer_->instant(rt::track::kEdge, "chunk_ready", r.ready_ms,
+                       {{"frame", frame_index},
+                        {"chunk", r.chunk_index},
+                        {"chunks", r.chunk_count},
+                        {"instance", cc.instance_id},
+                        {"bytes", r.payload_bytes}});
+    }
+    cache.chunks.push_back(std::move(cc));
+    completed_.push_back(std::move(r));
+  }
+  result_cache_[frame_index] = std::move(cache);
 }
 
-void EdgeServer::submit_ping(int ping_id, double sent_ms,
-                             double transmit_ms) {
-  const auto fate = uplink_faults_.on_message(sent_ms);
-  net::trace_transfer(tracer_, /*uplink=*/true, sent_ms, transmit_ms, 64,
-                      fate, ping_id, 0, transmit_ms);
-  if (fate.drop) return;
+void EdgeServer::submit_ping(int ping_id, double sent_ms) {
+  const auto out = uplink_queue_.enqueue(sent_ms, 64, uplink_faults_);
+  net::trace_transfer(tracer_, /*uplink=*/true, out.slot.enter_ms,
+                      out.slot.transit_ms, 64, out.fate, ping_id, 0,
+                      out.duplicate_transit_ms, out.slot.queue_wait_ms);
+  if (out.fate.drop) return;
   Response r;
   r.frame_index = ping_id;
   r.is_ping = true;
   // Echoed from the network stack: no inference queue involved.
-  r.ready_ms = sent_ms + transmit_ms * fate.latency_scale +
-               fate.extra_delay_ms + 0.2;
+  r.ready_ms = out.deliver_ms + 0.2;
   if (tracer_ != nullptr) {
     tracer_->instant(rt::track::kEdge, "ping_echo", r.ready_ms,
                      {{"request", ping_id}});
@@ -120,10 +261,12 @@ std::vector<EdgeServer::Response> EdgeServer::poll(double now_ms) {
       ++it;
     }
   }
-  std::sort(ready.begin(), ready.end(),
-            [](const Response& a, const Response& b) {
-              return a.ready_ms < b.ready_ms;
-            });
+  // Stable: chunks of one response share emission order under ties, so
+  // the downlink serializer admits them in stream order.
+  std::stable_sort(ready.begin(), ready.end(),
+                   [](const Response& a, const Response& b) {
+                     return a.ready_ms < b.ready_ms;
+                   });
   return ready;
 }
 

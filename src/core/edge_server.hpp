@@ -2,12 +2,23 @@
 // segmentation model, with compute time scaled by the edge device profile.
 // Pipelines submit inference requests stamped with their uplink arrival
 // time and poll for responses; downlink latency is applied by the caller.
+//
+// Two submission surfaces coexist. The legacy half-duplex `submit` returns
+// one monolithic response per request (the baselines' model). The
+// full-duplex `submit_streamed` admits the request through the caller-
+// visible uplink SendQueue and answers with one response *chunk per
+// finished instance mask*, in head/mask-head completion order, so the
+// mobile side can apply whatever arrived by its frame deadline. Completed
+// results are cached so `submit_resend` can re-emit only the chunks a
+// partial receiver is missing, without re-running inference.
 #pragma once
 
+#include <unordered_map>
 #include <vector>
 
 #include "mask/mask.hpp"
 #include "net/faults.hpp"
+#include "net/send_queue.hpp"
 #include "runtime/rng.hpp"
 #include "runtime/trace.hpp"
 #include "segnet/model.hpp"
@@ -19,12 +30,17 @@ class EdgeServer {
  public:
   /// `uplink_faults` (default: none) is consulted for every arriving
   /// message, so every pipeline that talks to this server — edgeIS and the
-  /// baselines alike — faces the same uplink behaviour.
+  /// baselines alike — faces the same uplink behaviour. `uplink_queue`
+  /// (used only by the streamed surface) models the mobile side's
+  /// transmission-module serializer: messages admitted while an earlier
+  /// one is still going onto the wire wait head-of-line.
   EdgeServer(segnet::ModelProfile model, sim::DeviceProfile device,
-             rt::Rng rng, net::FaultInjector uplink_faults = {})
+             rt::Rng rng, net::FaultInjector uplink_faults = {},
+             net::SendQueue uplink_queue = {})
       : model_(std::move(model), rng),
         device_(std::move(device)),
-        uplink_faults_(std::move(uplink_faults)) {}
+        uplink_faults_(std::move(uplink_faults)),
+        uplink_queue_(std::move(uplink_queue)) {}
 
   struct Response {
     int frame_index = 0;
@@ -37,6 +53,12 @@ class EdgeServer {
     /// rule exactly and detect spurious retransmissions (an attempt-0
     /// response arriving after attempt 1 was already on the wire).
     int attempt = 0;
+    /// Streamed-response framing: chunk `chunk_index` of `chunk_count`.
+    /// Monolithic responses and pings are a single chunk (0 of 1), so
+    /// completion logic treats both surfaces uniformly.
+    int chunk_index = 0;
+    int chunk_count = 1;
+    bool is_resend = false;  // re-emitted from the result cache
   };
 
   /// Submit a request entering the uplink at `sent_ms` with a nominal
@@ -52,9 +74,29 @@ class EdgeServer {
               const segnet::InferenceRequest& request, int attempt = 0,
               std::size_t bytes = 0);
 
-  /// Submit a liveness probe (degraded-mode recovery detection). The echo
-  /// bypasses the inference queue; it is subject to the same uplink faults.
-  void submit_ping(int ping_id, double sent_ms, double transmit_ms);
+  /// Full-duplex submission: the request enters the uplink send queue at
+  /// `sent_ms` (head-of-line wait + per-message transit computed by the
+  /// queue) and the response comes back as one chunk per instance, each
+  /// ready as its mask leaves the mask head. The completed result is
+  /// cached for `submit_resend`.
+  void submit_streamed(int frame_index, double sent_ms, std::size_t bytes,
+                       const segnet::InferenceRequest& request,
+                       int attempt = 0);
+
+  /// Re-emit only the named chunks of an already computed frame. A resend
+  /// re-serializes from the result cache; it never re-infers and never
+  /// touches the model queue. Returns false — without touching the link —
+  /// when the frame is not cached (e.g. the original request was lost
+  /// before compute), in which case the caller should fall back to a full
+  /// retransmission.
+  bool submit_resend(int frame_index, double sent_ms, std::size_t bytes,
+                     const std::vector<int>& chunk_indices, int attempt);
+
+  /// Submit a liveness probe (degraded-mode recovery detection) through
+  /// the uplink send queue — a probe can ride behind a keyframe that is
+  /// still serializing. The echo bypasses the inference queue; it is
+  /// subject to the same uplink faults.
+  void submit_ping(int ping_id, double sent_ms);
 
   /// Attach/detach a span tracer: per-message uplink spans, queue-wait and
   /// staged inference spans (backbone / RPN incl. CIIA anchor placement /
@@ -62,7 +104,7 @@ class EdgeServer {
   void set_tracer(rt::Tracer* tracer) { tracer_ = tracer; }
 
   /// Pop all responses completed by `now_ms` (server-side; caller adds
-  /// downlink latency).
+  /// downlink latency), ordered by completion time.
   std::vector<Response> poll(double now_ms);
 
   /// Number of requests not yet completed by `now_ms`.
@@ -75,17 +117,40 @@ class EdgeServer {
   [[nodiscard]] const net::FaultInjector& uplink_faults() const {
     return uplink_faults_;
   }
+  [[nodiscard]] const net::SendQueue& uplink_queue() const {
+    return uplink_queue_;
+  }
 
  private:
+  /// One cached chunk of a completed streamed response.
+  struct CachedChunk {
+    mask::InstanceMask mask;  // empty (0x0) for the instance-less chunk
+    int instance_id = -1;
+    std::size_t wire_bytes = 0;
+    int chunk_index = 0;
+  };
+  struct CachedResult {
+    std::vector<CachedChunk> chunks;
+    segnet::InferenceStats stats;
+    int chunk_count = 1;
+  };
+
   void run_inference(int frame_index, double arrive_ms,
-                     const segnet::InferenceRequest& request, int attempt);
+                     const segnet::InferenceRequest& request, int attempt,
+                     bool streamed);
+  void trace_inference(int frame_index, double arrive_ms, double start,
+                       double compute_ms, const segnet::InferenceRequest& req,
+                       const segnet::InferenceResult& result,
+                       int attempt) const;
 
   segnet::SegmentationModel model_;
   sim::DeviceProfile device_;
   net::FaultInjector uplink_faults_;
+  net::SendQueue uplink_queue_;
   rt::Tracer* tracer_ = nullptr;
   double free_at_ms_ = 0.0;
   std::vector<Response> completed_;
+  std::unordered_map<int, CachedResult> result_cache_;
 };
 
 /// Approximate serialized size of a mask set shipped back to the mobile

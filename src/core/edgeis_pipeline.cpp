@@ -8,6 +8,7 @@
 #include "encoding/tiles.hpp"
 #include "features/matcher.hpp"
 #include "net/link.hpp"
+#include "net/protocol.hpp"
 #include "runtime/log.hpp"
 
 namespace edgeis::core {
@@ -19,10 +20,12 @@ EdgeISPipeline::EdgeISPipeline(const scene::SceneConfig& scene_config,
       rng_(config_.seed ^ 0xed9e15ULL),
       edge_(config_.model, config_.edge, rt::Rng(config_.seed ^ 0x5e7fULL),
             net::FaultInjector(config_.faults.uplink,
-                               rt::Rng(config_.seed ^ 0xfa017ULL))),
+                               rt::Rng(config_.seed ^ 0xfa017ULL)),
+            net::SendQueue(config_.link, rt::Rng(config_.seed ^ 0x5af1ULL))),
       render_queue_(scene_config.fps),
       downlink_faults_(config_.faults.downlink,
                        rt::Rng(config_.seed ^ 0xfa02eULL)),
+      downlink_queue_(config_.link, rt::Rng(config_.seed ^ 0xd0171ULL)),
       rto_(config_.rto, 2.0 * config_.link.base_latency_ms +
                             config_.rto.initial_compute_guess_ms) {
   for (const auto& obj : scene_config_.objects) {
@@ -83,7 +86,10 @@ void EdgeISPipeline::deliver_due_responses(double now_ms) {
     // inflated RTO stands until a never-retransmitted request (or ping)
     // completes cleanly. An attempt-0 response overtaken by a
     // retransmission proves the deadline fired on a slow response, not a
-    // lost one — the definition of a spurious retransmission.
+    // lost one — the definition of a spurious retransmission. Streamed
+    // responses sample per chunk: every chunk of a clean first attempt is
+    // an independent observation of the (stream-position-weighted) round
+    // trip. Resent chunks answer a retransmitted request — never sampled.
     if (resp.attempt < entry->attempt) {
       ++health_.spurious_retransmissions;
       if (tracer_ != nullptr) {
@@ -91,24 +97,21 @@ void EdgeISPipeline::deliver_due_responses(double now_ms) {
                          now_ms, {{"request", resp.frame_index}});
       }
     }
-    if (entry->attempt == 0) {
+    if (entry->attempt == 0 && !resp.is_resend) {
       rto_.sample(now_ms - entry->sent_ms);
       trace_rto_counters(now_ms);
+    } else {
+      // Forward progress on a retransmitted attempt is unsampleable under
+      // Karn's rule, but the link answered: the timeout inflation is no
+      // longer warranted. Without this, a stream that loses one chunk per
+      // round would compound its backoff into degraded mode while chunks
+      // are demonstrably arriving.
+      rto_.reset_backoff();
     }
-    if (tracer_ != nullptr) {
-      tracer_->instant(rt::track::kLedger,
-                       resp.is_ping ? "ping_response" : "response", now_ms,
-                       {{"request", resp.frame_index},
-                        {"attempt", resp.attempt},
-                        {"rtt_ms", now_ms - entry->sent_ms},
-                        {"bytes", resp.payload_bytes}});
-    }
-    ledger_.erase(entry);
-    ++health_.responses_received;
     if (degraded_) {
-      // Any response proves the link is back. A ping carries no masks, so
+      // Any delivery proves the link is back. A ping carries no masks, so
       // recovery via ping owes the tracker a full-quality refresh; an
-      // inference response is itself fresh annotation.
+      // inference chunk is itself fresh annotation.
       degraded_ = false;
       if (resp.is_ping && phase_ == Phase::kRunning) force_refresh_ = true;
       if (tracer_ != nullptr) {
@@ -116,54 +119,201 @@ void EdgeISPipeline::deliver_due_responses(double now_ms) {
                          {{"via_ping", resp.is_ping}});
       }
     }
-    if (resp.is_ping) continue;
-
-    edge_stats_.push_back(resp.stats);
-    last_annotation_ms_ = now_ms;
-
-    if (phase_ == Phase::kAwaitInitMasks) {
-      if (init_ref_ && resp.frame_index == init_ref_->frame_index) {
-        init_ref_->edge_masks = std::move(resp.masks);
-      } else if (init_pair_second_ &&
-                 resp.frame_index == init_pair_second_->frame_index) {
-        init_pair_second_->edge_masks = std::move(resp.masks);
+    if (resp.is_ping) {
+      if (tracer_ != nullptr) {
+        tracer_->instant(rt::track::kLedger, "ping_response", now_ms,
+                         {{"request", resp.frame_index},
+                          {"attempt", resp.attempt},
+                          {"rtt_ms", now_ms - entry->sent_ms}});
       }
-      try_initialize();
-    } else if (phase_ == Phase::kRunning) {
-      if (rt::Log::level() <= rt::LogLevel::kDebug) {
-        std::string ids;
-        for (const auto& m : resp.masks) {
-          ids += std::to_string(m.instance_id) + ' ';
-        }
-        rt::Log::debug("resp kf=%d masks=[%s]", resp.frame_index,
-                       ids.c_str());
-      }
-      tracker_->annotate_keyframe(resp.frame_index, resp.masks);
-      cached_masks_ = std::move(resp.masks);  // MAMT-off fallback cache
+      ledger_.erase(entry);
+      ++health_.responses_received;
+      continue;
     }
+    accept_chunk(entry, resp, now_ms);
   }
 }
 
-void EdgeISPipeline::send_attempt(LedgerEntry& e, double now_ms) {
-  const double up_ms = net::transmit_ms(
-      config_.link, std::max<std::size_t>(e.bytes, 1), rng_);
+bool EdgeISPipeline::accept_chunk(std::vector<LedgerEntry>::iterator it,
+                                  EdgeServer::Response& resp,
+                                  double now_ms) {
+  LedgerEntry& e = *it;
+  if (e.chunks_expected == 0) {
+    e.chunks_expected = std::max(resp.chunk_count, 1);
+    e.chunk_have.assign(static_cast<std::size_t>(e.chunks_expected), false);
+  }
+  if (resp.chunk_index < 0 || resp.chunk_index >= e.chunks_expected ||
+      e.chunk_have[static_cast<std::size_t>(resp.chunk_index)]) {
+    // Downlink duplicate or a resend racing the original: idempotent.
+    ++health_.duplicate_chunks;
+    if (tracer_ != nullptr) {
+      tracer_->instant(rt::track::kLedger, "duplicate_chunk", now_ms,
+                       {{"request", resp.frame_index},
+                        {"chunk", resp.chunk_index}});
+    }
+    return false;
+  }
+  e.chunk_have[static_cast<std::size_t>(resp.chunk_index)] = true;
+  ++e.chunks_received;
+  ++health_.chunks_received;
+  e.stats = resp.stats;
+  e.response_bytes += resp.payload_bytes;
+  if (resp.is_resend) e.resent_bytes += resp.payload_bytes;
+  for (auto& m : resp.masks) e.arrived_masks.push_back(std::move(m));
+  const bool complete = e.chunks_received == e.chunks_expected;
   if (tracer_ != nullptr) {
-    tracer_->instant(rt::track::kLedger, "send", now_ms,
+    tracer_->instant(rt::track::kLedger, "chunk", now_ms,
+                     {{"request", resp.frame_index},
+                      {"attempt", resp.attempt},
+                      {"chunk", resp.chunk_index},
+                      {"received", e.chunks_received},
+                      {"expected", e.chunks_expected},
+                      {"resend", resp.is_resend},
+                      {"bytes", resp.payload_bytes}});
+  }
+
+  // Apply whatever has arrived: a partial set still annotates the keyframe
+  // and refreshes the fallback cache, so the renderer never waits for the
+  // stream's tail (the point of streaming the response at all).
+  if (phase_ == Phase::kRunning && !e.is_init && tracker_ != nullptr) {
+    tracker_->annotate_keyframe(e.frame_index, e.arrived_masks);
+    for (const auto& m : e.arrived_masks) {
+      auto cached = std::find_if(
+          cached_masks_.begin(), cached_masks_.end(),
+          [&](const mask::InstanceMask& c) {
+            return c.instance_id == m.instance_id;
+          });
+      if (cached != cached_masks_.end()) {
+        *cached = m;
+      } else {
+        cached_masks_.push_back(m);
+      }
+    }
+    last_annotation_ms_ = now_ms;
+    if (!complete) {
+      ++health_.partial_applies;
+      if (tracer_ != nullptr) {
+        tracer_->instant(rt::track::kLedger, "partial_apply", now_ms,
+                         {{"frame", e.frame_index},
+                          {"received", e.chunks_received},
+                          {"expected", e.chunks_expected}});
+      }
+    }
+  }
+
+  if (!complete) {
+    // Streaming progress must not time out between chunks: every applied
+    // chunk renews the entry's deadline and cancels a pending backoff.
+    e.deadline_ms = now_ms + rto_.rto_ms();
+    e.resend_at_ms = -1.0;
+    return false;
+  }
+
+  if (e.resend_audit >= 0) {
+    auto& audit = resend_audits_[static_cast<std::size_t>(e.resend_audit)];
+    audit.full_response_bytes = e.response_bytes;
+    audit.resent_bytes = e.resent_bytes;
+    audit.completed = true;
+  }
+  if (tracer_ != nullptr) {
+    tracer_->instant(rt::track::kLedger, "response", now_ms,
                      {{"request", e.request_id},
-                      {"attempt", e.attempt},
-                      {"bytes", e.bytes},
-                      {"ping", e.is_ping}});
+                      {"attempt", resp.attempt},
+                      {"rtt_ms", now_ms - e.sent_ms},
+                      {"chunks", e.chunks_expected},
+                      {"bytes", e.response_bytes}});
   }
+  edge_stats_.push_back(e.stats);
+  last_annotation_ms_ = now_ms;
+
+  if (phase_ == Phase::kAwaitInitMasks) {
+    if (init_ref_ && e.frame_index == init_ref_->frame_index) {
+      init_ref_->edge_masks = std::move(e.arrived_masks);
+    } else if (init_pair_second_ &&
+               e.frame_index == init_pair_second_->frame_index) {
+      init_pair_second_->edge_masks = std::move(e.arrived_masks);
+    }
+    ledger_.erase(it);
+    ++health_.responses_received;
+    try_initialize();
+    return true;
+  }
+  if (phase_ == Phase::kRunning && !e.is_init) {
+    if (rt::Log::level() <= rt::LogLevel::kDebug) {
+      std::string ids;
+      for (const auto& m : e.arrived_masks) {
+        ids += std::to_string(m.instance_id) + ' ';
+      }
+      rt::Log::debug("resp kf=%d masks=[%s]", e.frame_index, ids.c_str());
+    }
+    // The completed set replaces the cache wholesale: instances absent
+    // from this response have left the scene and must stop rendering.
+    cached_masks_ = std::move(e.arrived_masks);
+  }
+  ledger_.erase(it);
+  ++health_.responses_received;
+  return true;
+}
+
+void EdgeISPipeline::send_attempt(LedgerEntry& e, double now_ms) {
   if (e.is_ping) {
-    edge_.submit_ping(e.request_id, now_ms, up_ms);
+    if (tracer_ != nullptr) {
+      tracer_->instant(rt::track::kLedger, "send", now_ms,
+                       {{"request", e.request_id},
+                        {"attempt", e.attempt},
+                        {"bytes", e.bytes},
+                        {"ping", true}});
+    }
+    edge_.submit_ping(e.request_id, now_ms);
+  } else if (e.chunks_received > 0 && e.chunks_received < e.chunks_expected) {
+    // Partial response on the books: retransmit the *missing chunk set*,
+    // not the keyframe. The request names chunks by index (the receiver
+    // never learned the instance ids of chunks that didn't arrive); the
+    // edge answers from its result cache without re-running inference.
+    net::ResendRequestMessage req;
+    req.frame_index = e.frame_index;
+    std::vector<int> missing;
+    for (int i = 0; i < e.chunks_expected; ++i) {
+      if (!e.chunk_have[static_cast<std::size_t>(i)]) {
+        req.chunk_indices.push_back(i);
+        missing.push_back(i);
+      }
+    }
+    const std::size_t bytes = net::wire_bytes(req);
+    ++health_.resend_requests;
+    if (tracer_ != nullptr) {
+      tracer_->instant(rt::track::kLedger, "resend_missing", now_ms,
+                       {{"request", e.request_id},
+                        {"attempt", e.attempt},
+                        {"missing", missing.size()},
+                        {"of", e.chunks_expected},
+                        {"bytes", bytes}});
+    }
+    ResendAudit audit;
+    audit.request_id = e.request_id;
+    audit.chunks_total = e.chunks_expected;
+    audit.chunks_missing = static_cast<int>(missing.size());
+    audit.original_request_bytes = e.bytes;
+    audit.resend_request_bytes = bytes;
+    e.resend_audit = static_cast<int>(resend_audits_.size());
+    resend_audits_.push_back(audit);
+    if (!edge_.submit_resend(e.frame_index, now_ms, bytes, missing,
+                             e.attempt)) {
+      // Result cache miss (should not happen once a chunk arrived):
+      // fall back to a full retransmission.
+      edge_.submit_streamed(e.frame_index, now_ms, e.bytes, e.request,
+                            e.attempt);
+    }
   } else {
-    edge_.submit(e.frame_index, now_ms, up_ms, e.request, e.attempt,
-                 e.bytes);
-  }
-  // The server result and completion time are deterministic at submission;
-  // stamp the downlink (with faults) and queue the delivery.
-  for (auto& r : edge_.poll(1e18)) {
-    queue_response_with_faults(std::move(r));
+    if (tracer_ != nullptr) {
+      tracer_->instant(rt::track::kLedger, "send", now_ms,
+                       {{"request", e.request_id},
+                        {"attempt", e.attempt},
+                        {"bytes", e.bytes},
+                        {"ping", false}});
+    }
+    edge_.submit_streamed(e.frame_index, now_ms, e.bytes, e.request,
+                          e.attempt);
   }
   e.sent_ms = now_ms;
   e.deadline_ms = now_ms + rto_.rto_ms();
@@ -171,31 +321,24 @@ void EdgeISPipeline::send_attempt(LedgerEntry& e, double now_ms) {
 }
 
 void EdgeISPipeline::queue_response_with_faults(EdgeServer::Response r) {
-  const double down_ms = net::transmit_ms(
-      config_.link, std::max<std::size_t>(r.payload_bytes, 1), rng_);
-  const auto fate = downlink_faults_.on_message(r.ready_ms);
-  // The duplicate is its own transmission: sample an independent transmit
-  // time and do not inherit the primary's reorder delay, so the two copies
-  // don't arrive in lockstep. Sampled before the trace call but with the
-  // exact condition of the pre-trace code, so tracing never shifts the
-  // RNG stream.
-  double dup_down_ms = 0.0;
-  if (!fate.drop && fate.duplicate) {
-    dup_down_ms = net::transmit_ms(
-        config_.link, std::max<std::size_t>(r.payload_bytes, 1), rng_);
+  // The response enters the downlink direction of the full-duplex pair:
+  // chunks of one response (and interleaved ping echoes) serialize
+  // back-to-back through the queue, each with its own propagation sample
+  // and fault fate.
+  const auto out = downlink_queue_.enqueue(
+      r.ready_ms, std::max<std::size_t>(r.payload_bytes, 1),
+      downlink_faults_);
+  net::trace_transfer(tracer_, /*uplink=*/false, out.slot.enter_ms,
+                      out.slot.transit_ms, r.payload_bytes, out.fate,
+                      r.frame_index, r.attempt, out.duplicate_transit_ms,
+                      out.slot.queue_wait_ms,
+                      r.chunk_count > 1 ? r.chunk_index : -1, r.chunk_count,
+                      r.is_resend);
+  if (out.fate.drop) return;  // the ledger deadline will notice
+  if (out.fate.duplicate) {
+    pending_.push_back({out.duplicate_deliver_ms, r});
   }
-  net::trace_transfer(tracer_, /*uplink=*/false, r.ready_ms, down_ms,
-                      r.payload_bytes, fate, r.frame_index, r.attempt,
-                      dup_down_ms);
-  if (fate.drop) return;  // the ledger deadline will notice
-  if (fate.duplicate) {
-    pending_.push_back({r.ready_ms + dup_down_ms * fate.latency_scale +
-                            fate.duplicate_delay_ms,
-                        r});
-  }
-  pending_.push_back({r.ready_ms + down_ms * fate.latency_scale +
-                          fate.extra_delay_ms,
-                      std::move(r)});
+  pending_.push_back({out.deliver_ms, std::move(r)});
 }
 
 void EdgeISPipeline::trace_rto_counters(double now_ms) const {
@@ -237,7 +380,9 @@ void EdgeISPipeline::service_ledger(double now_ms) {
                         {"ping", e.is_ping}});
       trace_rto_counters(now_ms);
     }
-    if (e.is_ping || e.attempt >= config_.max_retries) {
+    const bool progressed = e.chunks_received > e.chunks_at_last_timeout;
+    e.chunks_at_last_timeout = e.chunks_received;
+    if (e.is_ping || (e.attempt >= config_.max_retries && !progressed)) {
       // Pings never retry: the probe cadence replaces them.
       e.dead = true;
       if (!e.is_ping) {
@@ -316,6 +461,14 @@ void EdgeISPipeline::abort_initialization() {
 bool EdgeISPipeline::has_outstanding_request() const {
   for (const auto& e : ledger_) {
     if (!e.is_ping && !e.dead && !e.abandoned) return true;
+  }
+  return false;
+}
+
+bool EdgeISPipeline::has_blocking_request() const {
+  for (const auto& e : ledger_) {
+    if (e.is_ping || e.dead || e.abandoned) continue;
+    if (e.chunks_received == 0) return true;
   }
   return false;
 }
@@ -588,15 +741,24 @@ FrameOutput EdgeISPipeline::process(const scene::RenderedFrame& frame) {
     health_.time_in_degraded_ms += now_ms - prev_frame_ms_;
     ++health_.degraded_frames;
   }
+  // Drain the edge's completed work into the downlink queue in completion
+  // order (the queue's serializer needs admissions in time order), then
+  // deliver whatever the downlink has landed by now.
+  for (auto& r : edge_.poll(now_ms)) {
+    queue_response_with_faults(std::move(r));
+  }
   deliver_due_responses(now_ms);
   service_ledger(now_ms);
-  if (degraded_) {
+  if (degraded_ || rto_.backoff() >= 2) {
     // Probe for recovery on a fixed cadence: a 64-byte ping instead of a
     // full keyframe, so an outage costs (almost) nothing to wait out.
-    bool ping_outstanding = false;
-    for (const auto& e : ledger_) ping_outstanding |= e.is_ping;
-    if (!ping_outstanding &&
-        frame.index - last_probe_frame_ >= config_.probe_interval_frames) {
+    // The probe starts *before* degraded mode commits — two consecutive
+    // unanswered deadlines already make the link suspect — and rides the
+    // full-duplex uplink queue behind any keyframe still serializing, so
+    // liveness evidence accrues while inference requests are in flight.
+    // The cadence is the only gate: probes are cheap enough that a lost
+    // one must not block the next for its whole (inflated) RTO lifetime.
+    if (frame.index - last_probe_frame_ >= config_.probe_interval_frames) {
       LedgerEntry ping;
       ping.request_id = next_ping_id_--;
       ping.is_ping = true;
@@ -848,11 +1010,15 @@ FrameOutput EdgeISPipeline::process(const scene::RenderedFrame& frame) {
     } else {
       want_tx = true;  // no selection: every keyframe goes to the edge
     }
-    // Half-duplex: keep at most one request in flight. The ledger — not
-    // the delivery queue — is the gate: a response lost on the downlink
+    // Transmission gate: a request that has not produced any chunk yet
+    // blocks the next keyframe (its fate is unknown; piling on a second
+    // upload would only worsen a congested link). Once its response is
+    // streaming down, the uplink is free again — full duplex lets the
+    // next keyframe overlap the remainder of the stream. The ledger — not
+    // the delivery queue — is the gate: a chunk lost on the downlink
     // leaves pending_ empty but the request is still outstanding until
     // its timeout, and must not wedge transmission forever.
-    if (has_outstanding_request()) want_tx = false;
+    if (has_blocking_request()) want_tx = false;
     rt::Log::debug("kf@%d unlab=%.2f last_tx=%d outstanding=%zu want=%d",
                    frame.index, obs.unlabeled_fraction, last_tx_frame_,
                    ledger_.size(), (int)want_tx);

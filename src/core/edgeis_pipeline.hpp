@@ -52,6 +52,23 @@ class EdgeISPipeline : public Pipeline {
   [[nodiscard]] bool degraded() const { return degraded_; }
   [[nodiscard]] int bootstrap_attempts() const { return bootstrap_attempts_; }
 
+  /// One missing-chunk retransmission, for tests and benches: the resend
+  /// request must be strictly smaller than both the original keyframe
+  /// upload and the full response it recovers a part of.
+  struct ResendAudit {
+    int request_id = 0;
+    int chunks_total = 0;
+    int chunks_missing = 0;                 // at the time of the resend
+    std::size_t original_request_bytes = 0; // the keyframe upload
+    std::size_t resend_request_bytes = 0;   // the missing-set request
+    std::size_t full_response_bytes = 0;    // all chunks (set on completion)
+    std::size_t resent_bytes = 0;           // re-emitted chunks only
+    bool completed = false;
+  };
+  [[nodiscard]] const std::vector<ResendAudit>& resend_audits() const {
+    return resend_audits_;
+  }
+
  private:
   enum class Phase { kBootstrap, kAwaitInitMasks, kRunning };
 
@@ -88,6 +105,24 @@ class EdgeISPipeline : public Pipeline {
     double resend_at_ms = -1.0;  // >= 0: waiting out the backoff
     std::size_t bytes = 0;
     segnet::InferenceRequest request;
+    // Streamed (full-duplex) partial-response accounting. The response
+    // arrives as one chunk per instance; each applied chunk extends the
+    // deadline, and a deadline that fires with a partial set triggers a
+    // missing-chunk resend instead of a full retransmission.
+    int chunks_expected = 0;   // 0 until the first chunk arrives
+    int chunks_received = 0;
+    // Chunk count at the previous deadline expiry: the retry budget
+    // guards liveness, not progress — a timeout that follows fresh chunks
+    // schedules another (tiny) missing-set resend even past max_retries,
+    // while a stalled stream exhausts the budget as before. Bounded: each
+    // extra round requires strictly more chunks on the books.
+    int chunks_at_last_timeout = 0;
+    std::vector<bool> chunk_have;
+    std::vector<mask::InstanceMask> arrived_masks;  // cumulative
+    segnet::InferenceStats stats;        // carried by every chunk
+    std::size_t response_bytes = 0;      // distinct chunk payloads so far
+    std::size_t resent_bytes = 0;        // re-emitted chunk payloads
+    int resend_audit = -1;  // index into resend_audits_, -1 = none
   };
 
   std::vector<segnet::OracleInstance> build_oracle(
@@ -103,8 +138,18 @@ class EdgeISPipeline : public Pipeline {
   /// Emit the RTT-estimator state as counter series on the ledger track
   /// (trace satellite of LinkHealthStats). No-op without a tracer.
   void trace_rto_counters(double now_ms) const;
+  /// A chunk of `e` arrived: record it, apply it if running, complete the
+  /// entry when the set closes. `it` is the entry's ledger position;
+  /// returns true when the entry was erased (completed).
+  bool accept_chunk(std::vector<LedgerEntry>::iterator it,
+                    EdgeServer::Response& resp, double now_ms);
   void abort_initialization();
   [[nodiscard]] bool has_outstanding_request() const;
+  /// Full-duplex transmission gate: only a request that has not yet
+  /// produced any chunk blocks the next keyframe. Once a response is
+  /// streaming down, the uplink is free — the next keyframe overlaps the
+  /// remainder of the stream.
+  [[nodiscard]] bool has_blocking_request() const;
   void try_initialize();
   /// Geometry-only feasibility check for an initialization pair.
   bool pair_geometry_ok(const StoredFrame& f0, int frame_index1,
@@ -154,6 +199,10 @@ class EdgeISPipeline : public Pipeline {
   std::vector<PendingResponse> pending_;
   // Failure handling: request ledger + degraded-mode state machine.
   net::FaultInjector downlink_faults_;
+  // Downlink direction of the full-duplex pair (the uplink queue lives in
+  // the edge server, beside the uplink fault injector).
+  net::SendQueue downlink_queue_;
+  std::vector<ResendAudit> resend_audits_;
   // Adaptive per-attempt deadlines: Jacobson/Karels RTT estimator seeded
   // from the link profile, fed by completed requests and ping probes.
   net::RttEstimator rto_;

@@ -40,7 +40,8 @@ LinkProfile lte() {
 void trace_transfer(rt::Tracer* tracer, bool uplink, double enter_ms,
                     double transit_ms, std::size_t bytes,
                     const FaultDecision& fate, int request_id, int attempt,
-                    double duplicate_transit_ms) {
+                    double duplicate_transit_ms, double queue_wait_ms,
+                    int chunk_index, int chunk_count, bool is_resend) {
   if (tracer == nullptr) return;
   const rt::TraceTrack track =
       uplink ? rt::track::kUplink : rt::track::kDownlink;
@@ -49,6 +50,12 @@ void trace_transfer(rt::Tracer* tracer, bool uplink, double enter_ms,
   args.emplace_back("bytes", bytes);
   args.emplace_back("request", request_id);
   args.emplace_back("attempt", attempt);
+  if (queue_wait_ms > 0.0) args.emplace_back("queue_wait_ms", queue_wait_ms);
+  if (chunk_index >= 0) {
+    args.emplace_back("chunk", chunk_index);
+    args.emplace_back("chunks", chunk_count);
+  }
+  if (is_resend) args.emplace_back("resend", true);
   const char* fault = "none";
   if (fate.drop) fault = "dropped";
   else if (fate.duplicate) fault = "duplicated";

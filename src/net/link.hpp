@@ -40,10 +40,17 @@ double transmit_ms(const LinkProfile& link, std::size_t bytes,
 /// nominal extent) so outages are visible as annotated gaps, and a
 /// duplicated one gets a second span for the lagging copy. No-op when
 /// `tracer` is null.
+///
+/// Full-duplex extensions: `queue_wait_ms` > 0 annotates the head-of-line
+/// wait the message spent behind the send queue's serializer;
+/// `chunk_index` >= 0 marks a streamed response chunk (`chunk_index` of
+/// `chunk_count`); `is_resend` marks a missing-instance retransmission.
 void trace_transfer(rt::Tracer* tracer, bool uplink, double enter_ms,
                     double transit_ms, std::size_t bytes,
                     const FaultDecision& fate, int request_id, int attempt,
-                    double duplicate_transit_ms = 0.0);
+                    double duplicate_transit_ms = 0.0,
+                    double queue_wait_ms = 0.0, int chunk_index = -1,
+                    int chunk_count = 0, bool is_resend = false);
 
 /// A half-duplex request/response channel with in-order delivery and at
 /// most `capacity` requests in flight (the transmission-module thread of

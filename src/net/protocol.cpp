@@ -8,6 +8,8 @@ namespace edgeis::net {
 namespace {
 constexpr std::uint32_t kKeyframeMagic = 0xED9E15F1u;
 constexpr std::uint32_t kMaskResultMagic = 0xED9E15F2u;
+constexpr std::uint32_t kMaskChunkMagic = 0xED9E15F3u;
+constexpr std::uint32_t kResendMagic = 0xED9E15F4u;
 }  // namespace
 
 std::vector<std::uint8_t> serialize(const KeyframeMessage& msg) {
@@ -115,6 +117,144 @@ MaskResultMessage parse_mask_result(std::span<const std::uint8_t> bytes) {
   return msg;
 }
 
+std::vector<std::uint8_t> serialize(const MaskChunkMessage& msg) {
+  rt::ByteWriter w;
+  w.put<std::uint32_t>(kMaskChunkMagic);
+  w.put<std::int32_t>(msg.frame_index);
+  w.put<std::int32_t>(msg.width);
+  w.put<std::int32_t>(msg.height);
+  w.put<std::uint16_t>(msg.chunk_index);
+  w.put<std::uint16_t>(msg.chunk_count);
+  w.put<std::uint8_t>(msg.instances.empty() ? 0 : 1);
+  if (!msg.instances.empty()) {
+    const auto& inst = msg.instances.front();
+    w.put<std::int32_t>(inst.class_id);
+    w.put<std::int32_t>(inst.instance_id);
+    w.put_vector(inst.xs);
+    w.put_vector(inst.ys);
+  }
+  return w.take();
+}
+
+MaskChunkMessage parse_mask_chunk(std::span<const std::uint8_t> bytes) {
+  rt::ByteReader r(bytes);
+  if (r.get<std::uint32_t>() != kMaskChunkMagic) {
+    throw rt::DeserializeError("bad mask-chunk magic");
+  }
+  MaskChunkMessage msg;
+  msg.frame_index = r.get<std::int32_t>();
+  msg.width = r.get<std::int32_t>();
+  msg.height = r.get<std::int32_t>();
+  msg.chunk_index = r.get<std::uint16_t>();
+  msg.chunk_count = r.get<std::uint16_t>();
+  if (msg.chunk_count == 0 || msg.chunk_index >= msg.chunk_count) {
+    throw rt::DeserializeError("chunk index outside chunk count");
+  }
+  if (r.get<std::uint8_t>() != 0) {
+    MaskResultMessage::Instance inst;
+    inst.class_id = r.get<std::int32_t>();
+    inst.instance_id = r.get<std::int32_t>();
+    inst.xs = r.get_vector<std::uint16_t>();
+    inst.ys = r.get_vector<std::uint16_t>();
+    if (inst.xs.size() != inst.ys.size()) {
+      throw rt::DeserializeError("contour coordinate count mismatch");
+    }
+    msg.instances.push_back(std::move(inst));
+  }
+  return msg;
+}
+
+std::vector<std::uint8_t> serialize(const ResendRequestMessage& msg) {
+  rt::ByteWriter w;
+  w.put<std::uint32_t>(kResendMagic);
+  w.put<std::int32_t>(msg.frame_index);
+  w.put_vector(msg.chunk_indices);
+  return w.take();
+}
+
+ResendRequestMessage parse_resend_request(
+    std::span<const std::uint8_t> bytes) {
+  rt::ByteReader r(bytes);
+  if (r.get<std::uint32_t>() != kResendMagic) {
+    throw rt::DeserializeError("bad resend-request magic");
+  }
+  ResendRequestMessage msg;
+  msg.frame_index = r.get<std::int32_t>();
+  msg.chunk_indices = r.get_vector<std::int32_t>();
+  return msg;
+}
+
+std::vector<MaskChunkMessage> chunk_mask_result(const MaskResultMessage& msg) {
+  std::vector<MaskChunkMessage> chunks;
+  const std::size_t n = std::max<std::size_t>(msg.instances.size(), 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    MaskChunkMessage c;
+    c.frame_index = msg.frame_index;
+    c.width = msg.width;
+    c.height = msg.height;
+    c.chunk_index = static_cast<std::uint16_t>(i);
+    c.chunk_count = static_cast<std::uint16_t>(n);
+    if (i < msg.instances.size()) c.instances.push_back(msg.instances[i]);
+    chunks.push_back(std::move(c));
+  }
+  return chunks;
+}
+
+ChunkAssembler::Accept ChunkAssembler::accept(const MaskChunkMessage& chunk) {
+  if (chunk.chunk_count == 0 || chunk.chunk_index >= chunk.chunk_count) {
+    return Accept::kMismatch;
+  }
+  if (chunk_count_ == 0) {
+    frame_index_ = chunk.frame_index;
+    width_ = chunk.width;
+    height_ = chunk.height;
+    chunk_count_ = chunk.chunk_count;
+    chunks_.resize(static_cast<std::size_t>(chunk_count_));
+    have_.assign(static_cast<std::size_t>(chunk_count_), false);
+  } else if (chunk.frame_index != frame_index_ ||
+             chunk.chunk_count != chunk_count_) {
+    return Accept::kMismatch;
+  }
+  const auto idx = static_cast<std::size_t>(chunk.chunk_index);
+  if (have_[idx]) return Accept::kDuplicate;
+  chunks_[idx] = chunk;
+  have_[idx] = true;
+  ++received_;
+  return Accept::kApplied;
+}
+
+std::vector<int> ChunkAssembler::missing_chunks() const {
+  std::vector<int> missing;
+  for (std::size_t i = 0; i < have_.size(); ++i) {
+    if (!have_[i]) missing.push_back(static_cast<int>(i));
+  }
+  return missing;
+}
+
+std::vector<int> ChunkAssembler::arrived_instances() const {
+  std::vector<int> ids;
+  for (std::size_t i = 0; i < have_.size(); ++i) {
+    if (have_[i] && !chunks_[i].instances.empty()) {
+      ids.push_back(chunks_[i].instances.front().instance_id);
+    }
+  }
+  return ids;
+}
+
+MaskResultMessage ChunkAssembler::result() const {
+  MaskResultMessage msg;
+  msg.frame_index = frame_index_;
+  msg.width = width_;
+  msg.height = height_;
+  for (std::size_t i = 0; i < have_.size(); ++i) {
+    if (!have_[i]) continue;
+    for (const auto& inst : chunks_[i].instances) {
+      msg.instances.push_back(inst);
+    }
+  }
+  return msg;
+}
+
 KeyframeMessage build_keyframe_message(
     const enc::EncodedFrame& encoded,
     const std::vector<KeyframeMessage::Prior>& priors,
@@ -190,6 +330,14 @@ std::size_t wire_bytes(const KeyframeMessage& msg) {
 }
 
 std::size_t wire_bytes(const MaskResultMessage& msg) {
+  return serialize(msg).size();
+}
+
+std::size_t wire_bytes(const MaskChunkMessage& msg) {
+  return serialize(msg).size();
+}
+
+std::size_t wire_bytes(const ResendRequestMessage& msg) {
   return serialize(msg).size();
 }
 

@@ -53,6 +53,71 @@ struct MaskResultMessage {
   std::vector<Instance> instances;
 };
 
+/// Downlink, streamed: one chunk per finished instance, emitted by the
+/// edge in head/mask-head completion order so the mobile side can render
+/// whatever arrived by the frame deadline instead of stalling on the full
+/// response. `chunk_count` is echoed on every chunk; a response with no
+/// instances is a single instance-less chunk (the terminal frame header
+/// the ledger still needs to complete the request).
+struct MaskChunkMessage {
+  std::int32_t frame_index = 0;
+  std::int32_t width = 0;
+  std::int32_t height = 0;
+  std::uint16_t chunk_index = 0;  // 0-based position in the stream
+  std::uint16_t chunk_count = 1;  // total chunks of this response
+  // Zero (empty response) or one instance; never more.
+  std::vector<MaskResultMessage::Instance> instances;
+};
+
+/// Uplink, retransmission: after a partial response, request only the
+/// chunks that never arrived — strictly smaller than re-uploading the
+/// keyframe and strictly smaller to answer than the full response. The
+/// missing set is named by chunk index (echoed `chunk_count` tells the
+/// receiver how many exist): the receiver cannot know the *instance ids*
+/// of chunks it never saw.
+struct ResendRequestMessage {
+  std::int32_t frame_index = 0;
+  std::vector<std::int32_t> chunk_indices;  // missing chunks
+};
+
+/// Split a full result into per-instance chunks (at least one, even when
+/// the result is empty).
+std::vector<MaskChunkMessage> chunk_mask_result(const MaskResultMessage& msg);
+
+/// Reassembles streamed chunks on the mobile side. Chunks may arrive in
+/// any order; duplicates are detected and ignored (idempotent accept).
+class ChunkAssembler {
+ public:
+  enum class Accept { kApplied, kDuplicate, kMismatch };
+
+  /// Feed one chunk. kMismatch means the chunk belongs to a different
+  /// frame or disagrees on the chunk count — the caller's routing bug or
+  /// a stale stream, never silently merged.
+  Accept accept(const MaskChunkMessage& chunk);
+
+  [[nodiscard]] bool started() const { return chunk_count_ > 0; }
+  [[nodiscard]] bool complete() const {
+    return chunk_count_ > 0 && received_ == chunk_count_;
+  }
+  [[nodiscard]] int received() const { return received_; }
+  [[nodiscard]] int expected() const { return chunk_count_; }
+  /// Chunk indices not yet received (empty when complete or not started).
+  [[nodiscard]] std::vector<int> missing_chunks() const;
+  /// Instance ids of the chunks received so far, in chunk order.
+  [[nodiscard]] std::vector<int> arrived_instances() const;
+  /// Reassembled response (whatever arrived, in chunk order).
+  [[nodiscard]] MaskResultMessage result() const;
+
+ private:
+  std::int32_t frame_index_ = 0;
+  std::int32_t width_ = 0;
+  std::int32_t height_ = 0;
+  int chunk_count_ = 0;  // 0 until the first chunk arrives
+  int received_ = 0;
+  std::vector<MaskChunkMessage> chunks_;  // indexed by chunk_index
+  std::vector<bool> have_;
+};
+
 /// Serialize / parse. Parsing throws rt::DeserializeError on malformed
 /// input (truncated or corrupt messages).
 std::vector<std::uint8_t> serialize(const KeyframeMessage& msg);
@@ -60,6 +125,12 @@ KeyframeMessage parse_keyframe(std::span<const std::uint8_t> bytes);
 
 std::vector<std::uint8_t> serialize(const MaskResultMessage& msg);
 MaskResultMessage parse_mask_result(std::span<const std::uint8_t> bytes);
+
+std::vector<std::uint8_t> serialize(const MaskChunkMessage& msg);
+MaskChunkMessage parse_mask_chunk(std::span<const std::uint8_t> bytes);
+
+std::vector<std::uint8_t> serialize(const ResendRequestMessage& msg);
+ResendRequestMessage parse_resend_request(std::span<const std::uint8_t> bytes);
 
 /// Build the uplink message for an encoded frame + CIIA priors.
 KeyframeMessage build_keyframe_message(
@@ -82,5 +153,7 @@ std::vector<mask::InstanceMask> reconstruct_masks(
 /// plus, for keyframes, the tile bitstream bytes).
 std::size_t wire_bytes(const KeyframeMessage& msg);
 std::size_t wire_bytes(const MaskResultMessage& msg);
+std::size_t wire_bytes(const MaskChunkMessage& msg);
+std::size_t wire_bytes(const ResendRequestMessage& msg);
 
 }  // namespace edgeis::net

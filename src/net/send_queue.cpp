@@ -1,0 +1,68 @@
+#include "net/send_queue.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace edgeis::net {
+
+SendOutcome SendQueue::enqueue(double now_ms, std::size_t bytes,
+                               FaultInjector& faults) {
+  // Callers advance monotonically; anything delivered by now is no longer
+  // in flight and need not be tracked.
+  std::erase_if(deliveries_, [now_ms](double d) { return d <= now_ms; });
+
+  SendOutcome out;
+  SendSlot& slot = out.slot;
+  slot.enter_ms = std::max(now_ms, busy_until_ms_);
+  slot.queue_wait_ms = slot.enter_ms - now_ms;
+  slot.serialize_ms = static_cast<double>(bytes) * 8.0 /
+                      (link_.bandwidth_mbps * 1000.0);
+  // Same shape as transmit_ms(): serialization + propagation + half-normal
+  // jitter, with a congestion-probability tail.
+  double propagation = link_.base_latency_ms +
+                       std::abs(rng_.normal(0.0, link_.jitter_ms));
+  if (rng_.chance(link_.congestion_probability)) {
+    propagation += rng_.uniform(0.5, 1.5) * link_.congestion_penalty_ms;
+  }
+  slot.transit_ms = slot.serialize_ms + propagation;
+
+  out.fate = faults.on_message(slot.enter_ms);
+  // A bandwidth collapse stretches the time the message spends on the
+  // wire, which keeps the serializer occupied for the stretched extent:
+  // everything queued behind it inherits the delay.
+  busy_until_ms_ =
+      slot.enter_ms + slot.serialize_ms * out.fate.latency_scale;
+  ++messages_;
+  bytes_ += bytes;
+
+  out.deliver_ms = slot.enter_ms + slot.transit_ms * out.fate.latency_scale +
+                   out.fate.extra_delay_ms;
+  if (!out.fate.drop && out.fate.duplicate) {
+    // The duplicate is its own transmission: independent propagation
+    // sample, no inherited reorder delay (the copies must not arrive in
+    // lockstep). It does not re-occupy our serializer — duplication is
+    // injected below the queue, at the link layer.
+    double dup_prop = link_.base_latency_ms +
+                      std::abs(rng_.normal(0.0, link_.jitter_ms));
+    if (rng_.chance(link_.congestion_probability)) {
+      dup_prop += rng_.uniform(0.5, 1.5) * link_.congestion_penalty_ms;
+    }
+    out.duplicate_transit_ms = slot.serialize_ms + dup_prop;
+    out.duplicate_deliver_ms =
+        slot.enter_ms + out.duplicate_transit_ms * out.fate.latency_scale +
+        out.fate.duplicate_delay_ms;
+    deliveries_.push_back(out.duplicate_deliver_ms);
+  }
+  deliveries_.push_back(out.deliver_ms);
+  return out;
+}
+
+int SendQueue::in_flight(double now_ms) const {
+  int n = 0;
+  for (double d : deliveries_) {
+    if (d > now_ms) ++n;
+  }
+  return n;
+}
+
+}  // namespace edgeis::net

@@ -148,6 +148,11 @@ struct LinkHealthStats {
   // attempt arrived after a later attempt was already on the wire (the
   // deadline fired on a slow response, not a lost one).
   int spurious_retransmissions = 0;
+  // Streamed (full-duplex) responses: per-instance chunk accounting.
+  int chunks_received = 0;      // distinct chunks matched to a ledger entry
+  int duplicate_chunks = 0;     // chunk re-deliveries ignored (idempotent)
+  int partial_applies = 0;      // chunks applied before their set completed
+  int resend_requests = 0;      // missing-chunk-set retransmissions sent
   // Adaptive RTO (net/rto.hpp) — gauges read at the end of the run.
   double srtt_ms = 0.0;
   double rttvar_ms = 0.0;

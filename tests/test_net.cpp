@@ -204,3 +204,205 @@ TEST(Protocol, BuildFromEncodedFrame) {
   // Header overhead is small relative to the tile payload.
   EXPECT_LT(serialize(msg).size(), encoded.total_bytes);
 }
+
+// ---- Streamed per-instance chunk framing. ----------------------------------
+
+namespace {
+
+/// Two well-separated rectangles -> a two-instance result message.
+MaskResultMessage two_instance_result() {
+  mask::InstanceMask a(320, 240), b(320, 240);
+  for (int y = 20; y < 100; ++y) {
+    for (int x = 30; x < 140; ++x) a.set(x, y);
+  }
+  for (int y = 140; y < 220; ++y) {
+    for (int x = 180; x < 300; ++x) b.set(x, y);
+  }
+  a.class_id = 2;
+  a.instance_id = 5;
+  b.class_id = 6;
+  b.instance_id = 11;
+  return build_mask_result(7, 320, 240, {a, b});
+}
+
+}  // namespace
+
+TEST(Chunks, RoundTripThroughWireReassembles) {
+  const auto msg = two_instance_result();
+  const auto chunks = chunk_mask_result(msg);
+  ASSERT_EQ(chunks.size(), 2u);
+
+  ChunkAssembler asm_;
+  for (const auto& c : chunks) {
+    const auto parsed = parse_mask_chunk(serialize(c));
+    EXPECT_EQ(asm_.accept(parsed), ChunkAssembler::Accept::kApplied);
+  }
+  ASSERT_TRUE(asm_.complete());
+  const auto rebuilt = asm_.result();
+  EXPECT_EQ(rebuilt.frame_index, 7);
+  ASSERT_EQ(rebuilt.instances.size(), 2u);
+  EXPECT_EQ(rebuilt.instances[0].instance_id, 5);
+  EXPECT_EQ(rebuilt.instances[1].instance_id, 11);
+  // The reassembled message rasterizes exactly like the monolithic one.
+  const auto masks = reconstruct_masks(rebuilt);
+  const auto direct = reconstruct_masks(msg);
+  ASSERT_EQ(masks.size(), direct.size());
+  for (std::size_t i = 0; i < masks.size(); ++i) {
+    EXPECT_GT(masks[i].iou(direct[i]), 0.999);
+  }
+}
+
+TEST(Chunks, OutOfOrderArrivalReassemblesInStreamOrder) {
+  auto chunks = chunk_mask_result(two_instance_result());
+  ASSERT_EQ(chunks.size(), 2u);
+  ChunkAssembler asm_;
+  EXPECT_EQ(asm_.accept(chunks[1]), ChunkAssembler::Accept::kApplied);
+  EXPECT_FALSE(asm_.complete());
+  EXPECT_EQ(asm_.missing_chunks(), std::vector<int>{0});
+  EXPECT_EQ(asm_.accept(chunks[0]), ChunkAssembler::Accept::kApplied);
+  ASSERT_TRUE(asm_.complete());
+  // Stream (chunk-index) order, regardless of arrival order.
+  EXPECT_EQ(asm_.arrived_instances(), (std::vector<int>{5, 11}));
+}
+
+TEST(Chunks, DuplicateChunkIsIdempotent) {
+  const auto chunks = chunk_mask_result(two_instance_result());
+  ChunkAssembler asm_;
+  EXPECT_EQ(asm_.accept(chunks[0]), ChunkAssembler::Accept::kApplied);
+  EXPECT_EQ(asm_.accept(chunks[0]), ChunkAssembler::Accept::kDuplicate);
+  EXPECT_EQ(asm_.received(), 1);
+  EXPECT_EQ(asm_.accept(chunks[1]), ChunkAssembler::Accept::kApplied);
+  EXPECT_TRUE(asm_.complete());
+  EXPECT_EQ(asm_.result().instances.size(), 2u);
+}
+
+TEST(Chunks, ForeignFrameOrCountMismatchRejected) {
+  const auto chunks = chunk_mask_result(two_instance_result());
+  ChunkAssembler asm_;
+  ASSERT_EQ(asm_.accept(chunks[0]), ChunkAssembler::Accept::kApplied);
+  auto foreign = chunks[1];
+  foreign.frame_index = 99;
+  EXPECT_EQ(asm_.accept(foreign), ChunkAssembler::Accept::kMismatch);
+  auto wrong_count = chunks[1];
+  wrong_count.chunk_count = 5;
+  EXPECT_EQ(asm_.accept(wrong_count), ChunkAssembler::Accept::kMismatch);
+  EXPECT_EQ(asm_.received(), 1);
+}
+
+TEST(Chunks, EmptyResultIsOneTerminalChunk) {
+  MaskResultMessage empty;
+  empty.frame_index = 3;
+  empty.width = 320;
+  empty.height = 240;
+  const auto chunks = chunk_mask_result(empty);
+  ASSERT_EQ(chunks.size(), 1u);
+  EXPECT_TRUE(chunks[0].instances.empty());
+  ChunkAssembler asm_;
+  EXPECT_EQ(asm_.accept(chunks[0]), ChunkAssembler::Accept::kApplied);
+  EXPECT_TRUE(asm_.complete());
+  EXPECT_TRUE(asm_.result().instances.empty());
+}
+
+TEST(Chunks, ResendRequestRoundTripAndSize) {
+  ResendRequestMessage req;
+  req.frame_index = 12;
+  req.chunk_indices = {0, 3, 4};
+  const auto parsed = parse_resend_request(serialize(req));
+  EXPECT_EQ(parsed.frame_index, 12);
+  EXPECT_EQ(parsed.chunk_indices, req.chunk_indices);
+  // The whole point of resend-by-chunk-index: the request is tiny
+  // compared to re-uploading a keyframe or re-sending the response.
+  KeyframeMessage kf;
+  kf.tile_payload_bytes = 5000;
+  EXPECT_LT(wire_bytes(req), wire_bytes(kf) / 10);
+  EXPECT_THROW(parse_mask_chunk(serialize(req)), rt::DeserializeError);
+}
+
+TEST(Chunks, PerChunkFramingCarriesHeaderOverhead) {
+  const auto msg = two_instance_result();
+  const auto chunks = chunk_mask_result(msg);
+  std::size_t chunked = 0;
+  for (const auto& c : chunks) chunked += wire_bytes(c);
+  // Streaming repeats the frame header per chunk; the sum must cover the
+  // monolithic encoding but only by a small framing overhead.
+  EXPECT_GT(chunked, wire_bytes(msg));
+  EXPECT_LT(chunked, wire_bytes(msg) + chunks.size() * 64);
+}
+
+// ---- Full-duplex send queue. ------------------------------------------------
+
+#include "net/send_queue.hpp"
+
+#include "runtime/rng.hpp"
+
+TEST(SendQueue, IdleQueueSendsImmediately) {
+  SendQueue q(wifi_5ghz(), rt::Rng(1));
+  const auto out = q.enqueue(100.0, 20000);
+  EXPECT_DOUBLE_EQ(out.slot.enter_ms, 100.0);
+  EXPECT_DOUBLE_EQ(out.slot.queue_wait_ms, 0.0);
+  EXPECT_GT(out.slot.serialize_ms, 0.0);
+  EXPECT_GE(out.slot.transit_ms, out.slot.serialize_ms);
+  EXPECT_DOUBLE_EQ(out.deliver_ms, 100.0 + out.slot.transit_ms);
+}
+
+TEST(SendQueue, SerializerIsHeadOfLineButFlightOverlaps) {
+  SendQueue q(wifi_24ghz(), rt::Rng(2));
+  const auto first = q.enqueue(0.0, 200000);
+  const auto second = q.enqueue(0.0, 200000);
+  // The serializer is a single resource: the second message waits out the
+  // first's bytes-on-wire time, then takes its own propagation sample.
+  EXPECT_DOUBLE_EQ(second.slot.enter_ms, first.slot.serialize_ms);
+  EXPECT_DOUBLE_EQ(second.slot.queue_wait_ms, first.slot.serialize_ms);
+  EXPECT_GT(second.deliver_ms, first.deliver_ms);
+  // Both messages are in flight at once — that is the full-duplex point.
+  EXPECT_EQ(q.in_flight(first.slot.enter_ms + 0.01), 2);
+  EXPECT_EQ(q.in_flight(second.deliver_ms), 0);
+  EXPECT_EQ(q.messages_sent(), 2u);
+  EXPECT_EQ(q.bytes_sent(), 400000u);
+}
+
+TEST(SendQueue, LaterArrivalFindsFreeSerializer) {
+  SendQueue q(wifi_5ghz(), rt::Rng(3));
+  const auto first = q.enqueue(0.0, 50000);
+  const auto second = q.enqueue(first.slot.serialize_ms + 5.0, 50000);
+  EXPECT_DOUBLE_EQ(second.slot.queue_wait_ms, 0.0);
+  EXPECT_DOUBLE_EQ(second.slot.enter_ms, first.slot.serialize_ms + 5.0);
+}
+
+TEST(SendQueue, DroppedMessageStillOccupiesSerializer) {
+  FaultInjector drop_all(
+      FaultScript().add({0.0, 1e18, FaultMode::kDrop, 1.0, 0.0}),
+      rt::Rng(4));
+  SendQueue q(wifi_24ghz(), rt::Rng(5));
+  const auto first = q.enqueue(0.0, 200000, drop_all);
+  EXPECT_TRUE(first.fate.drop);
+  // The radio spent the air time before the loss: the next message still
+  // queues behind the corpse.
+  const auto second = q.enqueue(0.0, 200000, drop_all);
+  EXPECT_DOUBLE_EQ(second.slot.queue_wait_ms, first.slot.serialize_ms);
+}
+
+TEST(SendQueue, ThrottleStretchesOccupancyForFollowers) {
+  FaultInjector slow(FaultScript::throttle(0.0, 1e18, 4.0), rt::Rng(6));
+  SendQueue clean_q(wifi_24ghz(), rt::Rng(7));
+  SendQueue slow_q(wifi_24ghz(), rt::Rng(7));
+  const auto clean = clean_q.enqueue(0.0, 100000);
+  (void)slow_q.enqueue(0.0, 100000, slow);
+  FaultInjector none;
+  const auto behind = slow_q.enqueue(0.0, 100000, none);
+  // Collapsed bandwidth stretches the first message's serializer
+  // occupancy 4x; whatever queues behind waits the stretched time.
+  EXPECT_DOUBLE_EQ(behind.slot.queue_wait_ms, 4.0 * clean.slot.serialize_ms);
+}
+
+TEST(SendQueue, DuplicateCopyPropagatesIndependently) {
+  FaultInjector dup(
+      FaultScript().add({0.0, 1e18, FaultMode::kDuplicate, 1.0, 0.0}),
+      rt::Rng(8));
+  SendQueue q(wifi_5ghz(), rt::Rng(9));
+  const auto out = q.enqueue(0.0, 30000, dup);
+  ASSERT_TRUE(out.fate.duplicate);
+  EXPECT_GT(out.duplicate_deliver_ms, out.deliver_ms);
+  EXPECT_GT(out.duplicate_transit_ms, 0.0);
+  EXPECT_EQ(q.in_flight(out.deliver_ms - 0.01), 2);
+}

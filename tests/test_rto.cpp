@@ -216,8 +216,12 @@ TEST(RtoIntegration, FaultFreeRunByteIdenticalToFixedTimeout) {
   EXPECT_EQ(ha.mask_staleness_ms.samples(), hf.mask_staleness_ms.samples());
   EXPECT_DOUBLE_EQ(ra.summary.mean_iou, rf.summary.mean_iou);
   EXPECT_EQ(ra.total_tx_bytes, rf.total_tx_bytes);
-  // The estimator did its job silently: every response was sampled.
-  EXPECT_EQ(ha.rtt_samples, ha.responses_received);
+  // The estimator did its job silently: every streamed chunk of every
+  // clean first attempt is an independent RTT observation, so the
+  // sample count tracks chunks (several per response), not responses.
+  EXPECT_EQ(ha.chunks_received, hf.chunks_received);
+  EXPECT_EQ(ha.rtt_samples, ha.chunks_received);
+  EXPECT_GT(ha.chunks_received, ha.responses_received);
   EXPECT_GT(ha.rtt_samples, 0);
   EXPECT_EQ(ha.rto_backoffs, 0);
 }
@@ -257,9 +261,9 @@ TEST(RtoIntegration, InflatesThroughThrottleWithoutSpuriousRetransmits) {
   EXPECT_GT(ht.srtt_ms + 4.0 * ht.rttvar_ms, hc.srtt_ms + 4.0 * hc.rttvar_ms);
 }
 
-// Karn's rule: responses matched to a retransmitted request are never
+// Karn's rule: deliveries matched to a retransmitted request are never
 // sampled — under heavy loss the sample count falls strictly behind the
-// response count while retransmissions are happening.
+// matched-delivery count while retransmissions are happening.
 TEST(RtoIntegration, KarnRuleSkipsRetransmittedSamples) {
   const auto scfg = rto_scene(150);
   scene::SceneSimulator sim(scfg);
@@ -273,7 +277,10 @@ TEST(RtoIntegration, KarnRuleSkipsRetransmittedSamples) {
   EXPECT_GT(h.retransmissions, 0);
   EXPECT_GT(h.responses_received, 0);
   EXPECT_GT(h.rtt_samples, 0);
-  EXPECT_LE(h.rtt_samples, h.responses_received);
+  // Only attempt-0, non-resent deliveries (chunks or ping echoes) are
+  // sampled; everything arriving on a retried request is Karn-filtered.
+  EXPECT_LT(h.rtt_samples, h.chunks_received + h.responses_received);
+  EXPECT_GT(h.resend_requests, 0);
   EXPECT_GT(h.rto_backoffs, 0);
 }
 
