@@ -3,6 +3,9 @@
 // anchor generator. These ground the mobile cost model's constants.
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <vector>
+
 #include "features/matcher.hpp"
 #include "features/orb.hpp"
 #include "mask/mask.hpp"
@@ -118,4 +121,25 @@ static void BM_SceneRender(benchmark::State& state) {
 }
 BENCHMARK(BM_SceneRender)->Unit(benchmark::kMillisecond);
 
-BENCHMARK_MAIN();
+// Like BENCHMARK_MAIN(), but defaulting to a JSON dump beside the
+// console output (nightly CI uploads it as a tracked artifact). Any
+// explicit --benchmark_out on the command line wins.
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--benchmark_out", 15) == 0) has_out = true;
+  }
+  static char default_out[] = "--benchmark_out=BENCH_micro_kernels.json";
+  static char default_fmt[] = "--benchmark_out_format=json";
+  if (!has_out) {
+    args.push_back(default_out);
+    args.push_back(default_fmt);
+  }
+  int n = static_cast<int>(args.size());
+  benchmark::Initialize(&n, args.data());
+  if (benchmark::ReportUnrecognizedArguments(n, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

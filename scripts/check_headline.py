@@ -36,6 +36,15 @@ TOLERANCES = {
     "partial_applies": (4, 0.25),
     "resend_req": (1, 0.25),
     "dup_chunks": (1, 0.25),
+    # Fleet scaling (bench/fleet_scaling): pooled tail latency, shared-GPU
+    # admission/batching accounting.
+    "p50_ms": (15, 0.20),
+    "p99_ms": (50, 0.25),
+    "stale_rate": (0.05, 0.50),
+    "rejects": (8, 0.40),
+    "batches": (10, 0.30),
+    "mean_batch": (0.5, 0.30),
+    "degraded": (2, 0.50),
 }
 
 

@@ -36,12 +36,66 @@ void EdgeServer::submit_streamed(int frame_index, double sent_ms,
                       attempt, out.duplicate_transit_ms,
                       out.slot.queue_wait_ms);
   if (out.fate.drop) return;
+  if (gpu_ != nullptr) {
+    enqueue_gpu(frame_index, out.deliver_ms, request, attempt);
+    if (out.fate.duplicate) {
+      enqueue_gpu(frame_index, out.duplicate_deliver_ms, request, attempt);
+    }
+    return;
+  }
   run_inference(frame_index, out.deliver_ms, request, attempt,
                 /*streamed=*/true);
   if (out.fate.duplicate) {
     run_inference(frame_index, out.duplicate_deliver_ms, request, attempt,
                   /*streamed=*/true);
   }
+}
+
+void EdgeServer::attach_gpu(EdgeGpu* gpu) {
+  gpu_ = gpu;
+  session_id_ = gpu != nullptr ? gpu->register_session(this) : -1;
+}
+
+void EdgeServer::enqueue_gpu(int frame_index, double arrive_ms,
+                             const segnet::InferenceRequest& request,
+                             int attempt) {
+  if (tracer_ != nullptr) {
+    tracer_->instant(rt::track::kEdge, "decode", arrive_ms,
+                     {{"frame", frame_index}, {"attempt", attempt}});
+  }
+  if (gpu_->saturated()) {
+    // The gate sits in front of the model: a rejected request draws no
+    // RNG, runs no inference and occupies no GPU time, so admission
+    // pressure from one client cannot perturb another's result stream.
+    gpu_->record_reject();
+    if (tracer_ != nullptr) {
+      tracer_->instant(rt::track::kEdge, "admission_reject", arrive_ms,
+                       {{"frame", frame_index},
+                        {"attempt", attempt},
+                        {"queued", gpu_->queued()}});
+    }
+    Response r;
+    r.frame_index = frame_index;
+    r.attempt = attempt;
+    r.rejected = true;
+    // Gate check + tiny reject frame: no inference queue involved.
+    r.ready_ms = arrive_ms + 0.3;
+    r.payload_bytes = 32;
+    completed_.push_back(std::move(r));
+    return;
+  }
+  EdgeGpu::Pending item;
+  item.frame_index = frame_index;
+  item.attempt = attempt;
+  item.arrive_ms = arrive_ms;
+  item.width = request.width;
+  item.height = request.height;
+  // Evaluate the model at admission: each session's RNG stream sees its
+  // requests in submission order no matter how the shared GPU later
+  // interleaves the batches. Only *timing* is deferred to dispatch —
+  // the property the fleet-of-one equivalence test pins.
+  item.result = model_.infer(request);
+  gpu_->admit(session_id_, std::move(item));
 }
 
 bool EdgeServer::submit_resend(int frame_index, double sent_ms,
@@ -169,23 +223,32 @@ void EdgeServer::run_inference(int frame_index, double arrive_ms,
     return;
   }
 
-  // Streamed: frame the result as per-instance protocol chunks (wire
-  // sizes come from actually serializing each chunk message) and emit
-  // each chunk as its mask leaves the mask head — the first-stage work
-  // (backbone + RPN + box head) completes before any mask exists, then
-  // the mask head finishes instances one by one.
+  // Streamed: the first-stage work (backbone + RPN + box head) completes
+  // before any mask exists, then the mask head finishes instances one by
+  // one starting at start + first_stage.
+  const double first_stage_ms =
+      (result.stats.backbone_ms + result.stats.rpn_ms +
+       result.stats.head_ms) * device_.model_compute_scale;
+  emit_streamed_chunks(frame_index, attempt, request.width, request.height,
+                       std::move(result), start + first_stage_ms);
+}
+
+void EdgeServer::emit_streamed_chunks(int frame_index, int attempt,
+                                      int width, int height,
+                                      segnet::InferenceResult&& result,
+                                      double mask_base_ms) {
+  // Frame the result as per-instance protocol chunks (wire sizes come
+  // from actually serializing each chunk message) and emit each chunk as
+  // its mask leaves the mask head.
   std::vector<mask::InstanceMask> masks;
   masks.reserve(result.instances.size());
   for (auto& inst : result.instances) {
     masks.push_back(std::move(inst.mask));
   }
-  const auto chunks = net::chunk_mask_result(net::build_mask_result(
-      frame_index, request.width, request.height, masks));
-  const double scale = device_.model_compute_scale;
-  const double first_stage_ms =
-      (result.stats.backbone_ms + result.stats.rpn_ms +
-       result.stats.head_ms) * scale;
-  const double mask_head_ms = result.stats.mask_head_ms * scale;
+  const auto chunks = net::chunk_mask_result(
+      net::build_mask_result(frame_index, width, height, masks));
+  const double mask_head_ms =
+      result.stats.mask_head_ms * device_.model_compute_scale;
   const auto n = static_cast<double>(chunks.size());
 
   CachedResult cache;
@@ -195,8 +258,8 @@ void EdgeServer::run_inference(int frame_index, double arrive_ms,
     const auto& chunk = chunks[i];
     Response r;
     r.frame_index = frame_index;
-    r.ready_ms = start + first_stage_ms +
-                 mask_head_ms * (static_cast<double>(i) + 1.0) / n;
+    r.ready_ms =
+        mask_base_ms + mask_head_ms * (static_cast<double>(i) + 1.0) / n;
     r.attempt = attempt;
     r.stats = result.stats;
     r.chunk_index = static_cast<int>(i);
@@ -231,6 +294,141 @@ void EdgeServer::run_inference(int frame_index, double arrive_ms,
   result_cache_[frame_index] = std::move(cache);
 }
 
+void EdgeServer::emit_batched(int frame_index, int attempt, int width,
+                              int height, segnet::InferenceResult&& result,
+                              double arrive_ms, double start_ms,
+                              double mask_base_ms, int batch_index,
+                              int batch_size) {
+  if (tracer_ != nullptr) {
+    // Per-element spans are X events: batch elements overlap by
+    // construction (one fused first stage, back-to-back mask windows).
+    if (start_ms > arrive_ms) {
+      tracer_->complete(rt::track::kEdge, "queue_wait", arrive_ms,
+                        start_ms - arrive_ms, {{"frame", frame_index}});
+    }
+    const double mask_end_ms =
+        mask_base_ms + result.stats.mask_head_ms * device_.model_compute_scale;
+    tracer_->complete(rt::track::kEdge, "infer", start_ms,
+                      mask_end_ms - start_ms,
+                      {{"frame", frame_index},
+                       {"attempt", attempt},
+                       {"instances", result.instances.size()},
+                       {"batch", batch_size},
+                       {"batch_index", batch_index}});
+  }
+  emit_streamed_chunks(frame_index, attempt, width, height,
+                       std::move(result), mask_base_ms);
+}
+
+int EdgeGpu::register_session(EdgeServer* server) {
+  sessions_.push_back({server, {}});
+  return static_cast<int>(sessions_.size()) - 1;
+}
+
+void EdgeGpu::admit(int session, Pending&& item) {
+  sessions_[static_cast<std::size_t>(session)].queue.push_back(
+      std::move(item));
+  ++queued_;
+}
+
+void EdgeGpu::advance_to(double now_ms) {
+  for (;;) {
+    // Earliest dispatchable instant: the GPU is free AND at least one
+    // session head has arrived.
+    double min_arrive = 0.0;
+    bool any = false;
+    for (const auto& s : sessions_) {
+      if (s.queue.empty()) continue;
+      const double a = s.queue.front().arrive_ms;
+      if (!any || a < min_arrive) {
+        min_arrive = a;
+        any = true;
+      }
+    }
+    if (!any) return;
+    const double start = std::max(free_at_ms_, min_arrive);
+    if (start > now_ms) return;
+
+    // Collect the batch round-robin from a rotating origin: at most one
+    // request per session per pass, so under saturation every client's
+    // head-of-line request is served before any client's second.
+    std::vector<std::pair<std::size_t, Pending>> batch;
+    const std::size_t n = sessions_.size();
+    for (std::size_t k = 0;
+         k < n && static_cast<int>(batch.size()) < config_.max_batch; ++k) {
+      const std::size_t s = (rr_start_ + k) % n;
+      auto& q = sessions_[s].queue;
+      if (q.empty() || q.front().arrive_ms > start) continue;
+      batch.emplace_back(s, std::move(q.front()));
+      q.pop_front();
+      --queued_;
+    }
+    rr_start_ = (rr_start_ + 1) % n;
+    // Non-empty by construction: the session owning min_arrive qualifies.
+    const int size = static_cast<int>(batch.size());
+    ++stats_.batches;
+    stats_.batched_requests += size;
+    stats_.max_batch = std::max(stats_.max_batch, size);
+
+    if (size == 1) {
+      auto& [sid, item] = batch.front();
+      EdgeServer* server = sessions_[sid].server;
+      const double scale = server->device_.model_compute_scale;
+      const auto& st = item.result.stats;
+      const double compute_ms = st.total_ms() * scale;
+      const double first_stage_ms =
+          (st.backbone_ms + st.rpn_ms + st.head_ms) * scale;
+      server->emit_batched(item.frame_index, item.attempt, item.width,
+                           item.height, std::move(item.result),
+                           item.arrive_ms, start, start + first_stage_ms,
+                           /*batch_index=*/0, /*batch_size=*/1);
+      // Occupancy uses the exact single-server formula (start + total *
+      // scale), NOT first-stage-plus-mask-window arithmetic: a fleet of
+      // one must be bit-identical to the private-FIFO path, and the two
+      // expressions differ in floating point. test_fleet pins this.
+      free_at_ms_ = start + compute_ms;
+      stats_.busy_ms += compute_ms;
+      continue;
+    }
+
+    // Fused pass: full first stage for the lead element, marginal cost
+    // for each rider, then the mask heads run back-to-back in batch
+    // order. Each element's chunks stream out of its own mask window.
+    double fs_end = start;
+    std::vector<double> mask_ms(batch.size());
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      const auto& [sid, item] = batch[i];
+      const double scale =
+          sessions_[sid].server->device_.model_compute_scale;
+      const auto& st = item.result.stats;
+      const double fs = (st.backbone_ms + st.rpn_ms + st.head_ms) * scale;
+      fs_end += i == 0 ? fs : fs * config_.batch_first_stage_marginal;
+      mask_ms[i] = st.mask_head_ms * scale;
+    }
+    double batch_end = fs_end;
+    for (double m : mask_ms) batch_end += m;
+
+    rt::Tracer* tracer = sessions_[batch.front().first].server->tracer_;
+    if (tracer != nullptr) {
+      tracer->complete(rt::track::kEdge, "batch", start, batch_end - start,
+                       {{"size", size}, {"queued", queued_}});
+    }
+
+    double mask_base = fs_end;
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      auto& [sid, item] = batch[i];
+      EdgeServer* server = sessions_[sid].server;
+      server->emit_batched(item.frame_index, item.attempt, item.width,
+                           item.height, std::move(item.result),
+                           item.arrive_ms, start, mask_base,
+                           static_cast<int>(i), size);
+      mask_base += mask_ms[i];
+    }
+    free_at_ms_ = batch_end;
+    stats_.busy_ms += batch_end - start;
+  }
+}
+
 void EdgeServer::submit_ping(int ping_id, double sent_ms) {
   const auto out = uplink_queue_.enqueue(sent_ms, 64, uplink_faults_);
   net::trace_transfer(tracer_, /*uplink=*/true, out.slot.enter_ms,
@@ -240,6 +438,10 @@ void EdgeServer::submit_ping(int ping_id, double sent_ms) {
   Response r;
   r.frame_index = ping_id;
   r.is_ping = true;
+  // A shared-GPU server echoes its saturation state: the probe answer is
+  // "alive but busy", which keeps a degraded client parked until the
+  // queue actually drains rather than thrashing the gate.
+  r.rejected = gpu_ != nullptr && gpu_->saturated();
   // Echoed from the network stack: no inference queue involved.
   r.ready_ms = out.deliver_ms + 0.2;
   if (tracer_ != nullptr) {
@@ -251,6 +453,9 @@ void EdgeServer::submit_ping(int ping_id, double sent_ms) {
 }
 
 std::vector<EdgeServer::Response> EdgeServer::poll(double now_ms) {
+  // Dispatch shared-GPU batches first: everything whose batch start has
+  // been reached lands in completed_ before the readiness scan.
+  if (gpu_ != nullptr) gpu_->advance_to(now_ms);
   std::vector<Response> ready;
   auto it = completed_.begin();
   while (it != completed_.end()) {
@@ -275,7 +480,15 @@ int EdgeServer::pending(double now_ms) const {
   for (const auto& r : completed_) {
     if (r.ready_ms > now_ms) ++n;
   }
+  // Requests still queued on the shared GPU have produced no responses
+  // yet but are very much outstanding.
+  if (gpu_ != nullptr) n += gpu_->queued_for(session_id_);
   return n;
+}
+
+double EdgeServer::busy_until_ms() const {
+  return gpu_ != nullptr ? std::max(free_at_ms_, gpu_->free_at_ms())
+                         : free_at_ms_;
 }
 
 std::size_t mask_payload_bytes(const std::vector<mask::InstanceMask>& masks) {

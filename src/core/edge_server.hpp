@@ -11,9 +11,18 @@
 // mobile side can apply whatever arrived by its frame deadline. Completed
 // results are cached so `submit_resend` can re-emit only the chunks a
 // partial receiver is missing, without re-running inference.
+//
+// For multi-client fleets, any number of servers (one per client session:
+// its own ledger state, result cache and fault script) can attach to one
+// shared EdgeGpu. The GPU front-ends the streamed surface with an
+// admission gate (bounded queue, explicit busy responses) and fuses
+// concurrent keyframes into batched CIIA passes, collected round-robin
+// across sessions. A fleet of one is bit-identical to the private path.
 #pragma once
 
+#include <deque>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "mask/mask.hpp"
@@ -25,6 +34,8 @@
 #include "sim/device.hpp"
 
 namespace edgeis::core {
+
+class EdgeGpu;
 
 class EdgeServer {
  public:
@@ -59,6 +70,10 @@ class EdgeServer {
     int chunk_index = 0;
     int chunk_count = 1;
     bool is_resend = false;  // re-emitted from the result cache
+    /// Admission-control pushback from a shared GPU: the request reached
+    /// the server but was refused at the gate (no inference ran). On a
+    /// ping echo this is the saturated flag — "alive but busy".
+    bool rejected = false;
   };
 
   /// Submit a request entering the uplink at `sent_ms` with a nominal
@@ -103,14 +118,24 @@ class EdgeServer {
   /// heads incl. RoI pruning). Non-owning.
   void set_tracer(rt::Tracer* tracer) { tracer_ = tracer; }
 
+  /// Attach this server's streamed surface to a shared multi-client GPU:
+  /// subsequent streamed submissions queue on the GPU (admission gate,
+  /// batched dispatch) instead of the private FIFO. The legacy half-duplex
+  /// `submit` surface is unaffected. Non-owning; attach before the first
+  /// submission. Pass nullptr to detach.
+  void attach_gpu(EdgeGpu* gpu);
+
   /// Pop all responses completed by `now_ms` (server-side; caller adds
-  /// downlink latency), ordered by completion time.
+  /// downlink latency), ordered by completion time. With a shared GPU
+  /// attached this first dispatches every batch whose start time has been
+  /// reached, so chunks ready by `now_ms` are never missed.
   std::vector<Response> poll(double now_ms);
 
-  /// Number of requests not yet completed by `now_ms`.
+  /// Number of requests not yet completed by `now_ms` (including requests
+  /// still queued on an attached shared GPU).
   [[nodiscard]] int pending(double now_ms) const;
 
-  [[nodiscard]] double busy_until_ms() const { return free_at_ms_; }
+  [[nodiscard]] double busy_until_ms() const;
   [[nodiscard]] const segnet::SegmentationModel& model() const {
     return model_;
   }
@@ -135,9 +160,31 @@ class EdgeServer {
     int chunk_count = 1;
   };
 
+  friend class EdgeGpu;
+
   void run_inference(int frame_index, double arrive_ms,
                      const segnet::InferenceRequest& request, int attempt,
                      bool streamed);
+  /// Route one arrived streamed request through the shared GPU: reject at
+  /// the admission gate (before any model evaluation) or evaluate the
+  /// model now — per-session RNG draws stay in submission order no matter
+  /// how the GPU later batches — and queue the result for dispatch.
+  void enqueue_gpu(int frame_index, double arrive_ms,
+                   const segnet::InferenceRequest& request, int attempt);
+  /// Callback from EdgeGpu when a dispatched batch reaches this session's
+  /// element: trace its spans and stream its chunks.
+  void emit_batched(int frame_index, int attempt, int width, int height,
+                    segnet::InferenceResult&& result, double arrive_ms,
+                    double start_ms, double mask_base_ms, int batch_index,
+                    int batch_size);
+  /// Frame `result` as per-instance protocol chunks, each ready as its
+  /// mask leaves the mask head: ready = mask_base + mask_head * (i+1)/n.
+  /// Shared by the private path (mask_base = start + first stage) and the
+  /// batched path (mask_base = this element's slot in the fused pass), so
+  /// batch-of-one output is bitwise-identical to the unbatched stream.
+  void emit_streamed_chunks(int frame_index, int attempt, int width,
+                            int height, segnet::InferenceResult&& result,
+                            double mask_base_ms);
   void trace_inference(int frame_index, double arrive_ms, double start,
                        double compute_ms, const segnet::InferenceRequest& req,
                        const segnet::InferenceResult& result,
@@ -148,9 +195,96 @@ class EdgeServer {
   net::FaultInjector uplink_faults_;
   net::SendQueue uplink_queue_;
   rt::Tracer* tracer_ = nullptr;
+  EdgeGpu* gpu_ = nullptr;  // non-owning; nullptr = private FIFO
+  int session_id_ = -1;
   double free_at_ms_ = 0.0;
   std::vector<Response> completed_;
   std::unordered_map<int, CachedResult> result_cache_;
+};
+
+/// Shared-GPU policy knobs. The defaults preserve single-client
+/// semantics: an unbounded queue never rejects, and a single session can
+/// never form a batch larger than one.
+struct GpuConfig {
+  /// Admission gate: a streamed request arriving while this many requests
+  /// are already queued (across every session) is refused with an
+  /// explicit busy response instead of being admitted. 0 = unbounded.
+  int admission_queue_limit = 0;
+  /// Largest number of requests fused into one batched CIIA model pass.
+  int max_batch = 8;
+  /// First-stage (backbone + RPN + box head) cost of batch elements after
+  /// the lead one, as a fraction of their standalone cost: the fused pass
+  /// amortizes weight loads and activation memory across the batch.
+  double batch_first_stage_marginal = 0.55;
+};
+
+struct GpuStats {
+  int batches = 0;            // model passes dispatched
+  int batched_requests = 0;   // requests served across all passes
+  int max_batch = 0;          // largest single pass
+  int admission_rejects = 0;  // requests refused at the gate
+  double busy_ms = 0.0;       // total GPU occupancy
+};
+
+/// One GPU serving N client sessions. Each session keeps a FIFO of
+/// admitted requests (model already evaluated; only *timing* is decided
+/// here); `advance_to` dispatches batches in simulated-time order,
+/// collecting at most one request per session round-robin so no client
+/// monopolizes the fused pass. Queues are FIFO in submission order — a
+/// duplicated uplink copy may arrive out of order and simply waits its
+/// turn, exactly as the private-FIFO path serializes it.
+class EdgeGpu {
+ public:
+  explicit EdgeGpu(GpuConfig config = {}) : config_(config) {}
+
+  /// Register a per-client server; returns its session id. Called by
+  /// EdgeServer::attach_gpu.
+  int register_session(EdgeServer* server);
+
+  /// Dispatch every batch whose start time (GPU free and at least one
+  /// session head arrived) has been reached by `now_ms`. Lazy: driven
+  /// from EdgeServer::poll, which every client calls each frame in
+  /// global sim-time order.
+  void advance_to(double now_ms);
+
+  [[nodiscard]] bool saturated() const {
+    return config_.admission_queue_limit > 0 &&
+           queued_ >= config_.admission_queue_limit;
+  }
+  [[nodiscard]] int queued() const { return queued_; }
+  [[nodiscard]] int queued_for(int session) const {
+    return static_cast<int>(
+        sessions_[static_cast<std::size_t>(session)].queue.size());
+  }
+  [[nodiscard]] double free_at_ms() const { return free_at_ms_; }
+  [[nodiscard]] const GpuStats& stats() const { return stats_; }
+  [[nodiscard]] const GpuConfig& config() const { return config_; }
+
+ private:
+  friend class EdgeServer;
+
+  struct Pending {
+    int frame_index = 0;
+    int attempt = 0;
+    double arrive_ms = 0.0;
+    int width = 0;
+    int height = 0;
+    segnet::InferenceResult result;  // evaluated at admission
+  };
+  struct Session {
+    EdgeServer* server = nullptr;
+    std::deque<Pending> queue;  // FIFO in submission order
+  };
+
+  void admit(int session, Pending&& item);
+  void record_reject() { ++stats_.admission_rejects; }
+
+  GpuConfig config_;
+  std::vector<Session> sessions_;
+  int queued_ = 0;             // across all sessions (gate variable)
+  double free_at_ms_ = 0.0;
+  std::size_t rr_start_ = 0;   // rotating batch-collection origin
+  GpuStats stats_;
 };
 
 /// Approximate serialized size of a mask set shipped back to the mobile

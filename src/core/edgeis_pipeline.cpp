@@ -80,6 +80,39 @@ void EdgeISPipeline::deliver_due_responses(double now_ms) {
       }
       continue;
     }
+    // Admission-control pushback from a shared GPU. The server answered —
+    // the link is fine — so a reject neither exits degraded mode nor
+    // feeds the RTT estimator; it only means "come back later". An
+    // inference reject inflates the timeout backoff like a loss would, so
+    // a client hammering a saturated gate backs off exponentially and
+    // eventually parks itself in degraded mode (MAMT carries the masks
+    // forward locally) until a clean probe proves the queue drained. A
+    // busy ping echo is that probe failing: the client stays parked.
+    if (resp.rejected) {
+      if (resp.is_ping) {
+        ++health_.busy_pings;
+        if (tracer_ != nullptr) {
+          tracer_->instant(rt::track::kLedger, "ping_busy", now_ms,
+                           {{"request", resp.frame_index}});
+        }
+        ledger_.erase(entry);
+        continue;
+      }
+      ++health_.admission_rejects;
+      rto_.on_timeout();
+      if (tracer_ != nullptr) {
+        tracer_->instant(rt::track::kLedger, "admission_reject", now_ms,
+                         {{"request", resp.frame_index},
+                          {"attempt", resp.attempt}});
+      }
+      trace_rto_counters(now_ms);
+      const bool was_init = entry->is_init;
+      ledger_.erase(entry);
+      // A rejected init-pair half voids the pair (both halves must be
+      // annotated); bootstrap restarts once the gate opens.
+      if (was_init) abort_initialization();
+      continue;
+    }
     // Feed the RTT estimator. Karn's rule: a retransmitted request is
     // ambiguous (which attempt does this response answer?) and is never
     // sampled; it does not deflate the timeout backoff either — the

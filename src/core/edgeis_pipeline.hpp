@@ -46,6 +46,13 @@ class EdgeISPipeline : public Pipeline {
 
   [[nodiscard]] bool initialized() const { return phase_ == Phase::kRunning; }
 
+  /// Join a multi-client fleet: route this client's streamed submissions
+  /// through one shared EdgeGpu (admission gate + batched CIIA). Call
+  /// before the first frame. The pipeline keeps its own session state —
+  /// ledger, result cache, RTO estimator, fault scripts — so only GPU
+  /// *timing* is shared.
+  void attach_shared_gpu(EdgeGpu* gpu) { edge_.attach_gpu(gpu); }
+
   /// Ledger / degraded-mode accounting, merged with the link-level fault
   /// counters of both injectors. Deterministic for a fixed seed + script.
   [[nodiscard]] rt::LinkHealthStats link_health() const;

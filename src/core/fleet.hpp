@@ -1,0 +1,72 @@
+// Fleet-scale serving: N EdgeISPipeline clients interleaved on one
+// discrete-event scheduler against one shared edge GPU. Each client is a
+// full session — its own scene, ledger, result cache, RTO estimator and
+// fault script — so faults scripted for one client never touch another's
+// state; only GPU *timing* (admission gate, batched CIIA passes) couples
+// them. A fleet of one reproduces run_pipeline() exactly.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/edge_server.hpp"
+#include "core/edgeis_pipeline.hpp"
+#include "core/pipeline.hpp"
+#include "runtime/stats.hpp"
+#include "runtime/trace.hpp"
+#include "scene/scene.hpp"
+
+namespace edgeis::core {
+
+/// One fleet client: its scene and pipeline configuration.
+struct FleetClientSpec {
+  scene::SceneConfig scene;
+  PipelineConfig pipeline;
+};
+
+struct FleetConfig {
+  std::vector<FleetClientSpec> clients;
+  GpuConfig gpu;
+  int warmup_frames = 45;
+  int memory_sample = 10;
+};
+
+/// N copies of one client spec with decorrelated randomness: client 0
+/// keeps `base` exactly (the fleet-of-one equivalence anchor); client i>0
+/// mixes i into the pipeline seed (splitmix64 increment) and offsets the
+/// scene noise seed.
+FleetConfig uniform_fleet(int clients, const scene::SceneConfig& scene,
+                          const PipelineConfig& base, GpuConfig gpu = {});
+
+/// A frame rendered from an edge annotation older than this counts as
+/// stale in the fleet report.
+inline constexpr double kStaleThresholdMs = 1000.0;
+
+struct FleetClientResult {
+  RunResult run;
+  rt::LinkHealthStats health;
+  bool ended_degraded = false;
+  int bootstrap_attempts = 0;
+};
+
+struct FleetResult {
+  std::vector<FleetClientResult> clients;
+  GpuStats gpu;
+  // Pooled across clients: IoU over object-frames, per-frame latency.
+  double mean_iou = 0.0;
+  double p50_latency_ms = 0.0;
+  double p99_latency_ms = 0.0;
+  /// Fraction of per-frame staleness samples above kStaleThresholdMs.
+  double stale_rate = 0.0;
+  int degraded_clients = 0;  // clients that entered degraded mode at all
+};
+
+/// Run every client's frame source interleaved on one event scheduler
+/// against one shared EdgeGpu. Deterministic for a fixed config: frames
+/// fire in capture order with FIFO tie-breaks across clients. A non-null
+/// tracer records each client under its own pid group (client 0 keeps the
+/// canonical tracks; the edge GPU track is shared by construction).
+FleetResult run_fleet(const FleetConfig& config,
+                      rt::Tracer* tracer = nullptr);
+
+}  // namespace edgeis::core

@@ -1,14 +1,55 @@
 #include "core/pipeline.hpp"
 
+#include <functional>
+#include <utility>
+
 #include "runtime/log.hpp"
+#include "sim/scheduler.hpp"
 
 namespace edgeis::core {
+
+void RunAccumulator::record(const scene::SceneSimulator& sim,
+                            const scene::RenderedFrame& frame,
+                            const FrameOutput& out, rt::Tracer* tracer) {
+  const int i = frame.index;
+  monitor_.record_frame(out.mobile_latency_ms, out.map_memory_bytes,
+                        out.tx_bytes, out.awaiting_response);
+  if (out.transmitted) {
+    ++result_.transmissions;
+    result_.total_tx_bytes += out.tx_bytes;
+  }
+  if (memory_sample_ > 0 && i % memory_sample_ == 0) {
+    result_.memory_curve.emplace_back(i, out.map_memory_bytes);
+  }
+  if (tracer != nullptr) {
+    const double sim_now_ms = frame.timestamp * 1000.0;
+    tracer->counter(rt::track::kMobile, "latency_ms", sim_now_ms,
+                    out.mobile_latency_ms);
+    tracer->counter(rt::track::kMobile, "map_memory_kb", sim_now_ms,
+                    static_cast<double>(out.map_memory_bytes) / 1024.0);
+    tracer->counter(rt::track::kMobile, "tx_kb_total", sim_now_ms,
+                    static_cast<double>(result_.total_tx_bytes) / 1024.0);
+  }
+
+  if (i < warmup_frames_) return;
+  const auto gts = sim.ground_truth_masks(frame);
+  result_.evaluator.add(eval::score_frame(i, out.rendered_masks, gts,
+                                          out.mobile_latency_ms));
+}
+
+RunResult RunAccumulator::finish() {
+  result_.summary = result_.evaluator.summarize();
+  result_.mean_cpu_utilization = monitor_.mean_cpu_utilization();
+  result_.peak_memory_bytes = monitor_.peak_memory_bytes();
+  result_.battery_percent = monitor_.battery_percent();
+  return std::move(result_);
+}
 
 RunResult run_pipeline(const scene::SceneSimulator& sim, Pipeline& pipeline,
                        int warmup_frames, int memory_sample,
                        rt::Tracer* tracer) {
-  RunResult result;
-  sim::ResourceMonitor monitor(sim::iphone11(), sim.config().fps);
+  RunAccumulator acc(sim::iphone11(), sim.config().fps, warmup_frames,
+                     memory_sample);
 
   pipeline.set_tracer(tracer);
   // Stamp log lines with the simulation clock for the duration of the run
@@ -16,41 +57,29 @@ RunResult run_pipeline(const scene::SceneSimulator& sim, Pipeline& pipeline,
   double sim_now_ms = 0.0;
   rt::ScopedLogClock log_clock([&sim_now_ms] { return sim_now_ms; });
 
-  for (int i = 0; i < sim.total_frames(); ++i) {
+  // One self-rescheduling frame source: frame i fires at its capture
+  // instant, processes, and schedules frame i+1. The pipeline derives its
+  // own clock from frame.timestamp, so event times only order events — a
+  // solo run behaves exactly as the plain loop this replaced.
+  sim::EventScheduler sched;
+  const double interval_ms = 1000.0 / sim.config().fps;
+  std::function<void(int)> tick = [&](int i) {
     const scene::RenderedFrame frame = sim.render(i);
     sim_now_ms = frame.timestamp * 1000.0;
-    FrameOutput out = pipeline.process(frame);
-
-    monitor.record_frame(out.mobile_latency_ms, out.map_memory_bytes,
-                         out.tx_bytes, out.awaiting_response);
-    if (out.transmitted) {
-      ++result.transmissions;
-      result.total_tx_bytes += out.tx_bytes;
+    const FrameOutput out = pipeline.process(frame);
+    acc.record(sim, frame, out, tracer);
+    if (i + 1 < sim.total_frames()) {
+      sched.schedule(static_cast<double>(i + 1) * interval_ms,
+                     [&tick, i] { tick(i + 1); });
     }
-    if (memory_sample > 0 && i % memory_sample == 0) {
-      result.memory_curve.emplace_back(i, out.map_memory_bytes);
-    }
-    if (tracer != nullptr) {
-      tracer->counter(rt::track::kMobile, "latency_ms", sim_now_ms,
-                      out.mobile_latency_ms);
-      tracer->counter(rt::track::kMobile, "map_memory_kb", sim_now_ms,
-                      static_cast<double>(out.map_memory_bytes) / 1024.0);
-      tracer->counter(rt::track::kMobile, "tx_kb_total", sim_now_ms,
-                      static_cast<double>(result.total_tx_bytes) / 1024.0);
-    }
-
-    if (i < warmup_frames) continue;
-    const auto gts = sim.ground_truth_masks(frame);
-    result.evaluator.add(eval::score_frame(i, out.rendered_masks, gts,
-                                           out.mobile_latency_ms));
+  };
+  if (sim.total_frames() > 0) {
+    sched.schedule(0.0, [&tick] { tick(0); });
   }
+  sched.run();
   pipeline.set_tracer(nullptr);
 
-  result.summary = result.evaluator.summarize();
-  result.mean_cpu_utilization = monitor.mean_cpu_utilization();
-  result.peak_memory_bytes = monitor.peak_memory_bytes();
-  result.battery_percent = monitor.battery_percent();
-  return result;
+  return acc.finish();
 }
 
 }  // namespace edgeis::core

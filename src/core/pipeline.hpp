@@ -92,7 +92,34 @@ struct RunResult {
   std::vector<std::pair<int, std::size_t>> memory_curve;
 };
 
-/// Drive `pipeline` over all frames of `sim`'s scene. Scoring starts after
+/// Per-client accumulation of one pipeline run: the body of the old
+/// run_pipeline() frame loop, factored out so the fleet driver
+/// (core/fleet.hpp) can interleave N clients on one event scheduler and
+/// still aggregate each client exactly as a solo run would. Call record()
+/// once per processed frame in index order, then finish() once.
+class RunAccumulator {
+ public:
+  RunAccumulator(const sim::DeviceProfile& mobile, double fps,
+                 int warmup_frames, int memory_sample)
+      : monitor_(mobile, fps),
+        warmup_frames_(warmup_frames),
+        memory_sample_(memory_sample) {}
+
+  void record(const scene::SceneSimulator& sim,
+              const scene::RenderedFrame& frame, const FrameOutput& out,
+              rt::Tracer* tracer);
+  RunResult finish();
+
+ private:
+  sim::ResourceMonitor monitor_;
+  int warmup_frames_;
+  int memory_sample_;
+  RunResult result_;
+};
+
+/// Drive `pipeline` over all frames of `sim`'s scene on a discrete-event
+/// scheduler (one self-rescheduling frame source — the N-client fleet
+/// driver interleaves N such sources on one clock). Scoring starts after
 /// `warmup_frames` (initialization / first edge round trip); resource
 /// accounting covers the whole run. A non-null `tracer` is attached to the
 /// pipeline for the run (per-frame stage spans, link transfers, ledger

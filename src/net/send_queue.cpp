@@ -8,8 +8,15 @@ namespace edgeis::net {
 SendOutcome SendQueue::enqueue(double now_ms, std::size_t bytes,
                                FaultInjector& faults) {
   // Callers advance monotonically; anything delivered by now is no longer
-  // in flight and need not be tracked.
-  std::erase_if(deliveries_, [now_ms](double d) { return d <= now_ms; });
+  // in flight and need not be tracked. The tracker is a min-heap on
+  // arrival time, drained from the front: each element is pushed and
+  // popped exactly once, so a long run stays O(log n) per enqueue instead
+  // of the full O(n) scan a per-call erase_if costs.
+  while (!deliveries_.empty() && deliveries_.front() <= now_ms) {
+    std::pop_heap(deliveries_.begin(), deliveries_.end(),
+                  std::greater<>());
+    deliveries_.pop_back();
+  }
 
   SendOutcome out;
   SendSlot& slot = out.slot;
@@ -52,8 +59,10 @@ SendOutcome SendQueue::enqueue(double now_ms, std::size_t bytes,
         slot.enter_ms + out.duplicate_transit_ms * out.fate.latency_scale +
         out.fate.duplicate_delay_ms;
     deliveries_.push_back(out.duplicate_deliver_ms);
+    std::push_heap(deliveries_.begin(), deliveries_.end(), std::greater<>());
   }
   deliveries_.push_back(out.deliver_ms);
+  std::push_heap(deliveries_.begin(), deliveries_.end(), std::greater<>());
   return out;
 }
 

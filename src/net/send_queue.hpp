@@ -74,7 +74,9 @@ class SendQueue {
   LinkProfile link_;
   rt::Rng rng_;
   double busy_until_ms_ = 0.0;
-  std::vector<double> deliveries_;  // in-flight arrival times (pruned lazily)
+  // In-flight arrival times, kept as a min-heap on arrival so enqueue()
+  // drains expired entries from the front in O(log n) amortized.
+  std::vector<double> deliveries_;
   std::size_t messages_ = 0;
   std::size_t bytes_ = 0;
 };

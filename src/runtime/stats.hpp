@@ -159,6 +159,11 @@ struct LinkHealthStats {
   double rto_ms = 0.0;
   int rtt_samples = 0;          // accepted samples (Karn's rule filters)
   int rto_backoffs = 0;         // timeout-driven RTO inflations
+  // Admission control (shared multi-client edge GPU): explicit server
+  // pushback, distinct from timeouts — the link answered, the GPU queue
+  // was full.
+  int admission_rejects = 0;    // inference requests refused at the gate
+  int busy_pings = 0;           // ping echoes carrying the saturated flag
   // Degraded mode.
   int probes_sent = 0;          // liveness pings while degraded
   int degraded_entries = 0;     // times degraded mode was entered

@@ -77,6 +77,26 @@ Tracer::Tracer() {
   name_track(track::kDownlink, "link", "downlink");
 }
 
+TraceTrack Tracer::mapped(TraceTrack track) const {
+  if (pid_offset_ == 0) return track;
+  for (int shared : shared_pids_) {
+    if (track.pid == shared) return track;
+  }
+  return {track.pid + pid_offset_, track.tid};
+}
+
+void Tracer::mark_shared_pid(int pid) {
+  for (int shared : shared_pids_) {
+    if (shared == pid) return;
+  }
+  shared_pids_.push_back(pid);
+}
+
+void Tracer::annotate_track(TraceTrack track, const std::string& process,
+                            const std::string& thread) {
+  name_track(mapped(track), process.c_str(), thread.c_str());
+}
+
 void Tracer::name_track(TraceTrack track, const char* process,
                         const char* thread) {
   Event p;
@@ -98,34 +118,37 @@ void Tracer::name_track(TraceTrack track, const char* process,
 
 void Tracer::begin(TraceTrack track, std::string_view name, double ts_ms,
                    TraceArgs args) {
+  const TraceTrack t = mapped(track);
   Event e;
   e.ph = 'B';
-  e.pid = track.pid;
-  e.tid = track.tid;
+  e.pid = t.pid;
+  e.tid = t.tid;
   e.ts_ms = ts_ms;
   e.name = name;
   e.args = std::move(args);
-  open_[{track.pid, track.tid}].push_back(events_.size());
+  open_[{t.pid, t.tid}].push_back(events_.size());
   events_.push_back(std::move(e));
 }
 
 void Tracer::end(TraceTrack track, double ts_ms) {
-  auto& stack = open_[{track.pid, track.tid}];
+  const TraceTrack t = mapped(track);
+  auto& stack = open_[{t.pid, t.tid}];
   if (!stack.empty()) stack.pop_back();
   Event e;
   e.ph = 'E';
-  e.pid = track.pid;
-  e.tid = track.tid;
+  e.pid = t.pid;
+  e.tid = t.tid;
   e.ts_ms = ts_ms;
   events_.push_back(std::move(e));
 }
 
 void Tracer::complete(TraceTrack track, std::string_view name,
                       double begin_ms, double dur_ms, TraceArgs args) {
+  const TraceTrack t = mapped(track);
   Event e;
   e.ph = 'X';
-  e.pid = track.pid;
-  e.tid = track.tid;
+  e.pid = t.pid;
+  e.tid = t.tid;
   e.ts_ms = begin_ms;
   e.dur_ms = dur_ms;
   e.name = name;
@@ -135,10 +158,11 @@ void Tracer::complete(TraceTrack track, std::string_view name,
 
 void Tracer::instant(TraceTrack track, std::string_view name, double ts_ms,
                      TraceArgs args) {
+  const TraceTrack t = mapped(track);
   Event e;
   e.ph = 'i';
-  e.pid = track.pid;
-  e.tid = track.tid;
+  e.pid = t.pid;
+  e.tid = t.tid;
   e.ts_ms = ts_ms;
   e.name = name;
   e.args = std::move(args);
@@ -147,10 +171,11 @@ void Tracer::instant(TraceTrack track, std::string_view name, double ts_ms,
 
 void Tracer::counter(TraceTrack track, std::string_view name, double ts_ms,
                      double value) {
+  const TraceTrack t = mapped(track);
   Event e;
   e.ph = 'C';
-  e.pid = track.pid;
-  e.tid = track.tid;
+  e.pid = t.pid;
+  e.tid = t.tid;
   e.ts_ms = ts_ms;
   e.name = name;
   e.args.emplace_back("value", value);

@@ -104,6 +104,20 @@ class Tracer {
   void counter(TraceTrack track, std::string_view name, double ts_ms,
                double value);
 
+  /// Fleet tracing: offset applied to the pid of every subsequently
+  /// recorded event, so N clients instrumented with the same canonical
+  /// tracks land on disjoint per-client track groups. The fleet driver
+  /// sets the owning client's offset around each frame tick and resets it
+  /// to 0 afterwards. Pids marked shared (the edge GPU is one machine
+  /// serving every client) are exempt and keep their canonical track.
+  void set_pid_offset(int offset) { pid_offset_ = offset; }
+  [[nodiscard]] int pid_offset() const { return pid_offset_; }
+  void mark_shared_pid(int pid);
+  /// Emit process/thread_name metadata for `track` under the current pid
+  /// offset — how the fleet driver names each client's track group.
+  void annotate_track(TraceTrack track, const std::string& process,
+                      const std::string& thread);
+
   [[nodiscard]] const std::vector<Event>& events() const { return events_; }
   [[nodiscard]] std::size_t event_count() const { return events_.size(); }
   /// Open (un-ended) B spans across all tracks; 0 in a finished trace.
@@ -124,10 +138,14 @@ class Tracer {
  private:
   void name_track(TraceTrack track, const char* process,
                   const char* thread);
+  /// Current pid offset applied to `track` (identity for shared pids).
+  [[nodiscard]] TraceTrack mapped(TraceTrack track) const;
 
   std::vector<Event> events_;
   // Stack of open B-event indices per (pid, tid), for end() pairing.
   std::map<std::pair<int, int>, std::vector<std::size_t>> open_;
+  int pid_offset_ = 0;
+  std::vector<int> shared_pids_;
 };
 
 /// RAII duration span. A null tracer makes every operation a no-op, so

@@ -1,0 +1,28 @@
+#include "sim/scheduler.hpp"
+
+#include <algorithm>
+
+namespace edgeis::sim {
+
+void EventScheduler::schedule(double at_ms, Callback fn) {
+  heap_.push_back({std::max(at_ms, now_ms_), next_seq_++, std::move(fn)});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
+}
+
+bool EventScheduler::step() {
+  if (heap_.empty()) return false;
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  Event e = std::move(heap_.back());
+  heap_.pop_back();
+  now_ms_ = e.at_ms;
+  ++dispatched_;
+  e.fn();
+  return true;
+}
+
+void EventScheduler::run() {
+  while (step()) {
+  }
+}
+
+}  // namespace edgeis::sim

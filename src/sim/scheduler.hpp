@@ -1,0 +1,61 @@
+// Discrete-event scheduler: the sim clock every run is driven by. Events
+// are (time, callback) pairs popped in time order; ties resolve in
+// scheduling order (FIFO), so a fleet of clients that all tick at the same
+// frame boundary interleaves deterministically — same seed, same event
+// sequence, byte-identical traces. The single-client run_pipeline() and
+// the multi-client fleet driver (core/fleet.cpp) both drive their frame
+// ticks through this queue; link deliveries and edge inference
+// completions stay time-stamped state drained by those ticks, so one
+// clock orders everything.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace edgeis::sim {
+
+class EventScheduler {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Enqueue `fn` to run at `at_ms`. Scheduling into the past is clamped
+  /// to the current time (the event fires on the next step, after
+  /// already-queued events with earlier times). Safe to call from inside
+  /// a running callback — that is how periodic sources (frame ticks)
+  /// keep themselves going with O(1) queued events each.
+  void schedule(double at_ms, Callback fn);
+
+  /// Pop and run the earliest event, advancing now_ms() to its time.
+  /// Returns false when the queue is empty (nothing ran).
+  bool step();
+
+  /// Run until the queue drains.
+  void run();
+
+  [[nodiscard]] double now_ms() const { return now_ms_; }
+  [[nodiscard]] std::size_t pending() const { return heap_.size(); }
+  [[nodiscard]] std::uint64_t dispatched() const { return dispatched_; }
+
+ private:
+  struct Event {
+    double at_ms = 0.0;
+    std::uint64_t seq = 0;  // FIFO tie-break among equal times
+    Callback fn;
+  };
+  /// Min-heap order: earliest time first, lowest seq among ties.
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.at_ms != b.at_ms) return a.at_ms > b.at_ms;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::vector<Event> heap_;
+  double now_ms_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t dispatched_ = 0;
+};
+
+}  // namespace edgeis::sim

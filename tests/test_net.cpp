@@ -406,3 +406,143 @@ TEST(SendQueue, DuplicateCopyPropagatesIndependently) {
   EXPECT_GT(out.duplicate_transit_ms, 0.0);
   EXPECT_EQ(q.in_flight(out.deliver_ms - 0.01), 2);
 }
+
+// ---- Property-style invariants under seeded random schedules. ---------------
+
+#include <algorithm>
+
+namespace {
+
+/// External mirror of the queue's in-flight tracker: every admission
+/// leaves its primary at its (would-have-been, if dropped) arrival time,
+/// and a surviving duplicate adds a lagging second copy.
+int mirror_in_flight(const std::vector<double>& arrivals, double now_ms) {
+  return static_cast<int>(std::count_if(arrivals.begin(), arrivals.end(),
+                                        [&](double d) { return d > now_ms; }));
+}
+
+}  // namespace
+
+TEST(SendQueueProperty, SerializerOccupancyNeverOverlaps) {
+  // Random admission times and sizes through a throttle window: wire
+  // entry must never precede either the admission or the previous
+  // message's occupancy end, and the occupancy frontier is monotone.
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    SendQueue q(wifi_24ghz(), rt::Rng(seed));
+    FaultInjector faults(FaultScript::throttle(3000.0, 6000.0, 3.0),
+                         rt::Rng(seed + 100));
+    rt::Rng sched(seed + 200);
+    double now = 0.0;
+    double prev_busy = q.busy_until_ms();
+    for (int i = 0; i < 300; ++i) {
+      now += sched.uniform(0.0, 25.0);
+      const auto bytes =
+          static_cast<std::size_t>(sched.uniform(500.0, 120000.0));
+      const auto out = q.enqueue(now, bytes, faults);
+      ASSERT_GE(out.slot.enter_ms, now);
+      ASSERT_GE(out.slot.enter_ms, prev_busy);
+      ASSERT_DOUBLE_EQ(out.slot.queue_wait_ms, out.slot.enter_ms - now);
+      ASSERT_GT(out.slot.serialize_ms, 0.0);
+      ASSERT_GE(q.busy_until_ms(), out.slot.enter_ms);
+      ASSERT_GE(q.busy_until_ms(), prev_busy);
+      prev_busy = q.busy_until_ms();
+      ASSERT_GE(q.in_flight(now), 0);
+    }
+  }
+}
+
+TEST(SendQueueProperty, InFlightMatchesExternalMirrorUnderFaults) {
+  // Drops early in the run, duplicates later: both fates must leave the
+  // in-flight tracker consistent with a naive external mirror (a dropped
+  // primary still counts until its would-have-been arrival; a surviving
+  // duplicate adds a second, lagging copy).
+  for (std::uint64_t seed = 11; seed <= 14; ++seed) {
+    SendQueue q(lte(), rt::Rng(seed));
+    FaultInjector faults(
+        FaultScript()
+            .add({1000.0, 5000.0, FaultMode::kDrop, 0.4})
+            .add({8000.0, 14000.0, FaultMode::kDuplicate, 0.4}),
+        rt::Rng(seed + 50));
+    rt::Rng sched(seed + 99);
+    std::vector<double> arrivals;
+    double now = 0.0;
+    for (int i = 0; i < 250; ++i) {
+      now += sched.uniform(0.0, 80.0);
+      const auto bytes =
+          static_cast<std::size_t>(sched.uniform(200.0, 60000.0));
+      const auto out = q.enqueue(now, bytes, faults);
+      arrivals.push_back(out.deliver_ms);
+      if (!out.fate.drop && out.fate.duplicate) {
+        arrivals.push_back(out.duplicate_deliver_ms);
+      }
+      const double probe = now + sched.uniform(0.0, 200.0);
+      ASSERT_EQ(q.in_flight(now), mirror_in_flight(arrivals, now));
+      ASSERT_EQ(q.in_flight(probe), mirror_in_flight(arrivals, probe));
+    }
+    EXPECT_EQ(q.in_flight(1e18), 0);
+  }
+}
+
+namespace {
+
+/// Four well-separated rectangles -> a four-chunk streamed response.
+MaskResultMessage four_instance_result() {
+  std::vector<mask::InstanceMask> masks;
+  for (int i = 0; i < 4; ++i) {
+    mask::InstanceMask m(320, 240);
+    const int x0 = 20 + 75 * i;
+    for (int y = 40 + 10 * i; y < 160 + 10 * i; ++y) {
+      for (int x = x0; x < x0 + 50; ++x) m.set(x, y);
+    }
+    m.class_id = 1 + i;
+    m.instance_id = 10 + i;
+    masks.push_back(std::move(m));
+  }
+  return build_mask_result(9, 320, 240, masks);
+}
+
+}  // namespace
+
+TEST(ChunksProperty, AssemblerIdempotentUnderAnyInterleaving) {
+  // The assembler must be a pure function of the *set* of chunks it has
+  // applied: any seeded random interleaving of duplicates and reorderings
+  // reassembles to the byte-identical message.
+  const auto chunks = chunk_mask_result(four_instance_result());
+  ASSERT_EQ(chunks.size(), 4u);
+
+  ChunkAssembler ordered;
+  for (const auto& c : chunks) {
+    ASSERT_EQ(ordered.accept(c), ChunkAssembler::Accept::kApplied);
+  }
+  ASSERT_TRUE(ordered.complete());
+  const auto want = serialize(ordered.result());
+
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    rt::Rng rng(seed);
+    // Each chunk arrives one to three times, in a shuffled order.
+    std::vector<int> schedule;
+    for (int idx = 0; idx < 4; ++idx) {
+      const int copies = 1 + static_cast<int>(rng.uniform_int(3));
+      for (int c = 0; c < copies; ++c) schedule.push_back(idx);
+    }
+    for (std::size_t i = schedule.size(); i > 1; --i) {
+      std::swap(schedule[i - 1], schedule[rng.uniform_int(i)]);
+    }
+
+    ChunkAssembler asm_;
+    int applied = 0;
+    for (int idx : schedule) {
+      const auto verdict = asm_.accept(chunks[idx]);
+      if (verdict == ChunkAssembler::Accept::kApplied) {
+        ++applied;
+      } else {
+        ASSERT_EQ(verdict, ChunkAssembler::Accept::kDuplicate);
+      }
+    }
+    EXPECT_EQ(applied, 4);
+    ASSERT_TRUE(asm_.complete());
+    EXPECT_EQ(asm_.received(), 4);
+    EXPECT_EQ(serialize(asm_.result()), want);
+    EXPECT_EQ(asm_.arrived_instances(), ordered.arrived_instances());
+  }
+}

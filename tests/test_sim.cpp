@@ -73,3 +73,80 @@ TEST(ResourceMonitor, TenMinutePowerMatchesPaper) {
   }
   EXPECT_NEAR(mon.battery_percent(), 4.2, 1.5);
 }
+
+// ---- Discrete-event scheduler (sim/scheduler.hpp). --------------------------
+
+#include <vector>
+
+#include "sim/scheduler.hpp"
+
+TEST(EventScheduler, DispatchesInTimeOrder) {
+  EventScheduler sched;
+  std::vector<int> order;
+  sched.schedule(30.0, [&] { order.push_back(3); });
+  sched.schedule(10.0, [&] { order.push_back(1); });
+  sched.schedule(20.0, [&] { order.push_back(2); });
+  sched.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(sched.now_ms(), 30.0);
+  EXPECT_EQ(sched.pending(), 0u);
+  EXPECT_EQ(sched.dispatched(), 3u);
+}
+
+TEST(EventScheduler, EqualTimesAreFifo) {
+  // Ties resolve in scheduling order — this is what makes an N-client
+  // fleet deterministic when every client ticks at the same frame
+  // boundary.
+  EventScheduler sched;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    sched.schedule(100.0, [&order, i] { order.push_back(i); });
+  }
+  sched.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventScheduler, PastTimesClampToNow) {
+  EventScheduler sched;
+  std::vector<int> order;
+  sched.schedule(50.0, [&] {
+    order.push_back(1);
+    // Scheduled "into the past": fires at now, after the already-queued
+    // event at the same instant (FIFO among equals).
+    sched.schedule(10.0, [&] { order.push_back(3); });
+  });
+  sched.schedule(50.0, [&] { order.push_back(2); });
+  sched.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(sched.now_ms(), 50.0);  // never went backwards
+}
+
+TEST(EventScheduler, SelfReschedulingSourceTicksPeriodically) {
+  // The frame-source idiom: each tick schedules the next, so the queue
+  // holds O(1) events per client no matter how long the run.
+  EventScheduler sched;
+  std::vector<double> ticks;
+  std::function<void(int)> tick = [&](int i) {
+    ticks.push_back(sched.now_ms());
+    if (i + 1 < 4) sched.schedule((i + 1) * 33.0, [&tick, i] { tick(i + 1); });
+  };
+  sched.schedule(0.0, [&tick] { tick(0); });
+  sched.run();
+  EXPECT_EQ(ticks, (std::vector<double>{0.0, 33.0, 66.0, 99.0}));
+  EXPECT_EQ(sched.dispatched(), 4u);
+}
+
+TEST(EventScheduler, StepRunsExactlyOneEvent) {
+  EventScheduler sched;
+  int ran = 0;
+  sched.schedule(5.0, [&] { ++ran; });
+  sched.schedule(6.0, [&] { ++ran; });
+  EXPECT_EQ(sched.pending(), 2u);
+  EXPECT_TRUE(sched.step());
+  EXPECT_EQ(ran, 1);
+  EXPECT_DOUBLE_EQ(sched.now_ms(), 5.0);
+  EXPECT_EQ(sched.pending(), 1u);
+  EXPECT_TRUE(sched.step());
+  EXPECT_FALSE(sched.step());  // drained: nothing ran
+  EXPECT_EQ(ran, 2);
+}
