@@ -6,6 +6,7 @@
 #include <cstring>
 #include <vector>
 
+#include "features/klt.hpp"
 #include "features/matcher.hpp"
 #include "features/orb.hpp"
 #include "mask/mask.hpp"
@@ -106,11 +107,49 @@ static void BM_Nms(benchmark::State& state) {
     props.push_back(p);
   }
   for (auto _ : state) {
+    // nms() consumes its input, so each iteration needs a fresh copy —
+    // but the 500-proposal vector copy must not pollute the measurement.
+    state.PauseTiming();
     auto copy = props;
+    state.ResumeTiming();
     benchmark::DoNotOptimize(segnet::nms(std::move(copy), 0.7, 300));
   }
 }
 BENCHMARK(BM_Nms)->Unit(benchmark::kMillisecond);
+
+static void BM_WindowedMatch(benchmark::State& state) {
+  const auto& frame = test_frame();
+  feat::OrbExtractor orb;
+  const auto feats = orb.extract(frame.intensity);
+  std::vector<std::optional<geom::Vec2>> predictions;
+  predictions.reserve(feats.size());
+  for (const auto& f : feats) predictions.emplace_back(f.kp.pixel);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        feat::match_windowed(feats, predictions, feats, {}));
+  }
+}
+BENCHMARK(BM_WindowedMatch)->Unit(benchmark::kMillisecond);
+
+static void BM_KltTrack(benchmark::State& state) {
+  scene::SceneSimulator sim(scene::make_davis_scene(42, 10));
+  const auto f0 = sim.render(0);
+  const auto f1 = sim.render(1);
+  feat::OrbExtractor orb;
+  const auto feats = orb.extract(f0.intensity);
+  std::vector<img::GrayImage> prev_pyr, cur_pyr;
+  img::build_blurred_pyramid_into(f0.intensity, orb.options().pyramid_levels,
+                                  prev_pyr);
+  img::build_blurred_pyramid_into(f1.intensity, orb.options().pyramid_levels,
+                                  cur_pyr);
+  std::vector<geom::Vec2> pts;
+  pts.reserve(feats.size());
+  for (const auto& f : feats) pts.push_back(f.kp.pixel);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(feat::track_features(prev_pyr, cur_pyr, pts));
+  }
+}
+BENCHMARK(BM_KltTrack)->Unit(benchmark::kMillisecond);
 
 static void BM_SceneRender(benchmark::State& state) {
   scene::SceneSimulator sim(scene::make_davis_scene(42, 10));
@@ -128,7 +167,12 @@ int main(int argc, char** argv) {
   std::vector<char*> args(argv, argv + argc);
   bool has_out = false;
   for (int i = 1; i < argc; ++i) {
-    if (std::strncmp(argv[i], "--benchmark_out", 15) == 0) has_out = true;
+    // Exact flag only: a 15-char prefix test would also swallow
+    // --benchmark_out_format=... and drop the default JSON dump.
+    if (std::strcmp(argv[i], "--benchmark_out") == 0 ||
+        std::strncmp(argv[i], "--benchmark_out=", 16) == 0) {
+      has_out = true;
+    }
   }
   static char default_out[] = "--benchmark_out=BENCH_micro_kernels.json";
   static char default_fmt[] = "--benchmark_out_format=json";

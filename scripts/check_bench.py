@@ -1,0 +1,157 @@
+#!/usr/bin/env python3
+"""Diff micro-kernel benchmark timings against a committed baseline.
+
+micro_kernels emits google-benchmark JSON (BENCH_micro_kernels.json by
+default). Absolute timings vary across machines, so raw comparison would
+be noise: instead the per-kernel ratio actual/expected is normalized by
+the MEDIAN ratio over all kernels. A uniformly faster or slower machine
+moves every ratio by the same factor and cancels out; a single kernel
+regressing moves only its own normalized ratio and trips the check.
+
+The baseline is a tripwire, not a lockfile. When an intentional change
+moves a kernel's cost (or adds/removes a kernel), regenerate it in one
+command and commit the result:
+
+    ./build/bench/micro_kernels --benchmark_min_time=0.2 && \
+        scripts/check_bench.py --update BENCH_micro_kernels.json
+
+Usage:
+    scripts/check_bench.py BENCH_micro_kernels.json
+    scripts/check_bench.py --baseline bench/expected/micro_kernels_baseline.json actual.json
+    scripts/check_bench.py --update BENCH_micro_kernels.json
+"""
+
+import argparse
+import json
+import statistics
+import sys
+
+DEFAULT_BASELINE = "bench/expected/micro_kernels_baseline.json"
+
+# Normalized-ratio ceiling: a kernel fails when it is this many times
+# slower than the baseline predicts after machine-speed normalization.
+# Generous because CI runners are noisy shared VMs; a real regression
+# from a dropped early-out or a reintroduced per-frame allocation is
+# well past 2x on these kernels.
+DEFAULT_TOLERANCE = 2.0
+TOLERANCES = {
+    # Sub-millisecond kernels jitter more on shared runners.
+    "BM_Nms": 3.0,
+    "BM_WindowedMatch": 3.0,
+}
+
+
+def load_times(path):
+    """Map benchmark name -> real_time in ms from either format: raw
+    google-benchmark JSON or the reduced committed baseline."""
+    with open(path) as f:
+        doc = json.load(f)
+    if "kernels" in doc:
+        return {k: v["real_time_ms"] for k, v in doc["kernels"].items()}
+    times = {}
+    for b in doc.get("benchmarks", []):
+        if b.get("run_type", "iteration") != "iteration":
+            continue
+        unit = b.get("time_unit", "ns")
+        scale = {"ns": 1e-6, "us": 1e-3, "ms": 1.0, "s": 1e3}[unit]
+        times[b["name"]] = b["real_time"] * scale
+    return times
+
+
+def update(baseline_path, actual_path):
+    times = load_times(actual_path)
+    if not times:
+        raise SystemExit(f"no benchmark entries in {actual_path}")
+    doc = {
+        "_comment": (
+            "Reduced micro_kernels baseline (real_time per kernel, ms). "
+            "Compared by scripts/check_bench.py with median-normalized "
+            "ratios, so the machine that generated it does not matter. "
+            "Regenerate: ./build/bench/micro_kernels "
+            "--benchmark_min_time=0.2 && scripts/check_bench.py --update "
+            "BENCH_micro_kernels.json"
+        ),
+        "kernels": {
+            name: {"real_time_ms": round(ms, 4)}
+            for name, ms in sorted(times.items())
+        },
+    }
+    with open(baseline_path, "w") as f:
+        json.dump(doc, f, indent=2)
+        f.write("\n")
+    print(f"wrote {baseline_path} ({len(times)} kernels)")
+
+
+def check(baseline_path, actual_path):
+    expected = load_times(baseline_path)
+    actual = load_times(actual_path)
+
+    missing = sorted(set(expected) - set(actual))
+    extra = sorted(set(actual) - set(expected))
+    common = sorted(set(expected) & set(actual))
+    failures = [f"kernel missing from run: {name}" for name in missing]
+    for name in extra:
+        # New kernels are fine to run but should enter the baseline.
+        print(f"note: {name} not in baseline (run --update to add it)")
+    if len(common) < 3:
+        raise SystemExit(
+            f"only {len(common)} kernels overlap the baseline - "
+            "median normalization needs at least 3"
+        )
+
+    ratios = {n: actual[n] / expected[n] for n in common}
+    scale = statistics.median(ratios.values())
+    print(f"machine-speed scale (median ratio): {scale:.3f}")
+    for name in common:
+        norm = ratios[name] / scale
+        tol = TOLERANCES.get(name, DEFAULT_TOLERANCE)
+        status = "ok"
+        if norm > tol:
+            status = "FAIL"
+            failures.append(
+                f"{name}: {actual[name]:.4f} ms vs baseline "
+                f"{expected[name]:.4f} ms (normalized {norm:.2f}x > {tol:.1f}x)"
+            )
+        elif norm < 1.0 / tol:
+            # Faster is not a failure, but flag it: either an optimization
+            # landed (regenerate the baseline) or the kernel's work got
+            # optimized away and it no longer measures anything.
+            status = "faster than baseline - consider --update"
+        print(
+            f"  {name}: {actual[name]:8.4f} ms  "
+            f"baseline {expected[name]:8.4f} ms  "
+            f"normalized {norm:5.2f}x  {status}"
+        )
+
+    if failures:
+        print(f"\n{len(failures)} kernel check(s) failed:", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        print(
+            "\nIf the change is intentional, regenerate the baseline:\n"
+            "  ./build/bench/micro_kernels --benchmark_min_time=0.2 && \\\n"
+            f"      scripts/check_bench.py --update BENCH_micro_kernels.json",
+            file=sys.stderr,
+        )
+        raise SystemExit(1)
+    print(f"all {len(common)} kernels within tolerance")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("actual", help="google-benchmark JSON output to check")
+    ap.add_argument("--baseline", default=DEFAULT_BASELINE)
+    ap.add_argument(
+        "--update",
+        action="store_true",
+        help="rewrite the baseline from this run instead of checking",
+    )
+    args = ap.parse_args()
+    if args.update:
+        update(args.baseline, args.actual)
+    else:
+        check(args.baseline, args.actual)
+
+
+if __name__ == "__main__":
+    main()

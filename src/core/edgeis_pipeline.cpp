@@ -6,6 +6,7 @@
 
 #include "core/local_trackers.hpp"
 #include "encoding/tiles.hpp"
+#include "features/klt.hpp"
 #include "features/matcher.hpp"
 #include "net/link.hpp"
 #include "net/protocol.hpp"
@@ -809,14 +810,53 @@ FrameOutput EdgeISPipeline::process(const scene::RenderedFrame& frame) {
   }
   prev_frame_ms_ = now_ms;
 
-  auto features = orb_.extract(frame.intensity);
-  double latency_ms =
-      cost_model_.feature_extract_base_ms +
-      cost_model_.feature_extract_us_per_feature *
-          static_cast<double>(features.size()) / 1000.0 +
-      cost_model_.render_ms;
-  stage("extract", latency_ms - cost_model_.render_ms,
-        {{"features", features.size()}});
+  // ---------------- Mobile front end: extract or KLT-track. --------------
+  // With klt_non_keyframes on, non-keyframe frames displace the previous
+  // frame's features by pyramidal KLT instead of re-running the full ORB
+  // extract. Keyframe-due frames, bootstrap, relocalization, and any frame
+  // whose predecessor's pyramid is unavailable fall back to extraction.
+  std::vector<feat::Feature> features;
+  bool features_tracked = false;
+  double frontend_ms = 0.0;
+  const bool klt_eligible =
+      config_.klt_non_keyframes && phase_ == Phase::kRunning &&
+      tracker_ != nullptr && !prev_features_.empty() &&
+      klt_prev_frame_ == frame.index - 1 && !klt_prev_pyr_.empty() &&
+      !tracker_->wants_fresh_features(frame.index);
+  if (klt_eligible) {
+    img::build_blurred_pyramid_into(
+        frame.intensity, orb_.options().pyramid_levels, klt_cur_pyr_);
+    std::vector<geom::Vec2> pts;
+    pts.reserve(prev_features_.size());
+    for (const auto& f : prev_features_) pts.push_back(f.kp.pixel);
+    const auto tracked = feat::track_features(klt_prev_pyr_, klt_cur_pyr_, pts);
+    features.reserve(pts.size());
+    for (std::size_t i = 0; i < tracked.size(); ++i) {
+      if (!tracked[i].ok) continue;
+      feat::Feature f = prev_features_[i];
+      f.kp.pixel = tracked[i].point;
+      features.push_back(f);
+    }
+    // Survival gate: heavy churn means the motion outran the solver
+    // window — re-detect rather than track a decimated feature set.
+    if (features.size() >= 24 && features.size() * 2 >= pts.size()) {
+      features_tracked = true;
+      frontend_ms = cost_model_.klt_track_base_ms +
+                    cost_model_.klt_track_us_per_feature *
+                        static_cast<double>(pts.size()) / 1000.0;
+      stage("klt_track", frontend_ms,
+            {{"tracked", features.size()}, {"attempted", pts.size()}});
+    }
+  }
+  if (!features_tracked) {
+    features = orb_.extract(frame.intensity);
+    if (config_.klt_non_keyframes) orb_.take_pyramid(klt_cur_pyr_);
+    frontend_ms = cost_model_.feature_extract_base_ms +
+                  cost_model_.feature_extract_us_per_feature *
+                      static_cast<double>(features.size()) / 1000.0;
+    stage("extract", frontend_ms, {{"features", features.size()}});
+  }
+  double latency_ms = frontend_ms + cost_model_.render_ms;
 
   // ---------------- Bootstrap / await phases. ----------------------------
   if (phase_ == Phase::kBootstrap) {
@@ -889,7 +929,8 @@ FrameOutput EdgeISPipeline::process(const scene::RenderedFrame& frame) {
     tracker_->set_initial_poses(prev_est, now_est);
     just_initialized_ = false;
   }
-  vo::FrameObservation obs = tracker_->track(frame.index, std::move(features));
+  vo::FrameObservation obs =
+      tracker_->track(frame.index, std::move(features), features_tracked);
   out.tracking_ok = obs.tracking_ok;
   if (!obs.tracking_ok) {
     rt::Log::debug("track fail f%d: matched=%d inliers=%d feats=%zu",
@@ -1144,6 +1185,10 @@ FrameOutput EdgeISPipeline::process(const scene::RenderedFrame& frame) {
     health_.mask_staleness_ms.add(now_ms - last_annotation_ms_);
   }
   prev_features_ = obs.features;
+  if (config_.klt_non_keyframes) {
+    klt_prev_pyr_.swap(klt_cur_pyr_);
+    klt_prev_frame_ = frame.index;
+  }
   out.map_memory_bytes = map_.memory_bytes();
   out.mobile_latency_ms = latency_ms;
   out.rendered_masks = render_queue_.push_and_render(

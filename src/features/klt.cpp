@@ -1,0 +1,134 @@
+#include "features/klt.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace edgeis::feat {
+namespace {
+
+/// One Lucas-Kanade refinement at a single pyramid level. `p` is the
+/// template center in the previous image, `g` the current guess for the
+/// same point in the current image (both in this level's coordinates);
+/// returns the refined guess. `ok` is cleared when the window is
+/// untrackable (degenerate gradient) or diverges out of the image.
+geom::Vec2 refine_level(const img::GrayImage& prev, const img::GrayImage& cur,
+                        const geom::Vec2& p, geom::Vec2 g,
+                        const KltOptions& opts, bool* ok) {
+  const int r = opts.window_radius;
+
+  // Template intensities and gradients (central differences, bilinear),
+  // sampled once: the inverse-compositional trick keeps the 2x2 normal
+  // matrix constant across iterations.
+  double tmpl[15 * 15];
+  double gx[15 * 15], gy[15 * 15];
+  double a11 = 0.0, a12 = 0.0, a22 = 0.0;
+  int idx = 0;
+  for (int dy = -r; dy <= r; ++dy) {
+    for (int dx = -r; dx <= r; ++dx, ++idx) {
+      const double sx = p.x + dx;
+      const double sy = p.y + dy;
+      tmpl[idx] = prev.sample_bilinear(sx, sy);
+      const double ix =
+          0.5 * (prev.sample_bilinear(sx + 1, sy) -
+                 prev.sample_bilinear(sx - 1, sy));
+      const double iy =
+          0.5 * (prev.sample_bilinear(sx, sy + 1) -
+                 prev.sample_bilinear(sx, sy - 1));
+      gx[idx] = ix;
+      gy[idx] = iy;
+      a11 += ix * ix;
+      a12 += ix * iy;
+      a22 += iy * iy;
+    }
+  }
+  const double det = a11 * a22 - a12 * a12;
+  if (det < opts.min_determinant) {
+    *ok = false;
+    return g;
+  }
+  const double inv11 = a22 / det, inv12 = -a12 / det, inv22 = a11 / det;
+
+  for (int it = 0; it < opts.max_iterations; ++it) {
+    if (g.x < r || g.y < r || g.x > cur.width() - 1 - r ||
+        g.y > cur.height() - 1 - r) {
+      *ok = false;
+      return g;
+    }
+    double b1 = 0.0, b2 = 0.0;
+    idx = 0;
+    for (int dy = -r; dy <= r; ++dy) {
+      for (int dx = -r; dx <= r; ++dx, ++idx) {
+        const double diff =
+            cur.sample_bilinear(g.x + dx, g.y + dy) - tmpl[idx];
+        b1 += gx[idx] * diff;
+        b2 += gy[idx] * diff;
+      }
+    }
+    const geom::Vec2 step{-(inv11 * b1 + inv12 * b2),
+                          -(inv12 * b1 + inv22 * b2)};
+    g = g + step;
+    if (step.norm() < opts.epsilon) break;
+  }
+  return g;
+}
+
+double mean_residual(const img::GrayImage& prev, const img::GrayImage& cur,
+                     const geom::Vec2& p, const geom::Vec2& g, int r) {
+  double sum = 0.0;
+  int count = 0;
+  for (int dy = -r; dy <= r; ++dy) {
+    for (int dx = -r; dx <= r; ++dx, ++count) {
+      sum += std::abs(cur.sample_bilinear(g.x + dx, g.y + dy) -
+                      prev.sample_bilinear(p.x + dx, p.y + dy));
+    }
+  }
+  return sum / count;
+}
+
+}  // namespace
+
+std::vector<TrackedPoint> track_features(
+    const std::vector<img::GrayImage>& prev_pyramid,
+    const std::vector<img::GrayImage>& cur_pyramid,
+    std::span<const geom::Vec2> points, const KltOptions& opts) {
+  std::vector<TrackedPoint> out(points.size());
+  const std::size_t levels =
+      std::min(prev_pyramid.size(), cur_pyramid.size());
+  if (levels == 0) return out;
+
+  // The per-level solver keeps the template window on the stack (15x15
+  // doubles): bound the radius accordingly.
+  KltOptions o = opts;
+  o.window_radius = std::clamp(o.window_radius, 1, 7);
+
+  const double coarse_scale =
+      static_cast<double>(1 << (levels - 1));  // full-res -> coarsest
+
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const geom::Vec2 p_full = points[i];
+    // Seed at the coarsest level with zero motion, refine down the
+    // pyramid; each finer level doubles the estimate.
+    geom::Vec2 g = p_full * (1.0 / coarse_scale);
+    bool ok = true;
+    for (std::size_t l = levels; l-- > 0;) {
+      const double scale = static_cast<double>(1 << l);
+      const geom::Vec2 p_level = p_full * (1.0 / scale);
+      g = refine_level(prev_pyramid[l], cur_pyramid[l], p_level, g, o,
+                       &ok);
+      if (!ok) break;
+      if (l > 0) g = g * 2.0;
+    }
+    if (ok) {
+      const int r = o.window_radius;
+      const auto& cur0 = cur_pyramid[0];
+      ok = g.x >= r && g.y >= r && g.x <= cur0.width() - 1 - r &&
+           g.y <= cur0.height() - 1 - r &&
+           mean_residual(prev_pyramid[0], cur0, p_full, g, r) <=
+               o.max_residual;
+    }
+    out[i] = {g, ok};
+  }
+  return out;
+}
+
+}  // namespace edgeis::feat

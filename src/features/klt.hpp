@@ -1,0 +1,42 @@
+// Pyramidal KLT (Lucas-Kanade) feature tracking: displace known feature
+// positions from one frame to the next instead of re-detecting them. The
+// VO front end uses this on non-keyframes (ROADMAP: "track, don't
+// re-detect" — cf. ssvo's kltTrack and YolactEdge's temporal reuse): a
+// full ORB extract per frame costs detection + description over the whole
+// pyramid, while tracking touches only a small window around each
+// surviving feature.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "geometry/vec.hpp"
+#include "image/image.hpp"
+
+namespace edgeis::feat {
+
+struct KltOptions {
+  int window_radius = 3;     // (2r+1)^2 template window
+  int max_iterations = 10;   // per pyramid level
+  double epsilon = 0.03;     // stop when the update norm falls below (px)
+  double max_residual = 18.0;   // mean |I_prev - I_cur| acceptance gate
+  double min_determinant = 1.0; // reject textureless/degenerate windows
+};
+
+struct TrackedPoint {
+  geom::Vec2 point;  // position in the current frame (full resolution)
+  bool ok = false;   // converged, in bounds, residual under the gate
+};
+
+/// Track `points` (full-resolution positions in the previous frame) into
+/// the current frame. Both pyramids must share dimensions and come from
+/// the same builder the extractor uses (img::build_blurred_pyramid_into),
+/// coarsest-level motion seeding finer levels. Inverse-compositional
+/// solver: the template gradient and its 2x2 normal matrix are computed
+/// once per level, each iteration only samples the current image.
+std::vector<TrackedPoint> track_features(
+    const std::vector<img::GrayImage>& prev_pyramid,
+    const std::vector<img::GrayImage>& cur_pyramid,
+    std::span<const geom::Vec2> points, const KltOptions& opts = {});
+
+}  // namespace edgeis::feat

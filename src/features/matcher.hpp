@@ -15,7 +15,12 @@ namespace edgeis::feat {
 
 struct MatchOptions {
   int max_distance = 64;       // Hamming; 256-bit descriptors
-  double ratio = 0.8;          // Lowe ratio: best < ratio * second-best
+  // Lowe ratio: best < ratio * second-best. The ratio test measures
+  // ambiguity between rivals; a query with exactly one candidate has no
+  // second-best and is accepted whenever it passes the distance gate —
+  // explicitly (see accept() in matcher.cpp), not by comparison against
+  // a 2^30 sentinel.
+  double ratio = 0.8;
   double search_radius = 24.0; // pixels, for windowed matching
 };
 
@@ -26,9 +31,18 @@ struct Match {
 };
 
 /// Brute-force matching with ratio test and mutual-best cross check.
+/// Internally packs descriptors contiguously and early-outs candidates
+/// against the running second-best (see feature.hpp); output is identical
+/// to match_brute_force_reference.
 std::vector<Match> match_brute_force(std::span<const Feature> set0,
                                      std::span<const Feature> set1,
                                      const MatchOptions& opts = {});
+
+/// Scalar reference implementation (plain double loop, no packing or
+/// early-out), kept for randomized equivalence tests.
+std::vector<Match> match_brute_force_reference(std::span<const Feature> set0,
+                                               std::span<const Feature> set1,
+                                               const MatchOptions& opts = {});
 
 /// Match each query feature against train features within `search_radius`
 /// of its predicted pixel position. `predictions[i]` is the expected pixel
@@ -47,11 +61,18 @@ class FeatureGrid {
   /// Indices of features within `radius` of `center`.
   [[nodiscard]] std::vector<std::size_t> query(const geom::Vec2& center,
                                                double radius) const;
+  /// Allocation-free variant: clears and refills `out` (hot path — the
+  /// windowed matcher reuses one buffer across all queries).
+  void query_into(const geom::Vec2& center, double radius,
+                  std::vector<std::size_t>& out) const;
 
  private:
+  // CSR storage: indices of cell c are indices_[cell_start_[c] ..
+  // cell_start_[c + 1]).
   int cell_size_;
   int cols_, rows_;
-  std::vector<std::vector<std::size_t>> cells_;
+  std::vector<std::size_t> cell_start_;
+  std::vector<std::size_t> indices_;
   std::vector<geom::Vec2> positions_;
 };
 

@@ -1,0 +1,33 @@
+#include "features/orb.hpp"
+
+#include <algorithm>
+
+namespace edgeis::feat {
+
+std::vector<Feature> OrbExtractor::extract(const img::GrayImage& image) const {
+  // Light blur suppresses point-sampling shimmer so FAST corners and
+  // BRIEF bits are stable across frames. Blur + pyramid go into reused
+  // extractor-owned buffers instead of fresh per-frame allocations.
+  img::build_blurred_pyramid_into(image, opts_.pyramid_levels, pyramid_);
+  std::vector<Feature> all;
+  double scale = 1.0;
+  for (std::size_t level = 0; level < pyramid_.size(); ++level) {
+    DetectorOptions d = opts_.detector;
+    // Fewer keypoints at coarser levels.
+    d.max_per_cell = std::max(1, d.max_per_cell >> level);
+    auto kps = detect_fast(pyramid_[level], d);
+    for (auto& kp : kps) {
+      kp.octave = static_cast<std::uint8_t>(level);
+      Feature f;
+      f.kp = kp;
+      f.desc = brief_.compute(pyramid_[level], kp);
+      // Report position at full resolution.
+      f.kp.pixel = kp.pixel * scale;
+      all.push_back(f);
+    }
+    scale *= 2.0;
+  }
+  return all;
+}
+
+}  // namespace edgeis::feat

@@ -21,35 +21,32 @@ class OrbExtractor {
  public:
   explicit OrbExtractor(OrbOptions opts = {}) : opts_(opts) {}
 
-  [[nodiscard]] std::vector<Feature> extract(const img::GrayImage& image) const {
-    // Light blur suppresses point-sampling shimmer so FAST corners and
-    // BRIEF bits are stable across frames.
-    const auto pyramid =
-        img::build_pyramid(img::box_blur3(image), opts_.pyramid_levels);
-    std::vector<Feature> all;
-    double scale = 1.0;
-    for (std::size_t level = 0; level < pyramid.size(); ++level) {
-      DetectorOptions d = opts_.detector;
-      // Fewer keypoints at coarser levels.
-      d.max_per_cell = std::max(1, d.max_per_cell >> level);
-      auto kps = detect_fast(pyramid[level], d);
-      for (auto& kp : kps) {
-        kp.octave = static_cast<std::uint8_t>(level);
-        Feature f;
-        f.kp = kp;
-        f.desc = brief_.compute(pyramid[level], kp);
-        // Report position at full resolution.
-        f.kp.pixel = kp.pixel * scale;
-        all.push_back(f);
-      }
-      scale *= 2.0;
-    }
-    return all;
+  /// Extract oriented-BRIEF features over the blurred pyramid. The blur
+  /// and pyramid level buffers are extractor-owned scratch reused across
+  /// frames (mutable: reuse is invisible to callers — same output as a
+  /// fresh extractor).
+  [[nodiscard]] std::vector<Feature> extract(const img::GrayImage& image) const;
+
+  /// The blurred pyramid of the most recent extract() call; valid until
+  /// the next call. The KLT front end tracks over the same pyramid the
+  /// descriptors were computed on.
+  [[nodiscard]] const std::vector<img::GrayImage>& last_pyramid() const {
+    return pyramid_;
   }
+
+  /// Swap the most recent pyramid into `dst` (and adopt dst's buffers as
+  /// the next extract's scratch). Lets the KLT front end keep the
+  /// keyframe pyramid alive without copying it.
+  void take_pyramid(std::vector<img::GrayImage>& dst) const {
+    dst.swap(pyramid_);
+  }
+
+  [[nodiscard]] const OrbOptions& options() const { return opts_; }
 
  private:
   OrbOptions opts_;
   BriefDescriptorExtractor brief_;
+  mutable std::vector<img::GrayImage> pyramid_;  // frame-scratch, reused
 };
 
 }  // namespace edgeis::feat

@@ -2,35 +2,65 @@
 
 namespace edgeis::img {
 
-GrayImage box_blur3(const GrayImage& src) {
-  GrayImage out(src.width(), src.height());
-  for (int y = 0; y < src.height(); ++y) {
-    for (int x = 0; x < src.width(); ++x) {
-      int sum = 0;
-      for (int dy = -1; dy <= 1; ++dy) {
-        for (int dx = -1; dx <= 1; ++dx) {
-          sum += src.at_clamped(x + dx, y + dy);
-        }
-      }
-      out.at(x, y) = static_cast<std::uint8_t>(sum / 9);
+void box_blur3_into(const GrayImage& src, GrayImage& dst) {
+  dst.resize(src.width(), src.height());
+  const int w = src.width();
+  const int h = src.height();
+  for (int y = 0; y < h; ++y) {
+    // Row pointers with clamped vertical neighbors: the three taps per
+    // column are contiguous loads the compiler can vectorize, instead of
+    // nine clamped random accesses per pixel.
+    const std::uint8_t* rm = src.row(std::max(0, y - 1));
+    const std::uint8_t* rc = src.row(y);
+    const std::uint8_t* rp = src.row(std::min(h - 1, y + 1));
+    std::uint8_t* out = dst.row(y);
+    if (w == 1) {
+      out[0] = static_cast<std::uint8_t>(
+          (3 * (rm[0] + rc[0] + rp[0])) / 9);
+      continue;
     }
+    // Left / right borders clamp horizontally.
+    out[0] = static_cast<std::uint8_t>(
+        (2 * (rm[0] + rc[0] + rp[0]) + rm[1] + rc[1] + rp[1]) / 9);
+    for (int x = 1; x < w - 1; ++x) {
+      const int sum = rm[x - 1] + rm[x] + rm[x + 1] + rc[x - 1] + rc[x] +
+                      rc[x + 1] + rp[x - 1] + rp[x] + rp[x + 1];
+      out[x] = static_cast<std::uint8_t>(sum / 9);
+    }
+    out[w - 1] = static_cast<std::uint8_t>(
+        (rm[w - 2] + rc[w - 2] + rp[w - 2] +
+         2 * (rm[w - 1] + rc[w - 1] + rp[w - 1])) /
+        9);
   }
+}
+
+GrayImage box_blur3(const GrayImage& src) {
+  GrayImage out;
+  box_blur3_into(src, out);
   return out;
 }
 
-GrayImage downsample2(const GrayImage& src) {
+void downsample2_into(const GrayImage& src, GrayImage& dst) {
   const int w = std::max(1, src.width() / 2);
   const int h = std::max(1, src.height() / 2);
-  GrayImage out(w, h);
+  dst.resize(w, h);
   for (int y = 0; y < h; ++y) {
+    const int sy = 2 * y;
+    const std::uint8_t* r0 = src.row(std::min(sy, src.height() - 1));
+    const std::uint8_t* r1 = src.row(std::min(sy + 1, src.height() - 1));
+    std::uint8_t* out = dst.row(y);
     for (int x = 0; x < w; ++x) {
-      const int sx = 2 * x, sy = 2 * y;
-      const int sum = src.at_clamped(sx, sy) + src.at_clamped(sx + 1, sy) +
-                      src.at_clamped(sx, sy + 1) +
-                      src.at_clamped(sx + 1, sy + 1);
-      out.at(x, y) = static_cast<std::uint8_t>(sum / 4);
+      const int sx = 2 * x;
+      const int sx1 = std::min(sx + 1, src.width() - 1);
+      out[x] = static_cast<std::uint8_t>(
+          (r0[sx] + r0[sx1] + r1[sx] + r1[sx1]) / 4);
     }
   }
+}
+
+GrayImage downsample2(const GrayImage& src) {
+  GrayImage out;
+  downsample2_into(src, out);
   return out;
 }
 
@@ -43,6 +73,22 @@ std::vector<GrayImage> build_pyramid(const GrayImage& src, int levels) {
     pyr.push_back(downsample2(pyr.back()));
   }
   return pyr;
+}
+
+void build_blurred_pyramid_into(const GrayImage& src, int levels,
+                                std::vector<GrayImage>& pyr) {
+  if (pyr.empty()) pyr.emplace_back();
+  box_blur3_into(src, pyr[0]);
+  std::size_t built = 1;
+  for (int l = 1; l < levels; ++l) {
+    if (pyr[built - 1].width() < 16 || pyr[built - 1].height() < 16) break;
+    if (pyr.size() <= built) pyr.emplace_back();
+    downsample2_into(pyr[built - 1], pyr[built]);
+    ++built;
+  }
+  // The level count is dimension-driven and stable across frames, so this
+  // resize is a no-op after the first call and the buffers are reused.
+  pyr.resize(built);
 }
 
 GrayImage sobel_magnitude(const GrayImage& src) {

@@ -57,6 +57,21 @@ class Image {
 
   void fill(T value) { std::fill(data_.begin(), data_.end(), value); }
 
+  /// Reshape to `width` x `height`, filling with `value`. Reuses the
+  /// existing allocation when capacity suffices — the frame-scratch path
+  /// (pyramid buffers, NMS grids) calls this every frame with the same
+  /// dimensions and never re-heap-allocates after the first frame.
+  void resize(int width, int height, T value = T{}) {
+    if (width < 0 || height < 0) {
+      throw std::invalid_argument("negative image dimensions");
+    }
+    width_ = width;
+    height_ = height;
+    data_.assign(
+        static_cast<std::size_t>(width) * static_cast<std::size_t>(height),
+        value);
+  }
+
   /// Bilinear interpolation at sub-pixel position; clamps at borders.
   [[nodiscard]] double sample_bilinear(double x, double y) const {
     const int x0 = static_cast<int>(std::floor(x));
@@ -90,6 +105,19 @@ GrayImage downsample2(const GrayImage& src);
 
 /// Gaussian-ish pyramid: level 0 is the input, each level half the size.
 std::vector<GrayImage> build_pyramid(const GrayImage& src, int levels);
+
+/// In-place variants reusing the caller's buffers (frame-scratch reuse:
+/// the extractor and the KLT front end rebuild the same pyramid every
+/// frame).
+void box_blur3_into(const GrayImage& src, GrayImage& dst);
+void downsample2_into(const GrayImage& src, GrayImage& dst);
+
+/// Rebuild `pyr` from `src`: level 0 is the 3x3-box-blurred input, each
+/// further level a 2x2-average downsample, stopping (as build_pyramid
+/// does) once a level falls under 16 pixels a side. Level buffers are
+/// reused across calls.
+void build_blurred_pyramid_into(const GrayImage& src, int levels,
+                                std::vector<GrayImage>& pyr);
 
 /// Sobel gradient magnitude (saturated to uint8), used for blurriness
 /// checks in feature selection (Section III-A).

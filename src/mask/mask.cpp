@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "runtime/arena.hpp"
+
 namespace edgeis::mask {
 
 std::optional<Box> InstanceMask::bounding_box() const {
@@ -155,26 +157,38 @@ Contour trace_boundary(const InstanceMask& m, int sx, int sy) {
 
 std::vector<Contour> find_contours(const InstanceMask& mask) {
   std::vector<Contour> contours;
-  img::Image<std::uint8_t> visited(mask.width(), mask.height(), 0);
+  const int w = mask.width();
+  const int h = mask.height();
+  // Frame-scratch reuse: the visited map is a full-frame buffer that used
+  // to be re-heap-allocated on every call (mask transfer runs this per
+  // instance per keyframe); the flood-fill stack keeps its capacity
+  // across calls the same way.
+  rt::ArenaScope scratch;
+  auto visited = scratch.alloc_filled<std::uint8_t>(
+      static_cast<std::size_t>(w) * static_cast<std::size_t>(h), 0);
+  const auto seen = [&](int px, int py) -> std::uint8_t& {
+    return visited[static_cast<std::size_t>(py) * static_cast<std::size_t>(w) +
+                   static_cast<std::size_t>(px)];
+  };
+  thread_local std::vector<std::pair<int, int>> stack;
 
-  for (int y = 0; y < mask.height(); ++y) {
-    for (int x = 0; x < mask.width(); ++x) {
-      if (!mask.get(x, y) || visited.at(x, y)) continue;
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      if (!mask.get(x, y) || seen(x, y)) continue;
       const bool is_boundary_start = !mask.get(x - 1, y);
       if (!is_boundary_start) continue;
-
-      // Skip components we already traced: check visited along this row.
-      if (visited.at(x, y)) continue;
 
       Contour c = trace_boundary(mask, x, y);
       // Mark the whole component visited via flood fill so inner starts on
       // the same blob don't retrace.
-      std::vector<std::pair<int, int>> stack{{x, y}};
+      stack.assign(1, {x, y});
       while (!stack.empty()) {
         auto [px, py] = stack.back();
         stack.pop_back();
-        if (!mask.get(px, py) || visited.at(px, py)) continue;
-        visited.at(px, py) = 1;
+        // mask.get bounds-checks, so out-of-range pushes die here before
+        // the visited lookup.
+        if (!mask.get(px, py) || seen(px, py)) continue;
+        seen(px, py) = 1;
         stack.push_back({px - 1, py});
         stack.push_back({px + 1, py});
         stack.push_back({px, py - 1});

@@ -1,0 +1,451 @@
+// Equivalence and regression tests for the vectorized mobile hot path:
+// the optimized kernels (batched Hamming matching, row-wise FAST, arena
+// scratch, pyramidal KLT) against their scalar references, plus the
+// matcher's single-candidate ratio-test semantics.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <optional>
+#include <vector>
+
+#include "features/detector.hpp"
+#include "features/feature.hpp"
+#include "features/klt.hpp"
+#include "features/matcher.hpp"
+#include "features/orb.hpp"
+#include "image/image.hpp"
+#include "mask/mask.hpp"
+#include "runtime/arena.hpp"
+#include "runtime/rng.hpp"
+
+using namespace edgeis;
+using namespace edgeis::feat;
+
+namespace {
+
+Descriptor random_descriptor(rt::Rng& rng) {
+  Descriptor d;
+  for (auto& w : d.bits) {
+    w = rng() ^ (rng() << 1);
+  }
+  return d;
+}
+
+/// Descriptor with exactly `n` bits set (Hamming distance n from zero).
+Descriptor descriptor_with_bits(int n) {
+  Descriptor d;
+  for (int i = 0; i < n; ++i) {
+    d.bits[static_cast<std::size_t>(i / 64)] |= 1ull << (i % 64);
+  }
+  return d;
+}
+
+Feature feature_at(double x, double y, const Descriptor& d) {
+  Feature f;
+  f.kp.pixel = {x, y};
+  f.desc = d;
+  return f;
+}
+
+img::GrayImage random_image(int w, int h, std::uint64_t seed) {
+  rt::Rng rng(seed);
+  img::GrayImage im(w, h);
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      im.at(x, y) = static_cast<std::uint8_t>(rng.uniform_int(256));
+    }
+  }
+  return im;
+}
+
+/// Blocky random image: cell borders are FAST-responsive L-corners and
+/// KLT-friendly texture (large coherent gradients, unlike iid noise).
+img::GrayImage blocky_image(int w, int h, int cell, std::uint64_t seed) {
+  rt::Rng rng(seed);
+  const int cols = (w + cell - 1) / cell;
+  const int rows = (h + cell - 1) / cell;
+  std::vector<std::uint8_t> levels;
+  for (int i = 0; i < cols * rows; ++i) {
+    levels.push_back(static_cast<std::uint8_t>(30 + rng.uniform_int(200)));
+  }
+  img::GrayImage im(w, h);
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      im.at(x, y) =
+          levels[static_cast<std::size_t>((y / cell) * cols + x / cell)];
+    }
+  }
+  return im;
+}
+
+img::GrayImage shifted(const img::GrayImage& src, int dx, int dy) {
+  img::GrayImage out(src.width(), src.height());
+  for (int y = 0; y < src.height(); ++y) {
+    for (int x = 0; x < src.width(); ++x) {
+      out.at(x, y) = src.at_clamped(x - dx, y - dy);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Hamming kernels vs scalar reference (exact: integer popcounts).
+
+TEST(Hamming, UnrolledMatchesReferenceOnRandomDescriptors) {
+  rt::Rng rng(7);
+  for (int i = 0; i < 2000; ++i) {
+    const Descriptor a = random_descriptor(rng);
+    const Descriptor b = random_descriptor(rng);
+    EXPECT_EQ(a.hamming_distance(b), hamming_distance_reference(a, b));
+  }
+}
+
+TEST(Hamming, BoundedIsExactBelowBoundAndNeverFalselySmall) {
+  rt::Rng rng(8);
+  for (int i = 0; i < 2000; ++i) {
+    const Descriptor a = random_descriptor(rng);
+    const Descriptor b = random_descriptor(rng);
+    const int exact = hamming_distance_reference(a, b);
+    const int bound = static_cast<int>(rng.uniform_int(300));
+    const int d = hamming_distance_bounded(a.bits[0], a.bits[1], a.bits[2],
+                                           a.bits[3], b.bits.data(), bound);
+    // Early-out may truncate the sum, but only once the partial sum has
+    // already reached the bound — so the result is either exact or >= bound
+    // (and a result under the bound is always the exact distance).
+    if (d < bound) {
+      EXPECT_EQ(d, exact);
+    } else {
+      EXPECT_LE(d, exact);
+    }
+    if (exact < bound) {
+      EXPECT_EQ(d, exact);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// FAST detector vs scalar reference (exact: same scores, same order).
+
+TEST(Detector, FastMatchesReferenceOnRandomImages) {
+  for (std::uint64_t seed : {1ull, 2ull, 3ull}) {
+    const auto noise = random_image(160, 120, seed);
+    const auto a = detect_fast(noise, {});
+    const auto b = detect_fast_reference(noise, {});
+    ASSERT_EQ(a.size(), b.size()) << "seed " << seed;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].pixel.x, b[i].pixel.x);
+      EXPECT_EQ(a[i].pixel.y, b[i].pixel.y);
+      EXPECT_EQ(a[i].score, b[i].score);
+    }
+  }
+}
+
+TEST(Detector, FastMatchesReferenceAcrossOptionVariations) {
+  DetectorOptions strict;
+  strict.threshold = 24;
+  DetectorOptions loose;
+  loose.threshold = 6;
+  loose.max_per_cell = 12;
+  DetectorOptions wide_nms;
+  wide_nms.nms_radius = 8;
+  for (const auto& opts : {DetectorOptions{}, strict, loose, wide_nms}) {
+    const auto im = random_image(200, 150, 91);
+    const auto a = detect_fast(im, opts);
+    const auto b = detect_fast_reference(im, opts);
+    ASSERT_EQ(a.size(), b.size());
+    ASSERT_GT(a.size(), 0u);  // noise must actually fire the segment test
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].pixel.x, b[i].pixel.x);
+      EXPECT_EQ(a[i].pixel.y, b[i].pixel.y);
+      EXPECT_EQ(a[i].score, b[i].score);
+      EXPECT_EQ(a[i].angle, b[i].angle);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Brute-force matcher vs scalar reference (exact).
+
+TEST(BruteForce, MatchesReferenceOnRandomSets) {
+  rt::Rng rng(21);
+  for (int round = 0; round < 20; ++round) {
+    const std::size_t n0 = 1 + rng.uniform_int(80);
+    const std::size_t n1 = 1 + rng.uniform_int(80);
+    std::vector<Feature> s0, s1;
+    for (std::size_t i = 0; i < n0; ++i) {
+      s0.push_back(feature_at(0, 0, random_descriptor(rng)));
+    }
+    for (std::size_t i = 0; i < n1; ++i) {
+      s1.push_back(feature_at(0, 0, random_descriptor(rng)));
+    }
+    // Plant near-duplicates so some matches actually pass the gates.
+    for (std::size_t i = 0; i < std::min(n0, n1); i += 3) {
+      s1[i].desc = s0[i].desc;
+      s1[i].desc.bits[0] ^= 0x5ull;  // 2-bit perturbation
+    }
+    const auto fast = match_brute_force(s0, s1);
+    const auto ref = match_brute_force_reference(s0, s1);
+    ASSERT_EQ(fast.size(), ref.size()) << "round " << round;
+    for (std::size_t i = 0; i < fast.size(); ++i) {
+      EXPECT_EQ(fast[i].index0, ref[i].index0);
+      EXPECT_EQ(fast[i].index1, ref[i].index1);
+      EXPECT_EQ(fast[i].distance, ref[i].distance);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Single-candidate and tie semantics of the ratio test (the old code left
+// the second-best at 2^30 for lone candidates, accepting ANY of them).
+
+TEST(RatioTest, LoneUnambiguousCandidateAccepted) {
+  const std::vector<Feature> q{feature_at(10, 10, descriptor_with_bits(0))};
+  const std::vector<Feature> t{feature_at(12, 11, descriptor_with_bits(8))};
+  for (const auto& m :
+       {match_brute_force(q, t),
+        match_windowed(q, {{std::optional<geom::Vec2>{{12.0, 11.0}}}}, t)}) {
+    ASSERT_EQ(m.size(), 1u);
+    EXPECT_EQ(m[0].index0, 0u);
+    EXPECT_EQ(m[0].index1, 0u);
+    EXPECT_EQ(m[0].distance, 8);
+  }
+}
+
+TEST(RatioTest, LoneCandidateInsideGateAcceptedExplicitly) {
+  // Distance 60 passes the max_distance (64) gate; with no second-best
+  // the ratio test has no ambiguity to measure, so the lone candidate is
+  // accepted — by the explicit missing-second-best branch in accept(),
+  // not by sentinel arithmetic.
+  const std::vector<Feature> q{feature_at(10, 10, descriptor_with_bits(0))};
+  const std::vector<Feature> t{feature_at(12, 11, descriptor_with_bits(60))};
+  for (const auto& m :
+       {match_brute_force(q, t),
+        match_windowed(q, {{std::optional<geom::Vec2>{{12.0, 11.0}}}}, t)}) {
+    ASSERT_EQ(m.size(), 1u);
+    EXPECT_EQ(m[0].distance, 60);
+  }
+}
+
+TEST(RatioTest, LoneCandidatePastGateRejected) {
+  // The distance gate still applies to lone candidates: distance 65 > 64.
+  const std::vector<Feature> q{feature_at(10, 10, descriptor_with_bits(0))};
+  const std::vector<Feature> t{feature_at(12, 11, descriptor_with_bits(65))};
+  EXPECT_TRUE(match_brute_force(q, t).empty());
+  EXPECT_TRUE(
+      match_windowed(q, {{std::optional<geom::Vec2>{{12.0, 11.0}}}}, t)
+          .empty());
+}
+
+TEST(RatioTest, TiedCandidatesRejected) {
+  // Two candidates at identical distance: best == second-best fails the
+  // strict ratio inequality (the match is ambiguous).
+  const std::vector<Feature> q{feature_at(10, 10, descriptor_with_bits(0))};
+  std::vector<Feature> t{feature_at(12, 11, descriptor_with_bits(4)),
+                         feature_at(14, 9, descriptor_with_bits(4))};
+  // Same popcount but different bits (distance to each other nonzero).
+  t[1].desc = Descriptor{};
+  t[1].desc.bits[3] = 0xFull;
+  EXPECT_TRUE(match_brute_force(q, t).empty());
+  EXPECT_TRUE(
+      match_windowed(q, {{std::optional<geom::Vec2>{{12.0, 11.0}}}}, t)
+          .empty());
+}
+
+TEST(RatioTest, WindowedTrainClaimReplacedByCloserQuery) {
+  // Two queries whose only in-window candidate is the same train feature:
+  // the later, closer query must replace the earlier claim, leaving
+  // exactly one match.
+  std::vector<Feature> q{feature_at(10, 10, descriptor_with_bits(8)),
+                         feature_at(11, 10, descriptor_with_bits(0))};
+  const std::vector<Feature> t{feature_at(12, 11, descriptor_with_bits(0))};
+  const std::vector<std::optional<geom::Vec2>> preds{
+      geom::Vec2{12.0, 11.0}, geom::Vec2{12.0, 11.0}};
+  const auto m = match_windowed(q, preds, t);
+  ASSERT_EQ(m.size(), 1u);
+  EXPECT_EQ(m[0].index0, 1u);  // the distance-0 query wins the claim
+  EXPECT_EQ(m[0].index1, 0u);
+  EXPECT_EQ(m[0].distance, 0);
+}
+
+// ---------------------------------------------------------------------------
+// Image pyramid scratch path vs the allocating composition it replaced.
+
+TEST(Pyramid, ReusedBuffersMatchAllocatingPath) {
+  const auto im = blocky_image(200, 150, 16, 5);
+  const auto expected = img::build_pyramid(img::box_blur3(im), 3);
+  std::vector<img::GrayImage> pyr;
+  for (int round = 0; round < 2; ++round) {  // second round reuses buffers
+    img::build_blurred_pyramid_into(im, 3, pyr);
+    ASSERT_EQ(pyr.size(), expected.size());
+    for (std::size_t l = 0; l < pyr.size(); ++l) {
+      ASSERT_EQ(pyr[l].width(), expected[l].width());
+      ASSERT_EQ(pyr[l].height(), expected[l].height());
+      for (int y = 0; y < pyr[l].height(); ++y) {
+        for (int x = 0; x < pyr[l].width(); ++x) {
+          ASSERT_EQ(pyr[l].at(x, y), expected[l].at(x, y))
+              << "level " << l << " (" << x << "," << y << ")";
+        }
+      }
+    }
+  }
+}
+
+TEST(Pyramid, OrbExtractDeterministicAcrossScratchReuse) {
+  const auto im = blocky_image(160, 120, 16, 11);
+  OrbExtractor orb;
+  const auto first = orb.extract(im);
+  const auto second = orb.extract(im);  // reuses the pyramid buffers
+  ASSERT_EQ(first.size(), second.size());
+  ASSERT_GT(first.size(), 0u);
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(first[i].kp.pixel.x, second[i].kp.pixel.x);
+    EXPECT_EQ(first[i].kp.pixel.y, second[i].kp.pixel.y);
+    EXPECT_EQ(first[i].desc.bits, second[i].desc.bits);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Arena scratch allocator.
+
+TEST(Arena, ScopeRestoresAndCapacityIsRetained) {
+  rt::Arena arena;
+  {
+    rt::ArenaScope outer(arena);
+    auto a = outer.alloc_filled<int>(1000, 7);
+    ASSERT_EQ(a.size(), 1000u);
+    for (int v : a) ASSERT_EQ(v, 7);
+    {
+      rt::ArenaScope inner(arena);
+      auto b = inner.alloc<double>(500);
+      ASSERT_EQ(b.size(), 500u);
+      // Outer allocation untouched by inner activity.
+      for (int v : a) ASSERT_EQ(v, 7);
+    }
+    auto c = outer.alloc_filled<int>(10, 3);
+    for (int v : c) ASSERT_EQ(v, 3);
+  }
+  const std::size_t reserved = arena.bytes_reserved();
+  EXPECT_GT(reserved, 0u);
+  {
+    rt::ArenaScope again(arena);
+    (void)again.alloc<int>(1000);
+  }
+  // Same demand, no new blocks.
+  EXPECT_EQ(arena.bytes_reserved(), reserved);
+}
+
+TEST(Arena, AlignmentHolds) {
+  rt::Arena arena;
+  rt::ArenaScope s(arena);
+  (void)s.alloc<std::uint8_t>(3);  // misalign the bump pointer
+  auto d = s.alloc<double>(4);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(d.data()) % alignof(double), 0u);
+}
+
+TEST(Arena, FindContoursStableAcrossScratchReuse) {
+  mask::InstanceMask m(64, 48);
+  for (int y = 10; y < 30; ++y) {
+    for (int x = 8; x < 40; ++x) m.set(x, y);
+  }
+  const auto first = mask::find_contours(m);
+  const auto second = mask::find_contours(m);  // arena-reused visited map
+  ASSERT_EQ(first.size(), second.size());
+  ASSERT_EQ(first.size(), 1u);
+  ASSERT_EQ(first[0].size(), second[0].size());
+  for (std::size_t i = 0; i < first[0].size(); ++i) {
+    EXPECT_EQ(first[0][i].x, second[0][i].x);
+    EXPECT_EQ(first[0][i].y, second[0][i].y);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Pyramidal KLT: recover a known rigid shift, and stay glued to
+// re-detected corners (the drift bound that justifies track-don't-redetect).
+
+TEST(Klt, RecoversIntegerShift) {
+  const auto prev = blocky_image(256, 192, 16, 17);
+  const auto cur = shifted(prev, 5, -3);
+  std::vector<img::GrayImage> prev_pyr, cur_pyr;
+  img::build_blurred_pyramid_into(prev, 3, prev_pyr);
+  img::build_blurred_pyramid_into(cur, 3, cur_pyr);
+
+  // Track the cell corners of the block grid: each 7x7 window there spans
+  // four independently-leveled cells, so both gradient directions are
+  // populated (well-conditioned normal matrix). Stay clear of the image
+  // border so the shifted window remains in-image.
+  std::vector<geom::Vec2> pts;
+  for (int cy = 32; cy <= 160; cy += 16) {
+    for (int cx = 32; cx <= 224; cx += 16) {
+      pts.push_back({static_cast<double>(cx), static_cast<double>(cy)});
+    }
+  }
+  ASSERT_GT(pts.size(), 20u);
+
+  const auto tracked = track_features(prev_pyr, cur_pyr, pts);
+  int ok = 0, accurate = 0;
+  for (std::size_t i = 0; i < tracked.size(); ++i) {
+    if (!tracked[i].ok) continue;
+    ++ok;
+    const double ex = pts[i].x + 5, ey = pts[i].y - 3;
+    if (std::abs(tracked[i].point.x - ex) < 0.5 &&
+        std::abs(tracked[i].point.y - ey) < 0.5) {
+      ++accurate;
+    }
+  }
+  // Most points survive and land within half a pixel of the true shift.
+  EXPECT_GT(ok, static_cast<int>(pts.size()) * 7 / 10);
+  EXPECT_GT(accurate, ok * 8 / 10);
+}
+
+TEST(Klt, DriftStaysBoundedAgainstRedetection) {
+  // Walk an image through 6 one-pixel shifts, tracking continuously, and
+  // compare the tracked positions against fresh detection on the final
+  // frame: accumulated drift must stay sub-pixel for most survivors.
+  const auto base = blocky_image(256, 192, 16, 23);
+  std::vector<img::GrayImage> prev_pyr, cur_pyr;
+  img::build_blurred_pyramid_into(base, 3, prev_pyr);
+
+  // Cell corners again (see RecoversIntegerShift): well-conditioned
+  // windows, wide interior margin for the accumulated shift.
+  std::vector<geom::Vec2> pts, origins;
+  for (int cy = 32; cy <= 160; cy += 16) {
+    for (int cx = 32; cx <= 208; cx += 16) {
+      pts.push_back({static_cast<double>(cx), static_cast<double>(cy)});
+      origins.push_back(pts.back());
+    }
+  }
+  ASSERT_GT(pts.size(), 20u);
+
+  std::vector<bool> alive(pts.size(), true);
+  int total_dx = 0;
+  for (int step = 1; step <= 6; ++step) {
+    total_dx = step;
+    const auto cur = shifted(base, total_dx, 0);
+    img::build_blurred_pyramid_into(cur, 3, cur_pyr);
+    const auto tracked = track_features(prev_pyr, cur_pyr, pts);
+    for (std::size_t i = 0; i < pts.size(); ++i) {
+      if (!alive[i]) continue;
+      if (!tracked[i].ok) {
+        alive[i] = false;
+        continue;
+      }
+      pts[i] = tracked[i].point;
+    }
+    prev_pyr.swap(cur_pyr);
+  }
+
+  int survivors = 0, tight = 0;
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    if (!alive[i]) continue;
+    ++survivors;
+    // After 6 chained solves the point should sit on origin + (6, 0).
+    if (std::abs(pts[i].x - (origins[i].x + total_dx)) < 1.0 &&
+        std::abs(pts[i].y - origins[i].y) < 1.0) {
+      ++tight;
+    }
+  }
+  EXPECT_GT(survivors, static_cast<int>(pts.size()) / 2);
+  EXPECT_GT(tight, survivors * 3 / 4);
+}

@@ -135,6 +135,26 @@ TEST(EdgeIsPipeline, DeterministicAcrossRuns) {
   EXPECT_EQ(ra.total_tx_bytes, rb.total_tx_bytes);
 }
 
+TEST(EdgeIsPipeline, KltFrontEndKeepsAccuracyAndCutsMobileLatency) {
+  const auto scfg = quick_scene();
+  scene::SceneSimulator sim(scfg);
+  PipelineConfig off;
+  PipelineConfig on;
+  on.klt_non_keyframes = true;
+  EdgeISPipeline p_off(scfg, off), p_on(scfg, on);
+  const auto r_off = run_pipeline(sim, p_off, 60);
+  const auto r_on = run_pipeline(sim, p_on, 60);
+  EXPECT_TRUE(p_on.initialized());
+  // Displacing features by KLT on non-keyframes instead of re-extracting
+  // must not meaningfully change the rendered masks...
+  EXPECT_GT(r_on.summary.mean_iou, r_off.summary.mean_iou - 0.05);
+  EXPECT_GT(r_on.summary.mean_iou, 0.5);
+  // ...and must actually engage: extraction dominates the mobile frame
+  // cost, so the tracked frames pull the mean down measurably.
+  EXPECT_LT(r_on.summary.mean_latency_ms,
+            r_off.summary.mean_latency_ms - 0.5);
+}
+
 TEST(EdgeIsPipeline, CiiaReducesEdgeLatency) {
   const auto scfg = quick_scene();
   scene::SceneSimulator sim(scfg);
