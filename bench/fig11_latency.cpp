@@ -11,6 +11,7 @@
 #include <cstdlib>
 
 #include "bench/common.hpp"
+#include "runtime/critpath.hpp"
 
 using namespace edgeis;
 using bench::System;
@@ -39,6 +40,7 @@ int main() {
   std::vector<int> frame_counts;
   int chunks = 0, partials = 0, responses = 0;
   rt::Tracer::StageStats chunk_transfer;
+  rt::CritPathAnalysis critpath;
   for (System s : systems) {
     rt::Tracer tracer;
     const auto r = bench::run_system(s, scene_cfg, cfg, bench::kWarmupFrames,
@@ -95,6 +97,7 @@ int main() {
       }
       auto down = tracer.aggregate(rt::track::kDownlink, warmup_ms);
       chunk_transfer = down["downlink"];
+      critpath = rt::CritPathAnalysis::from_trace(tracer, warmup_ms);
     }
   }
 
@@ -125,6 +128,52 @@ int main() {
       chunks, responses, partials,
       chunk_transfer.count > 0 ? chunk_transfer.mean_ms() : 0.0,
       chunk_transfer.count);
+
+  // Critical-path attribution (runtime/critpath.hpp): every completed
+  // edgeIS request's [send, response] span partitioned into contiguous
+  // stages. Two hard checks: the stages must sum to the span exactly
+  // (clamped-monotone milestones guarantee it — a violation means the
+  // analyzer mis-paired events), and on first-attempt requests the
+  // reconstructed span must agree with the pipeline's own rtt_ms
+  // annotation to 1% (an independent clock).
+  if (critpath.requests().empty()) {
+    std::fprintf(stderr, "FATAL: critical-path analysis found no "
+                         "completed edgeIS requests\n");
+    return 1;
+  }
+  for (const auto& cp : critpath.requests()) {
+    if (std::fabs(cp.stages.sum_ms() - cp.span_ms()) > 1e-6) {
+      std::fprintf(stderr,
+                   "FATAL: request %d stages sum to %.6f ms over a "
+                   "%.6f ms span\n",
+                   cp.request, cp.stages.sum_ms(), cp.span_ms());
+      return 1;
+    }
+    if (cp.attempt == 0 && std::fabs(cp.span_ms() - cp.rtt_arg_ms) >
+                               0.01 * cp.rtt_arg_ms + 1e-6) {
+      std::fprintf(stderr,
+                   "FATAL: request %d reconstructed span %.3f ms "
+                   "disagrees with ledger rtt %.3f ms\n",
+                   cp.request, cp.span_ms(), cp.rtt_arg_ms);
+      return 1;
+    }
+  }
+  const auto roll = critpath.rollup();
+  const auto mean = roll.mean();
+  std::printf("\nedgeIS critical path (mean ms over %d post-warmup "
+              "requests, %d batched riders):\n",
+              roll.requests, roll.riders);
+  eval::print_table_header({"retry", "upQ", "upTx", "gpuWait", "compute",
+                            "stream", "dnQ", "dnTx", "pickup", "span"});
+  eval::print_table_row(
+      {eval::fmt(mean.uplink_retry_ms, 2), eval::fmt(mean.uplink_queue_ms, 2),
+       eval::fmt(mean.uplink_transit_ms, 2), eval::fmt(mean.gpu_wait_ms, 2),
+       eval::fmt(mean.compute_ms, 2), eval::fmt(mean.stream_tail_ms, 2),
+       eval::fmt(mean.downlink_queue_ms, 2),
+       eval::fmt(mean.downlink_transit_ms, 2), eval::fmt(mean.pickup_ms, 2),
+       eval::fmt(roll.mean_span_ms(), 2)});
+  std::printf("render (outside span): %.2f ms over %d applying frames\n",
+              roll.mean_render_ms(), roll.render_count);
 
   std::printf(
       "\nPaper shape: edgeIS stays within the 33 ms frame budget; the\n"

@@ -1,23 +1,42 @@
 // Fleet scaling: 1 -> 64 EdgeISPipeline clients interleaved on one event
 // scheduler against a single shared edge GPU (admission gate + batched
 // CIIA passes, core/fleet.hpp). Each rung of the ladder reports pooled
-// accuracy and tail latency, the stale-mask rate, and the GPU's own
-// accounting (batches formed, rejects issued, clients pushed into MAMT
-// degraded mode), plus machine-readable HEADLINE lines the nightly CI
-// job diffs against checked-in expectations (scripts/check_headline.py).
+// accuracy and tail latency, the stale-mask rate, the GPU's own accounting
+// (batches formed, rejects issued, clients pushed into MAMT degraded
+// mode), and the full observability stack of this bench: a per-rung
+// critical-path waterfall (runtime/critpath.hpp, from an internal
+// instants-only tracer every rung carries), pooled staleness-SLO
+// violations, and the measured footprint of the sketch-backed metrics
+// registry. Machine-readable HEADLINE lines carry all of it for the
+// nightly CI diff (scripts/check_headline.py).
 //
 // Deterministic per seed: the scheduler breaks simultaneous captures
 // FIFO, client RNG streams are decorrelated by construction, and the GPU
-// dispatches in simulated-time order. `--trace out.json` additionally
-// exports a Chrome trace of one rung (default 4 clients, override with
-// `--trace-clients N`): every client under its own track group, the
-// shared GPU on one.
+// dispatches in simulated-time order. Observability is observational by
+// construction — the waterfall columns of a rung are identical whether it
+// runs inside the full ladder or alone (--rung N), traced or untraced,
+// sampled or not; the CI job diffs exactly that.
+//
+// Flags:
+//   --trace out.json      export a Chrome trace of one rung
+//   --trace-clients N     which rung --trace exports (default 4)
+//   --trace-sample N      keep full B/E spans for only the first N
+//                         clients of the exported rung; the rest keep
+//                         instants/X/counters (waterfalls unaffected)
+//   --rung N              run a single rung instead of the ladder
+//   --flight-recorder d   write anomaly postmortems under d/clients-NN/
+//   --metrics out.json    write the last rung's metrics snapshot
 #include <cstdlib>
 #include <cstring>
+#include <memory>
+#include <string>
 #include <vector>
 
 #include "bench/common.hpp"
 #include "core/fleet.hpp"
+#include "runtime/critpath.hpp"
+#include "runtime/flight_recorder.hpp"
+#include "runtime/metrics.hpp"
 
 using namespace edgeis;
 
@@ -27,7 +46,7 @@ core::FleetConfig make_fleet(int clients, int frames) {
   core::FleetConfig config;
   config.gpu.admission_queue_limit = 8;
   config.gpu.max_batch = 8;
-  config.warmup_frames = 45;  // steady state well before the 120-frame rung ends
+  config.warmup_frames = 45;  // steady state well before the rung ends
   // Mixed workload: the rungs of the ladder rotate through the dataset
   // presets so the shared GPU sees heterogeneous scenes, and every client
   // gets its own scene seed and pipeline seed.
@@ -47,17 +66,33 @@ core::FleetConfig make_fleet(int clients, int frames) {
 
 int main(int argc, char** argv) {
   const char* trace_path = nullptr;
+  const char* flight_dir = nullptr;
+  const char* metrics_path = nullptr;
   int trace_clients = 4;
+  int trace_sample = -1;
+  int rung_only = 0;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
       trace_path = argv[++i];
     } else if (std::strcmp(argv[i], "--trace-clients") == 0 &&
                i + 1 < argc) {
       trace_clients = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--trace-sample") == 0 && i + 1 < argc) {
+      trace_sample = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--rung") == 0 && i + 1 < argc) {
+      rung_only = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--flight-recorder") == 0 &&
+               i + 1 < argc) {
+      flight_dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--metrics") == 0 && i + 1 < argc) {
+      metrics_path = argv[++i];
     } else {
-      std::fprintf(stderr,
-                   "usage: %s [--trace out.json] [--trace-clients N]\n",
-                   argv[0]);
+      std::fprintf(
+          stderr,
+          "usage: %s [--trace out.json] [--trace-clients N]\n"
+          "          [--trace-sample N] [--rung N]\n"
+          "          [--flight-recorder dir] [--metrics out.json]\n",
+          argv[0]);
       return 2;
     }
   }
@@ -69,20 +104,61 @@ int main(int argc, char** argv) {
   // ~127x one pipeline run — shorter rungs than the single-client figure
   // benches keep the whole sweep inside a nightly budget.
   const int frames = 120;
-  const int ladder[] = {1, 2, 4, 8, 16, 32, 64};
+  const int full_ladder[] = {1, 2, 4, 8, 16, 32, 64};
+  std::vector<int> ladder;
+  if (rung_only > 0) {
+    ladder.push_back(rung_only);
+  } else {
+    ladder.assign(std::begin(full_ladder), std::end(full_ladder));
+  }
+  // All presets run at the default 30 fps, so the scored window starts at
+  // the same sim time for every client.
+  const double warmup_ms = 45.0 / 30.0 * 1000.0;
 
   eval::print_table_header({"clients", "IoU", "p50 ms", "p99 ms", "stale",
                             "rejects", "batches", "mean batch",
                             "degraded"});
 
+  struct RungWaterfall {
+    int clients = 0;
+    rt::CritPathRollup rollup;
+  };
+  std::vector<RungWaterfall> waterfalls;
   rt::Tracer tracer;
   bool traced = false;
   for (int clients : ladder) {
     const bool trace_this =
         trace_path != nullptr && clients == trace_clients;
-    const auto result = core::run_fleet(make_fleet(clients, frames),
-                                        trace_this ? &tracer : nullptr);
+    // Every rung carries the observability stack. The critical-path
+    // analyzer only consumes X/i events, so the untraced rungs run an
+    // internal instants-only tracer (no B/E stage spans retained) and
+    // still produce the exact waterfall a fully traced run would.
+    rt::Tracer rung_tracer;
+    rung_tracer.set_default_detail(rt::Tracer::Detail::kInstants);
+    rt::Tracer* active = trace_this ? &tracer : &rung_tracer;
     traced |= trace_this;
+
+    rt::MetricsRegistry metrics;
+    std::unique_ptr<rt::FlightRecorder> flight;
+    if (flight_dir != nullptr) {
+      char sub[32];
+      std::snprintf(sub, sizeof(sub), "/clients-%02d", clients);
+      flight =
+          std::make_unique<rt::FlightRecorder>(flight_dir + std::string(sub));
+    }
+
+    auto config = make_fleet(clients, frames);
+    config.metrics = &metrics;
+    config.sink = flight.get();
+    if (trace_this) config.trace_sample = trace_sample;
+    const auto result = core::run_fleet(config, active);
+
+    const auto critpath =
+        rt::CritPathAnalysis::from_trace(*active, warmup_ms);
+    waterfalls.push_back({clients, critpath.rollup()});
+    const auto mean = waterfalls.back().rollup.mean();
+    const auto& roll = waterfalls.back().rollup;
+
     const double mean_batch =
         result.gpu.batches > 0
             ? static_cast<double>(result.gpu.batched_requests) /
@@ -99,14 +175,59 @@ int main(int argc, char** argv) {
     std::printf(
         "HEADLINE scenario=clients-%02d system=fleet iou=%.4f "
         "p50_ms=%.1f p99_ms=%.1f stale_rate=%.4f rejects=%d batches=%d "
-        "mean_batch=%.2f degraded=%d\n",
+        "mean_batch=%.2f degraded=%d up_ms=%.2f gpu_wait_ms=%.2f "
+        "gpu_ms=%.2f stream_ms=%.2f down_ms=%.2f pickup_ms=%.2f "
+        "rtt_ms=%.2f cp_requests=%d slo_viol=%d metrics_kb=%.1f\n",
         clients, result.mean_iou, result.p50_latency_ms,
         result.p99_latency_ms, result.stale_rate,
         result.gpu.admission_rejects, result.gpu.batches, mean_batch,
-        result.degraded_clients);
+        result.degraded_clients,
+        mean.uplink_retry_ms + mean.uplink_queue_ms + mean.uplink_transit_ms,
+        mean.gpu_wait_ms, mean.compute_ms, mean.stream_tail_ms,
+        mean.downlink_queue_ms + mean.downlink_transit_ms, mean.pickup_ms,
+        roll.mean_span_ms(), roll.requests, result.slo.violations,
+        static_cast<double>(result.metrics_memory_bytes) / 1024.0);
+    if (flight != nullptr && !flight->dumps().empty()) {
+      std::printf("flight-recorder: %d triggers, %zu dumps under "
+                  "%s/clients-%02d\n",
+                  flight->triggers_fired(), flight->dumps().size(),
+                  flight_dir, clients);
+    }
+    if (metrics_path != nullptr) {
+      // Last executed rung wins — under --rung N that is rung N, which is
+      // how the nightly job snapshots the 64-client registry.
+      if (!metrics.write_json(metrics_path)) {
+        std::fprintf(stderr, "error: cannot write %s\n", metrics_path);
+        return 1;
+      }
+    }
     // The big rungs take minutes: flush so a piped consumer (CI log, tee)
     // sees each row as it lands rather than losing everything on a kill.
     std::fflush(stdout);
+  }
+
+  // Per-rung critical-path waterfall: where a request's span goes as the
+  // fleet grows. gpuWait is the column to watch — admission queue + CIIA
+  // batch collection is the contended resource; the link columns stay
+  // flat because every client owns its links.
+  std::printf("\nCritical-path waterfall (mean ms per completed request, "
+              "post-warmup):\n");
+  eval::print_table_header({"clients", "retry", "upQ", "upTx", "gpuWait",
+                            "compute", "stream", "dnQ", "dnTx", "pickup",
+                            "span", "reqs", "riders"});
+  for (const auto& w : waterfalls) {
+    const auto mean = w.rollup.mean();
+    eval::print_table_row(
+        {std::to_string(w.clients), eval::fmt(mean.uplink_retry_ms, 2),
+         eval::fmt(mean.uplink_queue_ms, 2),
+         eval::fmt(mean.uplink_transit_ms, 2),
+         eval::fmt(mean.gpu_wait_ms, 2), eval::fmt(mean.compute_ms, 2),
+         eval::fmt(mean.stream_tail_ms, 2),
+         eval::fmt(mean.downlink_queue_ms, 2),
+         eval::fmt(mean.downlink_transit_ms, 2),
+         eval::fmt(mean.pickup_ms, 2), eval::fmt(w.rollup.mean_span_ms(), 2),
+         std::to_string(w.rollup.requests),
+         std::to_string(w.rollup.riders)});
   }
 
   std::printf(

@@ -118,9 +118,19 @@ int main(int argc, char** argv) {
   scene::SceneSimulator sim(scene_cfg);
   rt::Tracer tracer;
   const bool tracing = !trace_path.empty();
+  // With --metrics, the edgeIS pipeline streams its ledger counters, RTT
+  // estimator gauges and the mask-staleness sketch into the registry live
+  // (pre-registered handles, no per-event lookups); the remaining summary
+  // fields are filled in after the run below.
+  rt::MetricsRegistry reg;
+  auto* eis_live = metrics_path.empty()
+                       ? nullptr
+                       : dynamic_cast<core::EdgeISPipeline*>(pipeline.get());
+  if (eis_live != nullptr) eis_live->set_metrics(&reg);
   const auto r =
       core::run_pipeline(sim, *pipeline, /*warmup_frames=*/45,
                          /*memory_sample=*/10, tracing ? &tracer : nullptr);
+  if (eis_live != nullptr) eis_live->set_metrics(nullptr);
 
   std::printf("system=%s dataset=%s link=%s frames=%d seed=%llu\n",
               pipeline->name().c_str(), dataset.c_str(), link.c_str(),
@@ -146,7 +156,6 @@ int main(int argc, char** argv) {
   }
 
   if (!metrics_path.empty()) {
-    rt::MetricsRegistry reg;
     reg.gauge_set("mean_iou", r.summary.mean_iou);
     reg.gauge_set("false_rate_strict", r.summary.false_rate_strict);
     reg.gauge_set("false_rate_loose", r.summary.false_rate_loose);
@@ -158,29 +167,15 @@ int main(int argc, char** argv) {
     reg.counter_add("tx_bytes", static_cast<double>(r.total_tx_bytes));
     reg.counter_add("peak_memory_bytes",
                     static_cast<double>(r.peak_memory_bytes));
-    if (const auto* eis =
-            dynamic_cast<const core::EdgeISPipeline*>(pipeline.get())) {
-      const auto h = eis->link_health();
-      reg.counter_add("requests_sent", h.requests_sent);
-      reg.counter_add("responses_received", h.responses_received);
-      reg.counter_add("retransmissions", h.retransmissions);
-      reg.counter_add("attempt_timeouts", h.attempt_timeouts);
-      reg.counter_add("requests_failed", h.requests_failed);
-      reg.counter_add("stale_responses", h.stale_responses);
-      reg.counter_add("spurious_retransmissions",
-                      h.spurious_retransmissions);
+    if (eis_live != nullptr) {
+      // The ledger counters, srtt/rto gauges and the staleness sketch
+      // were streamed live through set_metrics during the run; only the
+      // fields without live handles are filled from the health summary.
+      const auto h = eis_live->link_health();
       reg.counter_add("uplink_drops", h.uplink_drops);
       reg.counter_add("downlink_drops", h.downlink_drops);
-      reg.counter_add("probes_sent", h.probes_sent);
-      reg.counter_add("degraded_entries", h.degraded_entries);
-      reg.counter_add("degraded_frames", h.degraded_frames);
       reg.gauge_set("time_in_degraded_ms", h.time_in_degraded_ms);
-      reg.gauge_set("srtt_ms", h.srtt_ms);
       reg.gauge_set("rttvar_ms", h.rttvar_ms);
-      reg.gauge_set("rto_ms", h.rto_ms);
-      for (double v : h.mask_staleness_ms.samples()) {
-        reg.observe("mask_staleness_ms", v);
-      }
     }
     if (!reg.write_json(metrics_path)) {
       std::fprintf(stderr, "error: cannot write %s\n",

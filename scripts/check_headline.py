@@ -45,6 +45,22 @@ TOLERANCES = {
     "batches": (10, 0.30),
     "mean_batch": (0.5, 0.30),
     "degraded": (2, 0.50),
+    # Critical-path waterfall columns (runtime/critpath.hpp): mean ms per
+    # answered request per stage. The link stages are per-client and
+    # tight; the contended stages (gpu_wait, compute-in-batch, stream
+    # tail) move with scheduling order, so they get the loose band.
+    "up_ms": (2, 0.25),
+    "gpu_wait_ms": (25, 0.35),
+    "gpu_ms": (40, 0.25),
+    "stream_ms": (15, 0.35),
+    "down_ms": (2, 0.25),
+    "pickup_ms": (10, 0.40),
+    "rtt_ms": (60, 0.25),
+    "cp_requests": (8, 0.30),
+    # Pooled staleness-SLO violations and the sketch-backed metrics
+    # registry footprint (scales with client count, not samples).
+    "slo_viol": (4, 0.50),
+    "metrics_kb": (8, 0.30),
 }
 
 

@@ -16,23 +16,45 @@ invariants; this script is the executable statement of them:
      most the frame span's duration (within a small epsilon). X events are
      exempt: they model work that legitimately overlaps frames (e.g. the
      pure-mobile on-device inference).
+  5. Critical-path closure: for every answered edge request, the stage
+     decomposition recomputed here (mirroring runtime/critpath.cpp:
+     uplink wait/transit, GPU wait, compute, chunk-stream tail, downlink,
+     pickup) sums to the ledger's send->response span within 1%, and for
+     first-attempt requests that span agrees with the rtt_ms the ledger
+     itself measured at runtime within 1% — two independent clocks over
+     the same interval.
 
 With --check, exit non-zero on the first violated invariant (CI mode).
-Otherwise additionally print a per-track event census and a per-stage
-duration breakdown like the Fig. 11 table.
+Otherwise additionally print a per-track event census, a per-stage
+duration breakdown like the Fig. 11 table, and the mean critical-path
+waterfall.
+
+With --flight-recorder, the positional argument is a postmortem dump (or
+a directory of them) written by runtime/flight_recorder.hpp instead of a
+full trace: each dump must be valid JSON with complete flightRecorder
+metadata, a known trigger name, and a traceEvents array consistent with
+the declared ring occupancy (B/E balance is NOT required — a ring buffer
+legitimately evicts a span's B while keeping its E).
 
 Usage:
     scripts/trace_summary.py trace.json
     scripts/trace_summary.py --check trace.json
+    scripts/trace_summary.py --check --flight-recorder flight/clients-64
 """
 
 import argparse
 import collections
 import json
+import os
 import sys
 
 EPS_US = 0.5  # span-sum slack: one export rounding step (0.001 us) per
               # stage would be enough; be generous and still catch bugs
+
+# Anomaly triggers the flight recorder can fire (runtime/flight_recorder).
+KNOWN_TRIGGERS = {
+    "ledger-abandon", "degraded-entry", "reject-storm", "rto-collapse",
+}
 
 
 def fail(msg):
@@ -132,6 +154,184 @@ def check_frame_containment(spans):
     return frames, stages
 
 
+def arg_num(ev, key, fallback=0.0):
+    args = ev.get("args")
+    v = args.get(key) if isinstance(args, dict) else None
+    return v if isinstance(v, (int, float)) else fallback
+
+
+def check_critpath(events):
+    """Recompute the per-request critical-path decomposition of
+    runtime/critpath.cpp from the exported JSON and hard-check its two
+    closure properties: stages telescope to the send->response span
+    (within 1%), and for attempt-0 requests that span matches the
+    rtt_ms arg the request ledger measured independently at runtime
+    (within 1%). Timestamps here are export microseconds; rtt_ms stays
+    in ms. Returns the per-request stage dicts for summarize()."""
+    first_send = {}   # (session, request) -> ts
+    responses = {}    # (session, request) -> event (first wins)
+    uplinks = collections.defaultdict(list)
+    downlinks = collections.defaultdict(list)
+    infers = collections.defaultdict(list)       # (session arg, frame)
+    chunk_ready = collections.defaultdict(list)  # (session arg, frame)
+    for ev in events:
+        pid, ph = ev["pid"], ev["ph"]
+        if pid == 2:  # shared edge track; session travels as an arg
+            key = (int(arg_num(ev, "session", -1)), int(arg_num(ev, "frame", -1)))
+            if ph == "X" and ev["name"] == "infer":
+                infers[key].append(ev)
+            elif ph == "i" and ev["name"] == "chunk_ready":
+                chunk_ready[key].append(ev["ts"])
+            continue
+        mod = pid % 4
+        if mod == 1 and ev["tid"] == 2 and ph == "i":
+            key = ((pid - 1) // 4, int(arg_num(ev, "request", -1)))
+            if ev["name"] == "send" and arg_num(ev, "ping") == 0:
+                first_send.setdefault(key, ev["ts"])
+            elif ev["name"] == "response":
+                responses.setdefault(key, ev)
+        elif mod == 3 and ph == "X":
+            key = ((pid - 3) // 4, int(arg_num(ev, "request", -1)))
+            fault = (ev.get("args") or {}).get("fault")
+            usable = fault not in ("dropped", "duplicate-copy")
+            if ev["tid"] == 1 and ev["name"] == "uplink":
+                uplinks[key].append((ev, usable))
+            elif ev["tid"] == 2 and ev["name"] == "downlink":
+                downlinks[key].append((ev, usable))
+
+    def edge_lookup(table, session, request):
+        return table.get((session, request)) or table.get((-1, request))
+
+    requests = []
+    for key, resp in sorted(responses.items()):
+        if key not in first_send:
+            continue
+        t0, t1 = first_send[key], resp["ts"]
+        if t1 < t0:
+            fail(f"request {key}: response at {t1} before send at {t0}")
+        span_ms = (t1 - t0) / 1000.0
+        rtt_ms = arg_num(resp, "rtt_ms")
+        if arg_num(resp, "attempt") == 0 and rtt_ms > 0:
+            if abs(span_ms - rtt_ms) > 0.01 * rtt_ms + 0.01:
+                fail(f"request {key}: trace span {span_ms:.3f} ms disagrees "
+                     f"with ledger rtt_ms {rtt_ms:.3f} by >1%")
+
+        up = None
+        for ev, usable in uplinks.get(key, ()):
+            end = ev["ts"] + ev["dur"]
+            if usable and ev["ts"] >= t0 - 1e-6 and end <= t1 + 1e-6:
+                if up is None or end > up["ts"] + up["dur"]:
+                    up = ev
+        arrive = up["ts"] + up["dur"] if up else t0
+        cands = edge_lookup(infers, *key) or []
+        inside = [x for x in cands
+                  if x["ts"] >= arrive - 1e-6
+                  and x["ts"] + x["dur"] <= t1 + 1e-6]
+        inf = min(inside, key=lambda x: x["ts"]) if inside else None
+        if inf is None:
+            done = [x for x in cands if x["ts"] + x["dur"] <= t1 + 1e-6]
+            inf = max(done, key=lambda x: x["ts"] + x["dur"]) if done else None
+        lo = inf["ts"] if inf else arrive
+        chunks = [ts for ts in (edge_lookup(chunk_ready, *key) or ())
+                  if lo - 1e-6 <= ts <= t1 + 1e-6]
+        down = None
+        for ev, usable in downlinks.get(key, ()):
+            end = ev["ts"] + ev["dur"]
+            if usable and end <= t1 + 1e-6:
+                if down is None or end > down["ts"] + down["dur"]:
+                    down = ev
+
+        prev = t0
+        marks = []
+        for t in (up["ts"] if up else t0,
+                  up["ts"] + up["dur"] if up else t0,
+                  inf["ts"] if inf else t0,
+                  min(chunks) if chunks else t0,
+                  max(chunks) if chunks else t0,
+                  down["ts"] if down else t0,
+                  down["ts"] + down["dur"] if down else t0):
+            prev = min(max(prev, t), t1)
+            marks.append(prev)
+        m1, m2, m3, m4, m5, m6, m7 = marks
+        queue = min(arg_num(up, "queue_wait_ms") * 1000.0 if up else 0.0,
+                    m1 - t0)
+        stages = {
+            "retry": m1 - t0 - queue, "upQ": queue, "upTx": m2 - m1,
+            "gpuWait": m3 - m2, "compute": m4 - m3, "stream": m5 - m4,
+            "dnQ": m6 - m5, "dnTx": m7 - m6, "pickup": t1 - m7,
+        }
+        total = sum(stages.values())
+        if abs(total - (t1 - t0)) > 0.01 * max(t1 - t0, 1.0):
+            fail(f"request {key}: stages sum to {total:.3f} us but span is "
+                 f"{t1 - t0:.3f} us (>1% apart)")
+        requests.append(stages)
+    return requests
+
+
+def summarize_critpath(requests):
+    if not requests:
+        return
+    names = ["retry", "upQ", "upTx", "gpuWait", "compute", "stream",
+             "dnQ", "dnTx", "pickup"]
+    print(f"\ncritical-path waterfall over {len(requests)} answered "
+          f"requests (mean ms):")
+    total = 0.0
+    for name in names:
+        mean_ms = sum(r[name] for r in requests) / len(requests) / 1000.0
+        total += mean_ms
+        print(f"  {name:<12} {mean_ms:8.3f}")
+    print(f"  {'(span)':<12} {total:8.3f}")
+
+
+def lint_flight_dump(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"flight dump {path}: cannot parse: {e}")
+    meta = doc.get("flightRecorder")
+    if not isinstance(meta, dict):
+        fail(f"flight dump {path}: missing flightRecorder metadata object")
+    for key, kind in (("session", int), ("trigger", str),
+                      ("ts_ms", (int, float)), ("events", int),
+                      ("capacity", int)):
+        if not isinstance(meta.get(key), kind):
+            fail(f"flight dump {path}: metadata field {key!r} missing or "
+                 f"mistyped")
+    if meta["trigger"] not in KNOWN_TRIGGERS:
+        fail(f"flight dump {path}: unknown trigger {meta['trigger']!r}")
+    if meta["events"] > meta["capacity"]:
+        fail(f"flight dump {path}: {meta['events']} events exceed ring "
+             f"capacity {meta['capacity']}")
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or len(events) != meta["events"]:
+        fail(f"flight dump {path}: traceEvents length "
+             f"{len(events) if isinstance(events, list) else '?'} != "
+             f"declared events {meta['events']}")
+    # Schema only: a ring buffer evicts oldest-first, so a span's B may be
+    # gone while its E survives — balance is not an invariant of a dump.
+    check_schema(events)
+    return meta
+
+
+def lint_flight(path, check_only):
+    if os.path.isdir(path):
+        files = sorted(os.path.join(path, name)
+                       for name in os.listdir(path)
+                       if name.endswith(".json"))
+        if not files:
+            fail(f"flight dir {path}: no .json dumps")
+    else:
+        files = [path]
+    by_trigger = collections.Counter()
+    for f in files:
+        by_trigger[lint_flight_dump(f)["trigger"]] += 1
+    print(f"trace_summary: OK: {len(files)} flight dump(s) valid")
+    if not check_only:
+        for trigger, n in sorted(by_trigger.items()):
+            print(f"  {trigger:<16} {n}")
+
+
 def summarize(events, spans, frames, stages):
     track_names = {}
     for ev in events:
@@ -179,10 +379,18 @@ def summarize(events, spans, frames, stages):
 
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
-    ap.add_argument("trace", help="Chrome trace-event JSON file")
+    ap.add_argument("trace",
+                    help="Chrome trace-event JSON file, or with "
+                         "--flight-recorder a postmortem dump file/dir")
     ap.add_argument("--check", action="store_true",
                     help="validate only; no summary output")
+    ap.add_argument("--flight-recorder", action="store_true",
+                    help="lint flight-recorder dump(s) instead of a trace")
     args = ap.parse_args()
+
+    if args.flight_recorder:
+        lint_flight(args.trace, args.check)
+        return
 
     events = load(args.trace)
     if not events:
@@ -190,11 +398,14 @@ def main():
     check_schema(events)
     spans = check_balance(events)
     frames, stages = check_frame_containment(spans)
+    requests = check_critpath(events)
     if args.check:
         print(f"trace_summary: OK: {len(events)} events, "
-              f"{len(spans)} spans balanced, {len(frames)} frames")
+              f"{len(spans)} spans balanced, {len(frames)} frames, "
+              f"{len(requests)} critical paths closed")
         return
     summarize(events, spans, frames, stages)
+    summarize_critpath(requests)
 
 
 if __name__ == "__main__":

@@ -61,7 +61,9 @@ void EdgeServer::enqueue_gpu(int frame_index, double arrive_ms,
                              int attempt) {
   if (tracer_ != nullptr) {
     tracer_->instant(rt::track::kEdge, "decode", arrive_ms,
-                     {{"frame", frame_index}, {"attempt", attempt}});
+                     {{"frame", frame_index},
+                      {"attempt", attempt},
+                      {"session", session_id_}});
   }
   if (gpu_->saturated()) {
     // The gate sits in front of the model: a rejected request draws no
@@ -72,7 +74,8 @@ void EdgeServer::enqueue_gpu(int frame_index, double arrive_ms,
       tracer_->instant(rt::track::kEdge, "admission_reject", arrive_ms,
                        {{"frame", frame_index},
                         {"attempt", attempt},
-                        {"queued", gpu_->queued()}});
+                        {"queued", gpu_->queued()},
+                        {"session", session_id_}});
     }
     Response r;
     r.frame_index = frame_index;
@@ -125,7 +128,8 @@ bool EdgeServer::submit_resend(int frame_index, double sent_ms,
       tracer_->instant(rt::track::kEdge, "resend", arrive,
                        {{"frame", frame_index},
                         {"missing", chunk_indices.size()},
-                        {"attempt", attempt}});
+                        {"attempt", attempt},
+                        {"session", session_id_}});
     }
     for (const auto& chunk : cached->second.chunks) {
       if (std::find(chunk_indices.begin(), chunk_indices.end(),
@@ -163,10 +167,13 @@ void EdgeServer::trace_inference(int frame_index, double arrive_ms,
   const double scale = device_.model_compute_scale;
   const auto& s = result.stats;
   tracer_->instant(rt::track::kEdge, "decode", arrive_ms,
-                   {{"frame", frame_index}, {"attempt", attempt}});
+                   {{"frame", frame_index},
+                    {"attempt", attempt},
+                    {"session", session_id_}});
   if (start > arrive_ms) {
     tracer_->complete(rt::track::kEdge, "queue_wait", arrive_ms,
-                      start - arrive_ms, {{"frame", frame_index}});
+                      start - arrive_ms,
+                      {{"frame", frame_index}, {"session", session_id_}});
   }
   tracer_->complete(
       rt::track::kEdge, "infer", start, compute_ms,
@@ -175,7 +182,8 @@ void EdgeServer::trace_inference(int frame_index, double arrive_ms,
        {"instances", result.instances.size()},
        {"anchors", s.anchors_evaluated},
        {"rois_selected", s.rois_after_selection},
-       {"rois_after_pruning", s.rois_after_pruning}});
+       {"rois_after_pruning", s.rois_after_pruning},
+       {"session", session_id_}});
   double t = start;
   tracer_->complete(rt::track::kEdge, "backbone", t, s.backbone_ms * scale);
   t += s.backbone_ms * scale;
@@ -286,7 +294,8 @@ void EdgeServer::emit_streamed_chunks(int frame_index, int attempt,
                         {"chunk", r.chunk_index},
                         {"chunks", r.chunk_count},
                         {"instance", cc.instance_id},
-                        {"bytes", r.payload_bytes}});
+                        {"bytes", r.payload_bytes},
+                        {"session", session_id_}});
     }
     cache.chunks.push_back(std::move(cc));
     completed_.push_back(std::move(r));
@@ -304,7 +313,8 @@ void EdgeServer::emit_batched(int frame_index, int attempt, int width,
     // construction (one fused first stage, back-to-back mask windows).
     if (start_ms > arrive_ms) {
       tracer_->complete(rt::track::kEdge, "queue_wait", arrive_ms,
-                        start_ms - arrive_ms, {{"frame", frame_index}});
+                        start_ms - arrive_ms,
+                        {{"frame", frame_index}, {"session", session_id_}});
     }
     const double mask_end_ms =
         mask_base_ms + result.stats.mask_head_ms * device_.model_compute_scale;
@@ -314,7 +324,8 @@ void EdgeServer::emit_batched(int frame_index, int attempt, int width,
                        {"attempt", attempt},
                        {"instances", result.instances.size()},
                        {"batch", batch_size},
-                       {"batch_index", batch_index}});
+                       {"batch_index", batch_index},
+                       {"session", session_id_}});
   }
   emit_streamed_chunks(frame_index, attempt, width, height,
                        std::move(result), mask_base_ms);

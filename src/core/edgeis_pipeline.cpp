@@ -14,6 +14,16 @@
 
 namespace edgeis::core {
 
+namespace {
+
+/// Null-safe handle bump: live-metrics pointers are null when no registry
+/// is attached, and the increments sit on ledger hot paths.
+inline void bump(rt::Counter* counter) {
+  if (counter != nullptr) counter->add();
+}
+
+}  // namespace
+
 EdgeISPipeline::EdgeISPipeline(const scene::SceneConfig& scene_config,
                                PipelineConfig config)
     : scene_config_(scene_config),
@@ -35,6 +45,32 @@ EdgeISPipeline::EdgeISPipeline(const scene::SceneConfig& scene_config,
 }
 
 EdgeISPipeline::~EdgeISPipeline() = default;
+
+void EdgeISPipeline::set_metrics(rt::MetricsRegistry* metrics) {
+  live_ = LiveMetrics();
+  if (metrics == nullptr) return;
+  live_.requests_sent = &metrics->counter_handle("requests_sent");
+  live_.retransmissions = &metrics->counter_handle("retransmissions");
+  live_.attempt_timeouts = &metrics->counter_handle("attempt_timeouts");
+  live_.requests_failed = &metrics->counter_handle("requests_failed");
+  live_.responses_received = &metrics->counter_handle("responses_received");
+  live_.stale_responses = &metrics->counter_handle("stale_responses");
+  live_.spurious_retransmissions =
+      &metrics->counter_handle("spurious_retransmissions");
+  live_.chunks_received = &metrics->counter_handle("chunks_received");
+  live_.duplicate_chunks = &metrics->counter_handle("duplicate_chunks");
+  live_.partial_applies = &metrics->counter_handle("partial_applies");
+  live_.resend_requests = &metrics->counter_handle("resend_requests");
+  live_.admission_rejects = &metrics->counter_handle("admission_rejects");
+  live_.busy_pings = &metrics->counter_handle("busy_pings");
+  live_.probes_sent = &metrics->counter_handle("probes_sent");
+  live_.degraded_entries = &metrics->counter_handle("degraded_entries");
+  live_.degraded_frames = &metrics->counter_handle("degraded_frames");
+  live_.refresh_requests = &metrics->counter_handle("refresh_requests");
+  live_.srtt_ms = &metrics->gauge_handle("srtt_ms");
+  live_.rto_ms = &metrics->gauge_handle("rto_ms");
+  live_.mask_staleness_ms = &metrics->sketch_handle("mask_staleness_ms");
+}
 
 std::vector<segnet::OracleInstance> EdgeISPipeline::build_oracle(
     const scene::RenderedFrame& frame) const {
@@ -74,6 +110,7 @@ void EdgeISPipeline::deliver_due_responses(double now_ms) {
         });
     if (entry == ledger_.end()) {
       ++health_.stale_responses;
+      bump(live_.stale_responses);
       if (tracer_ != nullptr) {
         tracer_->instant(rt::track::kLedger, "stale_response", now_ms,
                          {{"request", resp.frame_index},
@@ -92,6 +129,7 @@ void EdgeISPipeline::deliver_due_responses(double now_ms) {
     if (resp.rejected) {
       if (resp.is_ping) {
         ++health_.busy_pings;
+        bump(live_.busy_pings);
         if (tracer_ != nullptr) {
           tracer_->instant(rt::track::kLedger, "ping_busy", now_ms,
                            {{"request", resp.frame_index}});
@@ -100,6 +138,7 @@ void EdgeISPipeline::deliver_due_responses(double now_ms) {
         continue;
       }
       ++health_.admission_rejects;
+      bump(live_.admission_rejects);
       rto_.on_timeout();
       if (tracer_ != nullptr) {
         tracer_->instant(rt::track::kLedger, "admission_reject", now_ms,
@@ -126,6 +165,7 @@ void EdgeISPipeline::deliver_due_responses(double now_ms) {
     // trip. Resent chunks answer a retransmitted request — never sampled.
     if (resp.attempt < entry->attempt) {
       ++health_.spurious_retransmissions;
+      bump(live_.spurious_retransmissions);
       if (tracer_ != nullptr) {
         tracer_->instant(rt::track::kLedger, "spurious_retransmission",
                          now_ms, {{"request", resp.frame_index}});
@@ -162,6 +202,7 @@ void EdgeISPipeline::deliver_due_responses(double now_ms) {
       }
       ledger_.erase(entry);
       ++health_.responses_received;
+      bump(live_.responses_received);
       continue;
     }
     accept_chunk(entry, resp, now_ms);
@@ -180,6 +221,7 @@ bool EdgeISPipeline::accept_chunk(std::vector<LedgerEntry>::iterator it,
       e.chunk_have[static_cast<std::size_t>(resp.chunk_index)]) {
     // Downlink duplicate or a resend racing the original: idempotent.
     ++health_.duplicate_chunks;
+    bump(live_.duplicate_chunks);
     if (tracer_ != nullptr) {
       tracer_->instant(rt::track::kLedger, "duplicate_chunk", now_ms,
                        {{"request", resp.frame_index},
@@ -190,6 +232,7 @@ bool EdgeISPipeline::accept_chunk(std::vector<LedgerEntry>::iterator it,
   e.chunk_have[static_cast<std::size_t>(resp.chunk_index)] = true;
   ++e.chunks_received;
   ++health_.chunks_received;
+  bump(live_.chunks_received);
   e.stats = resp.stats;
   e.response_bytes += resp.payload_bytes;
   if (resp.is_resend) e.resent_bytes += resp.payload_bytes;
@@ -226,6 +269,7 @@ bool EdgeISPipeline::accept_chunk(std::vector<LedgerEntry>::iterator it,
     last_annotation_ms_ = now_ms;
     if (!complete) {
       ++health_.partial_applies;
+      bump(live_.partial_applies);
       if (tracer_ != nullptr) {
         tracer_->instant(rt::track::kLedger, "partial_apply", now_ms,
                          {{"frame", e.frame_index},
@@ -269,16 +313,18 @@ bool EdgeISPipeline::accept_chunk(std::vector<LedgerEntry>::iterator it,
     }
     ledger_.erase(it);
     ++health_.responses_received;
+    bump(live_.responses_received);
     try_initialize();
     return true;
   }
   if (phase_ == Phase::kRunning && !e.is_init) {
-    if (rt::Log::level() <= rt::LogLevel::kDebug) {
+    if (rt::Log::enabled(rt::LogSub::kNet, rt::LogLevel::kDebug)) {
       std::string ids;
       for (const auto& m : e.arrived_masks) {
         ids += std::to_string(m.instance_id) + ' ';
       }
-      rt::Log::debug("resp kf=%d masks=[%s]", e.frame_index, ids.c_str());
+      rt::Log::debug(rt::LogSub::kNet, "resp kf=%d masks=[%s]",
+                     e.frame_index, ids.c_str());
     }
     // The completed set replaces the cache wholesale: instances absent
     // from this response have left the scene and must stop rendering.
@@ -286,6 +332,7 @@ bool EdgeISPipeline::accept_chunk(std::vector<LedgerEntry>::iterator it,
   }
   ledger_.erase(it);
   ++health_.responses_received;
+  bump(live_.responses_received);
   return true;
 }
 
@@ -315,6 +362,7 @@ void EdgeISPipeline::send_attempt(LedgerEntry& e, double now_ms) {
     }
     const std::size_t bytes = net::wire_bytes(req);
     ++health_.resend_requests;
+    bump(live_.resend_requests);
     if (tracer_ != nullptr) {
       tracer_->instant(rt::track::kLedger, "resend_missing", now_ms,
                        {{"request", e.request_id},
@@ -376,6 +424,8 @@ void EdgeISPipeline::queue_response_with_faults(EdgeServer::Response r) {
 }
 
 void EdgeISPipeline::trace_rto_counters(double now_ms) const {
+  if (live_.srtt_ms != nullptr) live_.srtt_ms->set(rto_.srtt_ms());
+  if (live_.rto_ms != nullptr) live_.rto_ms->set(rto_.rto_ms());
   if (tracer_ == nullptr) return;
   tracer_->counter(rt::track::kLedger, "srtt_ms", now_ms, rto_.srtt_ms());
   tracer_->counter(rt::track::kLedger, "rttvar_ms", now_ms,
@@ -393,6 +443,7 @@ void EdgeISPipeline::service_ledger(double now_ms) {
       if (now_ms >= e.resend_at_ms) {
         ++e.attempt;
         ++health_.retransmissions;
+        bump(live_.retransmissions);
         if (tracer_ != nullptr) {
           tracer_->instant(rt::track::kLedger, "retransmit", now_ms,
                            {{"request", e.request_id},
@@ -404,6 +455,7 @@ void EdgeISPipeline::service_ledger(double now_ms) {
     }
     if (now_ms < e.deadline_ms) continue;
     ++health_.attempt_timeouts;
+    bump(live_.attempt_timeouts);
     // Inflate the RTO: the next attempt (of any request) waits longer
     // before concluding loss. Any response deflates it again.
     rto_.on_timeout();
@@ -421,6 +473,7 @@ void EdgeISPipeline::service_ledger(double now_ms) {
       e.dead = true;
       if (!e.is_ping) {
         ++health_.requests_failed;
+        bump(live_.requests_failed);
         if (e.is_init) init_failed = true;
         if (tracer_ != nullptr) {
           tracer_->instant(rt::track::kLedger, "request_failed", now_ms,
@@ -442,6 +495,7 @@ void EdgeISPipeline::service_ledger(double now_ms) {
   if (!degraded_ && rto_.backoff() >= config_.degraded_entry_rto_inflation) {
     degraded_ = true;
     ++health_.degraded_entries;
+    bump(live_.degraded_entries);
     if (tracer_ != nullptr) {
       tracer_->instant(rt::track::kLedger, "degraded.enter", now_ms,
                        {{"rto_backoff", rto_.backoff()},
@@ -461,6 +515,7 @@ void EdgeISPipeline::service_ledger(double now_ms) {
       if (e.is_init) {
         e.dead = true;
         ++health_.requests_failed;
+        bump(live_.requests_failed);
         init_failed = true;
       } else {
         e.abandoned = true;
@@ -639,7 +694,8 @@ void EdgeISPipeline::try_initialize() {
   mamt_ = std::make_unique<transfer::MaskTransfer>(scene_config_.camera,
                                                    &map_);
   phase_ = Phase::kRunning;
-  rt::Log::debug("initialized from probe map: pair (%d,%d), %zu points",
+  rt::Log::debug(rt::LogSub::kCore,
+                 "initialized from probe map: pair (%d,%d), %zu points",
                  init_ref_->frame_index, init_pair_second_->frame_index,
                  map_.point_count());
 }
@@ -709,6 +765,7 @@ std::size_t EdgeISPipeline::transmit(
   std::erase_if(ledger_, [&](const LedgerEntry& e) {
     if (!e.abandoned) return false;
     ++health_.requests_failed;
+    bump(live_.requests_failed);
     if (tracer_ != nullptr) {
       tracer_->instant(rt::track::kLedger, "superseded", now_ms,
                        {{"request", e.request_id}});
@@ -722,6 +779,7 @@ std::size_t EdgeISPipeline::transmit(
   entry.bytes = encoded.total_bytes;
   entry.request = std::move(req);
   ++health_.requests_sent;
+  bump(live_.requests_sent);
   send_attempt(entry, now_ms);
   ledger_.push_back(std::move(entry));
   last_tx_frame_ = frame.index;
@@ -759,6 +817,9 @@ FrameOutput EdgeISPipeline::process(const scene::RenderedFrame& frame) {
   auto stamp_link_state = [&](FrameOutput& o) {
     o.awaiting_response = !ledger_.empty();
     o.degraded = degraded_;
+    if (last_annotation_ms_ >= 0.0) {
+      o.staleness_ms = now_ms - last_annotation_ms_;
+    }
     if (tracer_ != nullptr) {
       stage("render", cost_model_.render_ms,
             {{"masks", o.rendered_masks.size()}});
@@ -774,6 +835,7 @@ FrameOutput EdgeISPipeline::process(const scene::RenderedFrame& frame) {
   if (degraded_) {
     health_.time_in_degraded_ms += now_ms - prev_frame_ms_;
     ++health_.degraded_frames;
+    bump(live_.degraded_frames);
   }
   // Drain the edge's completed work into the downlink queue in completion
   // order (the queue's serializer needs admissions in time order), then
@@ -798,6 +860,7 @@ FrameOutput EdgeISPipeline::process(const scene::RenderedFrame& frame) {
       ping.is_ping = true;
       ping.bytes = 64;
       ++health_.probes_sent;
+      bump(live_.probes_sent);
       if (tracer_ != nullptr) {
         tracer_->instant(rt::track::kLedger, "degraded.probe", now_ms,
                          {{"request", ping.request_id}});
@@ -890,6 +953,7 @@ FrameOutput EdgeISPipeline::process(const scene::RenderedFrame& frame) {
         entry.bytes = encoded.total_bytes;
         entry.request = std::move(req);
         ++health_.requests_sent;
+        bump(live_.requests_sent);
         send_attempt(entry, now_ms);
         ledger_.push_back(std::move(entry));
         out.tx_bytes += encoded.total_bytes;
@@ -933,7 +997,8 @@ FrameOutput EdgeISPipeline::process(const scene::RenderedFrame& frame) {
       tracker_->track(frame.index, std::move(features), features_tracked);
   out.tracking_ok = obs.tracking_ok;
   if (!obs.tracking_ok) {
-    rt::Log::debug("track fail f%d: matched=%d inliers=%d feats=%zu",
+    rt::Log::debug(rt::LogSub::kCore,
+                   "track fail f%d: matched=%d inliers=%d feats=%zu",
                    frame.index, obs.matched_total, obs.pose_inliers,
                    obs.features.size());
   }
@@ -982,7 +1047,8 @@ FrameOutput EdgeISPipeline::process(const scene::RenderedFrame& frame) {
   std::vector<mask::InstanceMask> frame_masks;
   if (config_.enable_mamt) {
     preds = mamt_->predict(obs);
-    if (rt::Log::level() <= rt::LogLevel::kDebug && frame.index % 15 == 0) {
+    if (rt::Log::enabled(rt::LogSub::kCore, rt::LogLevel::kDebug) &&
+        frame.index % 15 == 0) {
       std::string vis, pred, obj;
       for (int v : mamt_->visible_instances(obs)) {
         vis += std::to_string(v) + ' ';
@@ -992,7 +1058,8 @@ FrameOutput EdgeISPipeline::process(const scene::RenderedFrame& frame) {
         obj += std::to_string(oid) + ':' + std::to_string(trk.point_count) +
                (trk.is_moving ? "M " : " ");
       }
-      rt::Log::debug("f%d visible=[%s] preds=[%s] objpts=[%s]", frame.index,
+      rt::Log::debug(rt::LogSub::kCore,
+                     "f%d visible=[%s] preds=[%s] objpts=[%s]", frame.index,
                      vis.c_str(), pred.c_str(), obj.c_str());
     }
     int contour_points = 0;
@@ -1093,7 +1160,8 @@ FrameOutput EdgeISPipeline::process(const scene::RenderedFrame& frame) {
     // leaves pending_ empty but the request is still outstanding until
     // its timeout, and must not wedge transmission forever.
     if (has_blocking_request()) want_tx = false;
-    rt::Log::debug("kf@%d unlab=%.2f last_tx=%d outstanding=%zu want=%d",
+    rt::Log::debug(rt::LogSub::kCore,
+                   "kf@%d unlab=%.2f last_tx=%d outstanding=%zu want=%d",
                    frame.index, obs.unlabeled_fraction, last_tx_frame_,
                    ledger_.size(), (int)want_tx);
   }
@@ -1106,6 +1174,7 @@ FrameOutput EdgeISPipeline::process(const scene::RenderedFrame& frame) {
     full_frame_refresh_ = true;
     force_refresh_ = false;
     ++health_.refresh_requests;
+    bump(live_.refresh_requests);
     if (tracer_ != nullptr) {
       tracer_->instant(rt::track::kLedger, "recovery_refresh", now_ms, {});
     }
@@ -1183,6 +1252,9 @@ FrameOutput EdgeISPipeline::process(const scene::RenderedFrame& frame) {
 
   if (last_annotation_ms_ >= 0.0) {
     health_.mask_staleness_ms.add(now_ms - last_annotation_ms_);
+    if (live_.mask_staleness_ms != nullptr) {
+      live_.mask_staleness_ms->add(now_ms - last_annotation_ms_);
+    }
   }
   prev_features_ = obs.features;
   if (config_.klt_non_keyframes) {

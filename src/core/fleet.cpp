@@ -34,15 +34,27 @@ FleetResult run_fleet(const FleetConfig& config, rt::Tracer* tracer) {
     std::unique_ptr<scene::SceneSimulator> sim;
     std::unique_ptr<EdgeISPipeline> pipeline;
     std::unique_ptr<RunAccumulator> acc;
+    rt::SloTracker slo{kStaleThresholdMs};
+    double last_frame_ms = 0.0;
     int pid_offset = 0;
   };
 
   EdgeGpu gpu(config.gpu);
   std::vector<Client> clients;
   clients.reserve(config.clients.size());
+  // A flight-recorder sink needs an event stream even in untraced runs:
+  // drive it from an internal tracer that retains nothing (kSilent).
+  rt::Tracer sink_driver;
+  if (tracer == nullptr && config.sink != nullptr) {
+    sink_driver.set_default_detail(rt::Tracer::Detail::kSilent);
+    tracer = &sink_driver;
+  }
   // The edge GPU is one machine serving every client: its track stays
   // canonical no matter whose pid offset is active when it emits.
-  if (tracer != nullptr) tracer->mark_shared_pid(rt::track::kEdge.pid);
+  if (tracer != nullptr) {
+    tracer->mark_shared_pid(rt::track::kEdge.pid);
+    tracer->set_sink(config.sink);
+  }
 
   for (std::size_t i = 0; i < config.clients.size(); ++i) {
     const auto& spec = config.clients[i];
@@ -68,7 +80,14 @@ FleetResult run_fleet(const FleetConfig& config, rt::Tracer* tracer) {
       tracer->annotate_track(rt::track::kDownlink, link, "downlink");
       tracer->set_pid_offset(0);
     }
+    if (tracer != nullptr && config.trace_sample >= 0 &&
+        static_cast<int>(i) >= config.trace_sample) {
+      tracer->set_session_detail(static_cast<int>(i),
+                                 rt::Tracer::Detail::kInstants);
+    }
+    c.slo = rt::SloTracker(config.staleness_slo_ms);
     c.pipeline->set_tracer(tracer);
+    c.pipeline->set_metrics(config.metrics);
     clients.push_back(std::move(c));
   }
 
@@ -87,6 +106,8 @@ FleetResult run_fleet(const FleetConfig& config, rt::Tracer* tracer) {
     sim_now_ms = frame.timestamp * 1000.0;
     const FrameOutput out = c.pipeline->process(frame);
     c.acc->record(*c.sim, frame, out, tracer);
+    c.slo.observe_frame(sim_now_ms, out.staleness_ms, out.degraded);
+    c.last_frame_ms = sim_now_ms;
     if (tracer != nullptr) tracer->set_pid_offset(0);
     if (frame_index + 1 < c.sim->total_frames()) {
       const double interval_ms = 1000.0 / c.sim->config().fps;
@@ -107,13 +128,34 @@ FleetResult run_fleet(const FleetConfig& config, rt::Tracer* tracer) {
   rt::SampleSet pooled_latency;
   std::size_t stale = 0;
   std::size_t staleness_samples = 0;
-  for (auto& c : clients) {
+  for (std::size_t ci = 0; ci < clients.size(); ++ci) {
+    auto& c = clients[ci];
     c.pipeline->set_tracer(nullptr);
+    c.pipeline->set_metrics(nullptr);
+    // The last frame's state dwells one frame interval before the run
+    // ends; attribute that tail before reading the summary.
+    c.slo.finish(c.last_frame_ms + 1000.0 / c.sim->config().fps);
     FleetClientResult r;
     r.health = c.pipeline->link_health();
+    r.slo = c.slo.summary();
     r.ended_degraded = c.pipeline->degraded();
     r.bootstrap_attempts = c.pipeline->bootstrap_attempts();
     r.run = c.acc->finish();
+    out.slo.clean_ms += r.slo.clean_ms;
+    out.slo.stale_ms += r.slo.stale_ms;
+    out.slo.degraded_ms += r.slo.degraded_ms;
+    out.slo.frames += r.slo.frames;
+    out.slo.violation_frames += r.slo.violation_frames;
+    out.slo.violations += r.slo.violations;
+    if (config.metrics != nullptr) {
+      char key[64];
+      std::snprintf(key, sizeof(key), "client%03zu.slo_violations", ci);
+      config.metrics->gauge_set(key, r.slo.violations);
+      std::snprintf(key, sizeof(key), "client%03zu.stale_ms", ci);
+      config.metrics->gauge_set(key, r.slo.stale_ms);
+      std::snprintf(key, sizeof(key), "client%03zu.degraded_ms", ci);
+      config.metrics->gauge_set(key, r.slo.degraded_ms);
+    }
     for (double x : r.run.evaluator.iou_samples().samples()) {
       pooled_iou.add(x);
     }
@@ -134,6 +176,15 @@ FleetResult run_fleet(const FleetConfig& config, rt::Tracer* tracer) {
       staleness_samples > 0
           ? static_cast<double>(stale) / static_cast<double>(staleness_samples)
           : 0.0;
+  if (config.metrics != nullptr) {
+    config.metrics->gauge_set("slo_violations", out.slo.violations);
+    config.metrics->gauge_set("stale_rate", out.stale_rate);
+    out.metrics_memory_bytes = config.metrics->approx_memory_bytes();
+    config.metrics->gauge_set(
+        "metrics_memory_bytes",
+        static_cast<double>(out.metrics_memory_bytes));
+  }
+  if (tracer != nullptr) tracer->set_sink(nullptr);
   return out;
 }
 

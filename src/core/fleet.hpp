@@ -12,6 +12,7 @@
 #include "core/edge_server.hpp"
 #include "core/edgeis_pipeline.hpp"
 #include "core/pipeline.hpp"
+#include "runtime/metrics.hpp"
 #include "runtime/stats.hpp"
 #include "runtime/trace.hpp"
 #include "scene/scene.hpp"
@@ -24,11 +25,32 @@ struct FleetClientSpec {
   PipelineConfig pipeline;
 };
 
+/// A frame rendered from an edge annotation older than this counts as
+/// stale in the fleet report (also the default per-client staleness SLO).
+inline constexpr double kStaleThresholdMs = 1000.0;
+
 struct FleetConfig {
   std::vector<FleetClientSpec> clients;
   GpuConfig gpu;
   int warmup_frames = 45;
   int memory_sample = 10;
+  /// Trace sampling: with a tracer attached and trace_sample >= 0, only
+  /// the first trace_sample clients keep full B/E stage spans; the rest
+  /// are sampled down to Tracer::Detail::kInstants (X/i/C survive — all
+  /// the critical-path analyzer consumes, so waterfalls are unaffected).
+  /// -1 = full detail for every client.
+  int trace_sample = -1;
+  /// Observer of every client's full event stream (flight recorder),
+  /// regardless of trace sampling. When no tracer is passed to run_fleet
+  /// but a sink is set, an internal silent tracer drives it (events flow
+  /// to the sink; nothing is retained). Non-owning.
+  rt::Tracer::EventSink* sink = nullptr;
+  /// Live metrics registry shared by every client: ledger counters become
+  /// fleet totals, the staleness sketch pools all clients, and per-client
+  /// SLO gauges land under client<i>. keys. Non-owning; may be null.
+  rt::MetricsRegistry* metrics = nullptr;
+  /// Staleness SLO fed to each client's SloTracker.
+  double staleness_slo_ms = kStaleThresholdMs;
 };
 
 /// N copies of one client spec with decorrelated randomness: client 0
@@ -38,13 +60,10 @@ struct FleetConfig {
 FleetConfig uniform_fleet(int clients, const scene::SceneConfig& scene,
                           const PipelineConfig& base, GpuConfig gpu = {});
 
-/// A frame rendered from an edge annotation older than this counts as
-/// stale in the fleet report.
-inline constexpr double kStaleThresholdMs = 1000.0;
-
 struct FleetClientResult {
   RunResult run;
   rt::LinkHealthStats health;
+  rt::SloTracker::Summary slo;  // staleness-SLO dwell / violations
   bool ended_degraded = false;
   int bootstrap_attempts = 0;
 };
@@ -59,6 +78,11 @@ struct FleetResult {
   /// Fraction of per-frame staleness samples above kStaleThresholdMs.
   double stale_rate = 0.0;
   int degraded_clients = 0;  // clients that entered degraded mode at all
+  /// Pooled SLO accounting (sums of the per-client summaries).
+  rt::SloTracker::Summary slo;
+  /// FleetConfig::metrics footprint at run end (0 without a registry) —
+  /// the measured "bounded memory" claim of sketch-backed metrics.
+  std::size_t metrics_memory_bytes = 0;
 };
 
 /// Run every client's frame source interleaved on one event scheduler

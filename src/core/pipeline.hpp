@@ -73,6 +73,10 @@ struct FrameOutput {
   bool tracking_ok = true;
   bool awaiting_response = false;  // a request is outstanding (radio awake)
   bool degraded = false;           // serving masks locally, link given up
+  /// Age of the newest edge annotation behind the rendered masks, in ms;
+  /// negative until the first annotation arrives (bootstrap). The fleet
+  /// driver feeds this to per-client SLO trackers.
+  double staleness_ms = -1.0;
 };
 
 class Pipeline {

@@ -1,0 +1,127 @@
+#include "runtime/flight_recorder.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+
+namespace edgeis::rt {
+
+namespace {
+
+/// Ledger instants (pid 1+4s, tid 2) carry every anomaly the recorder
+/// watches; the pid stride is the fleet driver's (core/fleet.cpp).
+bool on_ledger_track(const Tracer::Event& e) {
+  return e.tid == 2 && e.pid % 4 == 1;
+}
+
+double arg_number(const Tracer::Event& e, const char* key) {
+  for (const auto& a : e.args) {
+    if (!a.is_text && a.key == key) return a.number;
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+FlightRecorder::FlightRecorder(std::string dir)
+    : FlightRecorder(std::move(dir), Config()) {}
+
+FlightRecorder::FlightRecorder(std::string dir, Config config)
+    : dir_(std::move(dir)), config_(config) {}
+
+void FlightRecorder::on_event(int session, const Tracer::Event& event) {
+  auto it = sessions_.find(session);
+  if (it == sessions_.end()) {
+    it = sessions_
+             .emplace(session, SessionState(config_.ring_capacity))
+             .first;
+  }
+  SessionState& state = it->second;
+  // Track metadata repeats per annotate call and explains nothing about
+  // an incident; everything else is recent history worth keeping.
+  if (event.ph != 'M') state.ring.push(event);
+
+  if (event.ph == 'i' && on_ledger_track(event)) {
+    if (event.name == "abandon") {
+      trigger(session, state, "ledger-abandon", event.ts_ms);
+    } else if (event.name == "degraded.enter") {
+      trigger(session, state, "degraded-entry", event.ts_ms);
+    } else if (event.name == "admission_reject") {
+      auto& ts = state.reject_ts;
+      ts.push_back(event.ts_ms);
+      const double cutoff = event.ts_ms - config_.reject_storm_window_ms;
+      ts.erase(std::remove_if(ts.begin(), ts.end(),
+                              [cutoff](double t) { return t < cutoff; }),
+               ts.end());
+      if (static_cast<int>(ts.size()) >= config_.reject_storm_count) {
+        ts.clear();  // one storm, one trigger
+        trigger(session, state, "reject-storm", event.ts_ms);
+      }
+    }
+  } else if (event.ph == 'C' && on_ledger_track(event) &&
+             event.name == "rto_backoff") {
+    const double backoff = arg_number(event, "value");
+    if (backoff >= config_.rto_collapse_backoff &&
+        state.last_rto_backoff < config_.rto_collapse_backoff) {
+      trigger(session, state, "rto-collapse", event.ts_ms);
+    }
+    state.last_rto_backoff = backoff;
+  }
+}
+
+void FlightRecorder::trigger(int session, SessionState& state,
+                             const char* name, double ts_ms) {
+  ++triggers_;
+  if (state.dump_count >= config_.max_dumps_per_session) return;
+  if (ts_ms - state.last_dump_ms < config_.dump_cooldown_ms) return;
+  state.last_dump_ms = ts_ms;
+  ++state.dump_count;
+
+  DumpRecord record;
+  record.session = session;
+  record.trigger = name;
+  record.ts_ms = ts_ms;
+  record.events = state.ring.size();
+  if (!dir_.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(dir_, ec);
+    char file[96];
+    std::snprintf(file, sizeof(file), "flight-s%03d-%02d-%s.json", session,
+                  state.seq++, name);
+    record.path = dir_ + "/" + file;
+    const std::string json = render_dump(session, name, ts_ms);
+    if (std::FILE* f = std::fopen(record.path.c_str(), "wb")) {
+      std::fwrite(json.data(), 1, json.size(), f);
+      std::fclose(f);
+    }
+  }
+  dumps_.push_back(std::move(record));
+}
+
+std::string FlightRecorder::render_dump(int session,
+                                        const std::string& trigger,
+                                        double ts_ms) const {
+  const auto it = sessions_.find(session);
+  std::string out = "{\"flightRecorder\":{\"session\":";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%d", session);
+  out += buf;
+  out += ",\"trigger\":\"";
+  out += trigger;  // trigger names are plain identifiers, no escaping
+  out += "\",\"ts_ms\":";
+  std::snprintf(buf, sizeof(buf), "%.3f", ts_ms);
+  out += buf;
+  const std::size_t n = it != sessions_.end() ? it->second.ring.size() : 0;
+  std::snprintf(buf, sizeof(buf), ",\"events\":%zu,\"capacity\":%zu},\n",
+                n, config_.ring_capacity);
+  out += buf;
+  out += "\"traceEvents\":[\n";
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i) out += ",\n";
+    append_trace_event_json(out, it->second.ring[i]);
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+}  // namespace edgeis::rt

@@ -1,0 +1,90 @@
+// Anomaly-triggered flight recorder: a bounded per-session ring of recent
+// trace events, dumped as a postmortem JSON file when the event stream
+// shows something worth explaining — a ledger abandonment, a degraded-mode
+// entry, an admission-reject storm, or RTO collapse. Attached to a Tracer
+// as an EventSink, it sees every event even for sessions the trace keeps
+// only instants for (or none at all), so fleet runs can record postmortems
+// for all clients at O(ring) memory per client. Everything is driven by
+// sim-time event content — no wall clock, no extra randomness — so the
+// dump files are byte-identical for identical seeds.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "runtime/ring_buffer.hpp"
+#include "runtime/trace.hpp"
+
+namespace edgeis::rt {
+
+class FlightRecorder : public Tracer::EventSink {
+ public:
+  struct Config {
+    std::size_t ring_capacity = 512;  // events retained per session
+    // Reject storm: this many ledger admission_reject instants inside the
+    // window.
+    int reject_storm_count = 6;
+    double reject_storm_window_ms = 2000.0;
+    // RTO collapse: the rto_backoff counter crossing this value (2^k
+    // after k consecutive unanswered deadlines).
+    double rto_collapse_backoff = 8.0;
+    // Dump damping: one postmortem explains a whole incident, so repeat
+    // triggers inside the cooldown are counted but not written, and each
+    // session writes at most max_dumps files.
+    double dump_cooldown_ms = 2000.0;
+    int max_dumps_per_session = 4;
+  };
+
+  /// One written postmortem.
+  struct DumpRecord {
+    int session = 0;
+    std::string trigger;
+    double ts_ms = 0.0;   // sim time of the triggering event
+    std::string path;
+    std::size_t events = 0;  // ring occupancy at dump time
+  };
+
+  /// Dumps are written under `dir` (created on first dump) as
+  /// flight-s<session>-<seq>-<trigger>.json. An empty dir disables
+  /// writing; triggers are still detected and counted (tests use this).
+  explicit FlightRecorder(std::string dir);
+  FlightRecorder(std::string dir, Config config);
+
+  void on_event(int session, const Tracer::Event& event) override;
+
+  [[nodiscard]] const std::vector<DumpRecord>& dumps() const {
+    return dumps_;
+  }
+  /// Triggers fired, including those suppressed by cooldown / dump caps.
+  [[nodiscard]] int triggers_fired() const { return triggers_; }
+  [[nodiscard]] const Config& config() const { return config_; }
+
+  /// Render one session's current ring as dump JSON without writing it
+  /// (deterministic-content tests compare these strings across runs).
+  [[nodiscard]] std::string render_dump(int session,
+                                        const std::string& trigger,
+                                        double ts_ms) const;
+
+ private:
+  struct SessionState {
+    explicit SessionState(std::size_t capacity) : ring(capacity) {}
+    RingBuffer<Tracer::Event> ring;
+    std::vector<double> reject_ts;  // ledger admission rejects, ascending
+    double last_rto_backoff = 0.0;
+    double last_dump_ms = -1e300;
+    int dump_count = 0;
+    int seq = 0;
+  };
+
+  void trigger(int session, SessionState& state, const char* name,
+               double ts_ms);
+
+  std::string dir_;
+  Config config_;
+  std::map<int, SessionState> sessions_;
+  std::vector<DumpRecord> dumps_;
+  int triggers_ = 0;
+};
+
+}  // namespace edgeis::rt

@@ -1,22 +1,33 @@
 // Tiny leveled logger. Off by default in benchmarks; experiments flip the
-// level to Info for progress lines, or export EDGEIS_LOG=debug|info|warn|
-// error|off (init_from_env, called by every bench/example main). When a
-// sim-time clock is installed (run_pipeline does this for the duration of
-// a run), lines are stamped with simulation milliseconds so they line up
-// with trace timestamps. Not thread-safe by design: the project is a
-// single-threaded discrete-time simulation.
+// level to Info for progress lines, or export EDGEIS_LOG (init_from_env,
+// called by every bench/example main). The variable takes a comma list of
+// tokens: a bare level (debug|info|warn|error|off) sets the global level,
+// and subsystem=level overrides one subsystem — e.g.
+// EDGEIS_LOG=warn,net=debug traces the transport while everything else
+// stays quiet. Unrecognized tokens are ignored. When a sim-time clock is
+// installed (run_pipeline does this for the duration of a run), lines are
+// stamped with simulation milliseconds so they line up with trace
+// timestamps. Not thread-safe by design: the project is a single-threaded
+// discrete-time simulation.
 #pragma once
 
+#include <array>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <functional>
+#include <optional>
 #include <string_view>
 #include <utility>
 
 namespace edgeis::rt {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Log subsystems, for per-subsystem level overrides. kGeneral is the
+/// unattributed default the plain Log::debug/info/... calls use.
+enum class LogSub { kGeneral = 0, kCore = 1, kNet = 2, kEdge = 3 };
+inline constexpr int kLogSubCount = 4;
 
 class Log {
  public:
@@ -39,35 +50,86 @@ class Log {
     return old;
   }
 
-  /// Parse EDGEIS_LOG=debug|info|warn|error|off. Unset or unrecognized
-  /// values leave the current level untouched (the benches' default is
-  /// warn, so a typo degrades to the quiet default, not to spam).
+  /// Per-subsystem override; unset entries fall back to the global level.
+  static void set_override(LogSub sub, LogLevel lvl) {
+    overrides()[static_cast<int>(sub)] = static_cast<int>(lvl);
+  }
+  static void clear_override(LogSub sub) {
+    overrides()[static_cast<int>(sub)] = -1;
+  }
+  static void clear_overrides() { overrides().fill(-1); }
+
+  /// Would a message at `lvl` from `sub` print?
+  static bool enabled(LogSub sub, LogLevel lvl) noexcept {
+    const int ov = overrides()[static_cast<int>(sub)];
+    const LogLevel threshold = ov >= 0 ? static_cast<LogLevel>(ov) : level();
+    return lvl >= threshold;
+  }
+
+  /// Parse EDGEIS_LOG: a comma list of bare levels
+  /// (debug|info|warn|error|off, setting the global level) and
+  /// subsystem=level overrides (general|core|net|edge). Unset env or
+  /// unrecognized tokens leave the current settings untouched (the
+  /// benches' default is warn, so a typo degrades to the quiet default,
+  /// not to spam).
   static void init_from_env() {
     const char* v = std::getenv("EDGEIS_LOG");
     if (v == nullptr) return;
-    const std::string_view s(v);
-    if (s == "debug") level() = LogLevel::kDebug;
-    else if (s == "info") level() = LogLevel::kInfo;
-    else if (s == "warn") level() = LogLevel::kWarn;
-    else if (s == "error") level() = LogLevel::kError;
-    else if (s == "off") level() = LogLevel::kOff;
+    std::string_view s(v);
+    while (!s.empty()) {
+      const std::size_t comma = s.find(',');
+      const std::string_view token = s.substr(0, comma);
+      s = comma == std::string_view::npos ? std::string_view()
+                                          : s.substr(comma + 1);
+      const std::size_t eq = token.find('=');
+      if (eq == std::string_view::npos) {
+        if (const auto lvl = parse_level(token)) level() = *lvl;
+        continue;
+      }
+      const auto sub = parse_sub(token.substr(0, eq));
+      const auto lvl = parse_level(token.substr(eq + 1));
+      if (sub && lvl) set_override(*sub, *lvl);
+    }
   }
 
   template <typename... Args>
   static void debug(const char* fmt, Args&&... args) {
-    write(LogLevel::kDebug, "D", fmt, std::forward<Args>(args)...);
+    write(LogSub::kGeneral, LogLevel::kDebug, "D", fmt,
+          std::forward<Args>(args)...);
   }
   template <typename... Args>
   static void info(const char* fmt, Args&&... args) {
-    write(LogLevel::kInfo, "I", fmt, std::forward<Args>(args)...);
+    write(LogSub::kGeneral, LogLevel::kInfo, "I", fmt,
+          std::forward<Args>(args)...);
   }
   template <typename... Args>
   static void warn(const char* fmt, Args&&... args) {
-    write(LogLevel::kWarn, "W", fmt, std::forward<Args>(args)...);
+    write(LogSub::kGeneral, LogLevel::kWarn, "W", fmt,
+          std::forward<Args>(args)...);
   }
   template <typename... Args>
   static void error(const char* fmt, Args&&... args) {
-    write(LogLevel::kError, "E", fmt, std::forward<Args>(args)...);
+    write(LogSub::kGeneral, LogLevel::kError, "E", fmt,
+          std::forward<Args>(args)...);
+  }
+
+  /// Subsystem-attributed variants: filtered through the subsystem's
+  /// override (if set) and tagged, e.g. "[D:net]".
+  template <typename... Args>
+  static void debug(LogSub sub, const char* fmt, Args&&... args) {
+    write(sub, LogLevel::kDebug, "D", fmt, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  static void info(LogSub sub, const char* fmt, Args&&... args) {
+    write(sub, LogLevel::kInfo, "I", fmt, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  static void warn(LogSub sub, const char* fmt, Args&&... args) {
+    write(sub, LogLevel::kWarn, "W", fmt, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  static void error(LogSub sub, const char* fmt, Args&&... args) {
+    write(sub, LogLevel::kError, "E", fmt, std::forward<Args>(args)...);
   }
 
  private:
@@ -76,14 +138,46 @@ class Log {
     return clock;
   }
 
+  static std::array<int, kLogSubCount>& overrides() {
+    static std::array<int, kLogSubCount> ov = {-1, -1, -1, -1};
+    return ov;
+  }
+
+  static std::optional<LogLevel> parse_level(std::string_view s) {
+    if (s == "debug") return LogLevel::kDebug;
+    if (s == "info") return LogLevel::kInfo;
+    if (s == "warn") return LogLevel::kWarn;
+    if (s == "error") return LogLevel::kError;
+    if (s == "off") return LogLevel::kOff;
+    return std::nullopt;
+  }
+
+  static std::optional<LogSub> parse_sub(std::string_view s) {
+    if (s == "general") return LogSub::kGeneral;
+    if (s == "core") return LogSub::kCore;
+    if (s == "net") return LogSub::kNet;
+    if (s == "edge") return LogSub::kEdge;
+    return std::nullopt;
+  }
+
+  static const char* sub_name(LogSub sub) noexcept {
+    switch (sub) {
+      case LogSub::kGeneral: return "";
+      case LogSub::kCore: return ":core";
+      case LogSub::kNet: return ":net";
+      case LogSub::kEdge: return ":edge";
+    }
+    return "";
+  }
+
   template <typename... Args>
-  static void write(LogLevel lvl, const char* tag, const char* fmt,
-                    Args&&... args) {
-    if (lvl < level()) return;
+  static void write(LogSub sub, LogLevel lvl, const char* tag,
+                    const char* fmt, Args&&... args) {
+    if (!enabled(sub, lvl)) return;
     if (const Clock& clock = clock_slot()) {
-      std::fprintf(stderr, "[%9.1fms] [%s] ", clock(), tag);
+      std::fprintf(stderr, "[%9.1fms] [%s%s] ", clock(), tag, sub_name(sub));
     } else {
-      std::fprintf(stderr, "[%s] ", tag);
+      std::fprintf(stderr, "[%s%s] ", tag, sub_name(sub));
     }
     if constexpr (sizeof...(args) == 0) {
       std::fputs(fmt, stderr);

@@ -1,20 +1,290 @@
 // Named metrics registry: monotonically increasing counters, last-value
-// gauges, and histograms built on the existing RunningStats/SampleSet
-// accumulators. A snapshot exports to JSON (edgeis_cli --metrics) and
-// parses back (MetricsSnapshot::parse_json) so harnesses and tests can
-// round-trip the numbers without an external JSON dependency.
+// gauges, and bounded-memory histograms. Counters and gauges can be
+// pre-registered once (counter_handle / gauge_handle) so hot paths bump a
+// stable reference instead of re-hashing a string key per event; the
+// histogram backend is a P²/reservoir quantile sketch (QuantileSketch), so
+// a 1000-client fleet run costs O(clients · metrics) memory instead of
+// O(samples). A snapshot exports to JSON (edgeis_cli --metrics) and parses
+// back (MetricsSnapshot::parse_json) — including non-finite values, written
+// as the NaN/Infinity literals Python's json module round-trips — so
+// harnesses and tests can compare the numbers without an external JSON
+// dependency.
 #pragma once
 
+#include <algorithm>
 #include <cctype>
+#include <cmath>
 #include <cstdio>
+#include <limits>
 #include <map>
 #include <optional>
 #include <string>
 #include <string_view>
+#include <vector>
 
+#include "runtime/rng.hpp"
 #include "runtime/stats.hpp"
 
 namespace edgeis::rt {
+
+/// Bounded-memory quantile estimator. Below `capacity` samples every value
+/// is retained, and percentiles match SampleSet's linear interpolation
+/// exactly. Beyond it, two estimators share the stream: P² markers (Jain &
+/// Chlamtac 1985) track the exported p50/p90/p99, and a deterministic
+/// reservoir (Algorithm R on a fixed-seed Rng, so identical insertion
+/// sequences always produce identical sketches) answers every other
+/// percentile from a uniform subsample. count/mean/min/max stay exact at
+/// any stream length.
+class QuantileSketch {
+ public:
+  explicit QuantileSketch(std::size_t capacity = 1024)
+      : capacity_(std::max<std::size_t>(capacity, 8)),
+        rng_(0x51e7c4a9u),
+        p2_{P2Marker(0.50), P2Marker(0.90), P2Marker(0.99)} {}
+
+  void add(double x) {
+    ++count_;
+    mean_ += (x - mean_) / static_cast<double>(count_);
+    min_ = count_ == 1 ? x : std::min(min_, x);
+    max_ = count_ == 1 ? x : std::max(max_, x);
+    if (samples_.size() < capacity_) {
+      samples_.push_back(x);
+    } else {
+      const std::uint64_t j = rng_.uniform_int(count_);
+      if (j < capacity_) samples_[j] = x;
+    }
+    sorted_valid_ = false;
+    for (auto& m : p2_) m.add(x);
+  }
+
+  [[nodiscard]] std::size_t count() const noexcept { return count_; }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  [[nodiscard]] double min() const noexcept { return count_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const noexcept { return count_ ? max_ : 0.0; }
+  /// True while every sample is still retained (percentiles are exact).
+  [[nodiscard]] bool exact() const noexcept { return count_ <= capacity_; }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+  /// Linear-interpolated percentile; p in [0, 100]. Exact below capacity;
+  /// P² for the tracked 50/90/99 beyond it, reservoir otherwise.
+  [[nodiscard]] double percentile(double p) const {
+    if (count_ == 0) return 0.0;
+    if (!exact()) {
+      for (const auto& m : p2_) {
+        if (std::abs(m.quantile() * 100.0 - p) < 1e-9) return m.estimate();
+      }
+    }
+    const std::vector<double>& s = sorted();
+    const double rank = p / 100.0 * static_cast<double>(s.size() - 1);
+    const auto lo = static_cast<std::size_t>(rank);
+    const auto hi = std::min(lo + 1, s.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return s[lo] + frac * (s[hi] - s[lo]);
+  }
+
+  /// Resident footprint: the bound the fleet bench reports as "peak
+  /// metrics memory". Counts the reservoir and its sort cache at their
+  /// steady-state (capacity) size.
+  [[nodiscard]] std::size_t memory_bytes() const noexcept {
+    return sizeof(*this) + 2 * capacity_ * sizeof(double);
+  }
+
+ private:
+  /// One P² marker set: five heights maintained so the middle one tracks
+  /// the target quantile without storing the stream.
+  class P2Marker {
+   public:
+    explicit P2Marker(double q) : q_(q) {}
+
+    void add(double x) {
+      if (seen_ < 5) {
+        height_[seen_++] = x;
+        if (seen_ == 5) {
+          std::sort(height_, height_ + 5);
+          for (int i = 0; i < 5; ++i) pos_[i] = i + 1;
+          desired_[0] = 1.0;
+          desired_[1] = 1.0 + 2.0 * q_;
+          desired_[2] = 1.0 + 4.0 * q_;
+          desired_[3] = 3.0 + 2.0 * q_;
+          desired_[4] = 5.0;
+          incr_[0] = 0.0;
+          incr_[1] = q_ / 2.0;
+          incr_[2] = q_;
+          incr_[3] = (1.0 + q_) / 2.0;
+          incr_[4] = 1.0;
+        }
+        return;
+      }
+      int k = 3;
+      if (x < height_[0]) {
+        height_[0] = x;
+        k = 0;
+      } else if (x >= height_[4]) {
+        height_[4] = x;
+      } else {
+        for (int i = 1; i < 5; ++i) {
+          if (x < height_[i]) {
+            k = i - 1;
+            break;
+          }
+        }
+      }
+      for (int i = k + 1; i < 5; ++i) ++pos_[i];
+      for (int i = 0; i < 5; ++i) desired_[i] += incr_[i];
+      for (int i = 1; i < 4; ++i) {
+        const double d = desired_[i] - static_cast<double>(pos_[i]);
+        if ((d >= 1.0 && pos_[i + 1] - pos_[i] > 1) ||
+            (d <= -1.0 && pos_[i - 1] - pos_[i] < -1)) {
+          const int s = d >= 0.0 ? 1 : -1;
+          const double h = parabolic(i, s);
+          height_[i] = (height_[i - 1] < h && h < height_[i + 1])
+                           ? h
+                           : linear(i, s);
+          pos_[i] += s;
+        }
+      }
+    }
+
+    [[nodiscard]] double quantile() const noexcept { return q_; }
+    /// Only meaningful past the five-sample prime; the sketch never asks
+    /// earlier (below capacity the exact path answers).
+    [[nodiscard]] double estimate() const noexcept { return height_[2]; }
+
+   private:
+    [[nodiscard]] double parabolic(int i, int s) const {
+      const double d = static_cast<double>(s);
+      const double np = static_cast<double>(pos_[i + 1] - pos_[i]);
+      const double nm = static_cast<double>(pos_[i] - pos_[i - 1]);
+      return height_[i] +
+             d / static_cast<double>(pos_[i + 1] - pos_[i - 1]) *
+                 ((nm + d) * (height_[i + 1] - height_[i]) / np +
+                  (np - d) * (height_[i] - height_[i - 1]) / nm);
+    }
+    [[nodiscard]] double linear(int i, int s) const {
+      return height_[i] + static_cast<double>(s) *
+                              (height_[i + s] - height_[i]) /
+                              static_cast<double>(pos_[i + s] - pos_[i]);
+    }
+
+    double q_ = 0.5;
+    int seen_ = 0;
+    double height_[5] = {};
+    long long pos_[5] = {};
+    double desired_[5] = {};
+    double incr_[5] = {};
+  };
+
+  [[nodiscard]] const std::vector<double>& sorted() const {
+    if (!sorted_valid_) {
+      sorted_ = samples_;
+      std::sort(sorted_.begin(), sorted_.end());
+      sorted_valid_ = true;
+    }
+    return sorted_;
+  }
+
+  std::size_t capacity_;
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  std::vector<double> samples_;
+  mutable std::vector<double> sorted_;
+  mutable bool sorted_valid_ = false;
+  Rng rng_;
+  P2Marker p2_[3];
+};
+
+/// Pre-registered counter handle: look the name up once, bump a stable
+/// reference thereafter (std::map nodes never move, so handles stay valid
+/// for the registry's lifetime no matter what is registered later).
+class Counter {
+ public:
+  void add(double delta = 1.0) noexcept { value_ += delta; }
+  [[nodiscard]] double value() const noexcept { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Pre-registered last-value gauge handle; same lifetime rules as Counter.
+class Gauge {
+ public:
+  void set(double value) noexcept { value_ = value; }
+  [[nodiscard]] double value() const noexcept { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Per-session staleness-SLO state machine: every processed frame lands in
+/// one of three states — clean (annotation younger than the SLO), stale
+/// (annotation at or past it), degraded (serving locally, link given up) —
+/// and the tracker accumulates dwell time per state plus a violation
+/// counter (transitions out of clean). Time between two frames is
+/// attributed to the state the earlier frame observed.
+class SloTracker {
+ public:
+  enum class State { kClean = 0, kStale = 1, kDegraded = 2 };
+
+  struct Summary {
+    double clean_ms = 0.0;
+    double stale_ms = 0.0;
+    double degraded_ms = 0.0;
+    int frames = 0;
+    int violation_frames = 0;  // frames observed stale or degraded
+    int violations = 0;        // clean -> (stale | degraded) transitions
+  };
+
+  explicit SloTracker(double staleness_slo_ms = 1000.0)
+      : slo_ms_(staleness_slo_ms) {}
+
+  /// One processed frame. `staleness_ms < 0` means no edge annotation has
+  /// been applied yet (bootstrap): clean unless the session is degraded.
+  void observe_frame(double now_ms, double staleness_ms, bool degraded) {
+    const State next =
+        degraded ? State::kDegraded
+                 : (staleness_ms >= slo_ms_ ? State::kStale : State::kClean);
+    if (has_prev_ && now_ms > prev_ms_) {
+      dwell_ms_[static_cast<int>(state_)] += now_ms - prev_ms_;
+    }
+    if (state_ == State::kClean && next != State::kClean && has_prev_) {
+      ++summary_.violations;
+    }
+    if (next != State::kClean) ++summary_.violation_frames;
+    ++summary_.frames;
+    state_ = next;
+    prev_ms_ = now_ms;
+    has_prev_ = true;
+  }
+
+  /// Close the run: attribute the tail (last frame to `end_ms`) to the
+  /// final state.
+  void finish(double end_ms) {
+    if (has_prev_ && end_ms > prev_ms_) {
+      dwell_ms_[static_cast<int>(state_)] += end_ms - prev_ms_;
+      prev_ms_ = end_ms;
+    }
+  }
+
+  [[nodiscard]] State state() const noexcept { return state_; }
+  [[nodiscard]] double slo_ms() const noexcept { return slo_ms_; }
+  [[nodiscard]] Summary summary() const {
+    Summary s = summary_;
+    s.clean_ms = dwell_ms_[0];
+    s.stale_ms = dwell_ms_[1];
+    s.degraded_ms = dwell_ms_[2];
+    return s;
+  }
+
+ private:
+  double slo_ms_;
+  State state_ = State::kClean;
+  double prev_ms_ = 0.0;
+  bool has_prev_ = false;
+  double dwell_ms_[3] = {};
+  Summary summary_;
+};
 
 /// Flattened registry contents: what to_json() writes, what parse_json()
 /// reads back. Histograms are summarized (count/mean/min/max/percentiles);
@@ -31,42 +301,74 @@ struct MetricsSnapshot {
 
 class MetricsRegistry {
  public:
+  explicit MetricsRegistry(std::size_t sketch_capacity = 1024)
+      : sketch_capacity_(sketch_capacity) {}
+
+  /// Handle registration: one map lookup now, plain reference bumps on the
+  /// hot path thereafter. Valid for the registry's lifetime.
+  Counter& counter_handle(const std::string& name) { return counters_[name]; }
+  Gauge& gauge_handle(const std::string& name) { return gauges_[name]; }
+  QuantileSketch& sketch_handle(const std::string& name) {
+    return histograms_.try_emplace(name, sketch_capacity_).first->second;
+  }
+
   void counter_add(const std::string& name, double delta = 1.0) {
-    counters_[name] += delta;
+    counters_[name].add(delta);
   }
   void gauge_set(const std::string& name, double value) {
-    gauges_[name] = value;
+    gauges_[name].set(value);
   }
   void observe(const std::string& name, double sample) {
-    histograms_[name].add(sample);
+    histograms_.try_emplace(name, sketch_capacity_)
+        .first->second.add(sample);
   }
 
   [[nodiscard]] double counter(const std::string& name) const {
     const auto it = counters_.find(name);
-    return it == counters_.end() ? 0.0 : it->second;
+    return it == counters_.end() ? 0.0 : it->second.value();
   }
   [[nodiscard]] double gauge(const std::string& name) const {
     const auto it = gauges_.find(name);
-    return it == gauges_.end() ? 0.0 : it->second;
+    return it == gauges_.end() ? 0.0 : it->second.value();
   }
-  [[nodiscard]] const SampleSet* histogram(const std::string& name) const {
+  [[nodiscard]] const QuantileSketch* histogram(
+      const std::string& name) const {
     const auto it = histograms_.find(name);
     return it == histograms_.end() ? nullptr : &it->second;
   }
 
+  /// Approximate resident footprint of everything registered — the number
+  /// a fleet run reports so "bounded memory" is a measured claim, not an
+  /// asserted one. Keys, values, sketch reservoirs, and a per-node map
+  /// overhead estimate.
+  [[nodiscard]] std::size_t approx_memory_bytes() const {
+    constexpr std::size_t kNode = 4 * sizeof(void*);  // rb-tree node links
+    std::size_t total = sizeof(*this);
+    for (const auto& [name, c] : counters_) {
+      total += kNode + name.capacity() + sizeof(c);
+    }
+    for (const auto& [name, g] : gauges_) {
+      total += kNode + name.capacity() + sizeof(g);
+    }
+    for (const auto& [name, sketch] : histograms_) {
+      total += kNode + name.capacity() + sketch.memory_bytes();
+    }
+    return total;
+  }
+
   [[nodiscard]] MetricsSnapshot snapshot() const {
     MetricsSnapshot s;
-    s.counters = counters_;
-    s.gauges = gauges_;
-    for (const auto& [name, set] : histograms_) {
+    for (const auto& [name, c] : counters_) s.counters[name] = c.value();
+    for (const auto& [name, g] : gauges_) s.gauges[name] = g.value();
+    for (const auto& [name, sketch] : histograms_) {
       auto& h = s.histograms[name];
-      h["count"] = static_cast<double>(set.count());
-      h["mean"] = set.mean();
-      h["min"] = set.min();
-      h["max"] = set.max();
-      h["p50"] = set.percentile(50.0);
-      h["p90"] = set.percentile(90.0);
-      h["p99"] = set.percentile(99.0);
+      h["count"] = static_cast<double>(sketch.count());
+      h["mean"] = sketch.mean();
+      h["min"] = sketch.min();
+      h["max"] = sketch.max();
+      h["p50"] = sketch.percentile(50.0);
+      h["p90"] = sketch.percentile(90.0);
+      h["p99"] = sketch.percentile(99.0);
     }
     return s;
   }
@@ -121,19 +423,30 @@ class MetricsRegistry {
       out += '"';
       append_escaped(out, key);
       out += "\": ";
-      const auto ll = static_cast<long long>(value);
-      if (static_cast<double>(ll) == value && value > -1e15 && value < 1e15) {
-        std::snprintf(buf, sizeof(buf), "%lld", ll);
+      // Non-finite values use the bare literals Python's json module both
+      // emits and accepts, so a snapshot with a NaN gauge still
+      // round-trips through every consumer we have.
+      if (std::isnan(value)) {
+        out += "NaN";
+      } else if (std::isinf(value)) {
+        out += value > 0.0 ? "Infinity" : "-Infinity";
       } else {
-        std::snprintf(buf, sizeof(buf), "%.17g", value);
+        const auto ll = static_cast<long long>(value);
+        if (static_cast<double>(ll) == value && value > -1e15 &&
+            value < 1e15) {
+          std::snprintf(buf, sizeof(buf), "%lld", ll);
+        } else {
+          std::snprintf(buf, sizeof(buf), "%.17g", value);
+        }
+        out += buf;
       }
-      out += buf;
     }
   }
 
-  std::map<std::string, double> counters_;
-  std::map<std::string, double> gauges_;
-  std::map<std::string, SampleSet> histograms_;
+  std::size_t sketch_capacity_;
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, QuantileSketch> histograms_;
 };
 
 namespace detail {
@@ -201,6 +514,11 @@ class MetricsJsonReader {
     }
     return false;
   }
+  bool consume_literal(std::string_view lit) {
+    if (s_.substr(pos_).substr(0, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
   bool read_string(std::string& out) {
     if (!consume('"')) return false;
     out.clear();
@@ -215,6 +533,20 @@ class MetricsJsonReader {
     return consume('"');
   }
   bool read_number(double& out) {
+    // Non-finite literals first: they share no prefix with the numeric
+    // character class below ('-Infinity' would otherwise stop after '-').
+    if (consume_literal("NaN")) {
+      out = std::nan("");
+      return true;
+    }
+    if (consume_literal("Infinity")) {
+      out = std::numeric_limits<double>::infinity();
+      return true;
+    }
+    if (consume_literal("-Infinity")) {
+      out = -std::numeric_limits<double>::infinity();
+      return true;
+    }
     const std::size_t start = pos_;
     while (pos_ < s_.size() &&
            (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||

@@ -1,6 +1,7 @@
 #include "runtime/trace.hpp"
 
 #include <cstdio>
+#include <limits>
 
 namespace edgeis::rt {
 
@@ -49,6 +50,21 @@ void append_timestamp_us(std::string& out, double ms) {
   out += buf;
 }
 
+/// Which phases a detail level retains. kInstants keeps X events along
+/// with instants/counters: the critical-path analyzer reconstructs
+/// per-request waterfalls from X + i alone, so a sampled-out session
+/// still contributes to the fleet rollup — only its B/E stage spans (the
+/// bulk of a client's event volume) are shed.
+bool retains(Tracer::Detail detail, char ph) {
+  switch (detail) {
+    case Tracer::Detail::kFull: return true;
+    case Tracer::Detail::kInstants:
+      return ph == 'X' || ph == 'i' || ph == 'C' || ph == 'M';
+    case Tracer::Detail::kSilent: return ph == 'M';
+  }
+  return true;
+}
+
 void append_args(std::string& out, const TraceArgs& args) {
   out += "\"args\":{";
   for (std::size_t i = 0; i < args.size(); ++i) {
@@ -92,6 +108,44 @@ void Tracer::mark_shared_pid(int pid) {
   shared_pids_.push_back(pid);
 }
 
+bool Tracer::is_shared_pid(int pid) const {
+  for (int shared : shared_pids_) {
+    if (shared == pid) return true;
+  }
+  return false;
+}
+
+void Tracer::set_session_detail(int session, Detail detail) {
+  if (session < 0) return;
+  if (static_cast<std::size_t>(session) >= session_detail_.size()) {
+    session_detail_.resize(static_cast<std::size_t>(session) + 1,
+                           default_detail_);
+  }
+  session_detail_[static_cast<std::size_t>(session)] = detail;
+}
+
+Tracer::Detail Tracer::session_detail(int session) const {
+  if (session >= 0 &&
+      static_cast<std::size_t>(session) < session_detail_.size()) {
+    return session_detail_[static_cast<std::size_t>(session)];
+  }
+  return default_detail_;
+}
+
+void Tracer::record(Event&& e, bool shared) {
+  if (sink_ != nullptr) sink_->on_event(pid_offset_ / 4, e);
+  const Detail detail =
+      shared ? Detail::kFull : session_detail(pid_offset_ / 4);
+  if (!retains(detail, e.ph)) return;
+  if (e.ph == 'B') {
+    open_[{e.pid, e.tid}].push_back(events_.size());
+  } else if (e.ph == 'E') {
+    auto& stack = open_[{e.pid, e.tid}];
+    if (!stack.empty()) stack.pop_back();
+  }
+  events_.push_back(std::move(e));
+}
+
 void Tracer::annotate_track(TraceTrack track, const std::string& process,
                             const std::string& thread) {
   name_track(mapped(track), process.c_str(), thread.c_str());
@@ -126,20 +180,17 @@ void Tracer::begin(TraceTrack track, std::string_view name, double ts_ms,
   e.ts_ms = ts_ms;
   e.name = name;
   e.args = std::move(args);
-  open_[{t.pid, t.tid}].push_back(events_.size());
-  events_.push_back(std::move(e));
+  record(std::move(e), is_shared_pid(t.pid));
 }
 
 void Tracer::end(TraceTrack track, double ts_ms) {
   const TraceTrack t = mapped(track);
-  auto& stack = open_[{t.pid, t.tid}];
-  if (!stack.empty()) stack.pop_back();
   Event e;
   e.ph = 'E';
   e.pid = t.pid;
   e.tid = t.tid;
   e.ts_ms = ts_ms;
-  events_.push_back(std::move(e));
+  record(std::move(e), is_shared_pid(t.pid));
 }
 
 void Tracer::complete(TraceTrack track, std::string_view name,
@@ -153,7 +204,7 @@ void Tracer::complete(TraceTrack track, std::string_view name,
   e.dur_ms = dur_ms;
   e.name = name;
   e.args = std::move(args);
-  events_.push_back(std::move(e));
+  record(std::move(e), is_shared_pid(t.pid));
 }
 
 void Tracer::instant(TraceTrack track, std::string_view name, double ts_ms,
@@ -166,7 +217,7 @@ void Tracer::instant(TraceTrack track, std::string_view name, double ts_ms,
   e.ts_ms = ts_ms;
   e.name = name;
   e.args = std::move(args);
-  events_.push_back(std::move(e));
+  record(std::move(e), is_shared_pid(t.pid));
 }
 
 void Tracer::counter(TraceTrack track, std::string_view name, double ts_ms,
@@ -179,7 +230,7 @@ void Tracer::counter(TraceTrack track, std::string_view name, double ts_ms,
   e.ts_ms = ts_ms;
   e.name = name;
   e.args.emplace_back("value", value);
-  events_.push_back(std::move(e));
+  record(std::move(e), is_shared_pid(t.pid));
 }
 
 std::size_t Tracer::open_span_count() const {
@@ -190,6 +241,12 @@ std::size_t Tracer::open_span_count() const {
 
 std::map<std::string, Tracer::StageStats> Tracer::aggregate(
     TraceTrack track, double from_ms) const {
+  return aggregate(track, from_ms,
+                   std::numeric_limits<double>::infinity());
+}
+
+std::map<std::string, Tracer::StageStats> Tracer::aggregate(
+    TraceTrack track, double from_ms, double to_ms) const {
   std::map<std::string, StageStats> out;
   // Pair B/E by stack in emission order (instrumentation guarantees
   // nesting on B/E tracks); X events carry their duration directly.
@@ -205,12 +262,12 @@ std::map<std::string, Tracer::StageStats> Tracer::aggregate(
       if (stack.empty()) continue;  // malformed; aggregate what we can
       const Event* b = stack.back().begin;
       stack.pop_back();
-      if (b->ts_ms + 1e-12 < from_ms) continue;
+      if (b->ts_ms + 1e-12 < from_ms || b->ts_ms > to_ms + 1e-12) continue;
       auto& s = out[b->name];
       s.total_ms += e.ts_ms - b->ts_ms;
       ++s.count;
     } else if (e.ph == 'X') {
-      if (e.ts_ms + 1e-12 < from_ms) continue;
+      if (e.ts_ms + 1e-12 < from_ms || e.ts_ms > to_ms + 1e-12) continue;
       auto& s = out[e.name];
       s.total_ms += e.dur_ms;
       ++s.count;
@@ -219,38 +276,41 @@ std::map<std::string, Tracer::StageStats> Tracer::aggregate(
   return out;
 }
 
+void append_trace_event_json(std::string& out, const Tracer::Event& e) {
+  char buf[64];
+  out += "{\"ph\":\"";
+  out += e.ph;
+  out += "\",";
+  std::snprintf(buf, sizeof(buf), "\"pid\":%d,\"tid\":%d", e.pid, e.tid);
+  out += buf;
+  if (e.ph != 'M') {
+    out += ",\"ts\":";
+    append_timestamp_us(out, e.ts_ms);
+  }
+  if (e.ph == 'X') {
+    out += ",\"dur\":";
+    append_timestamp_us(out, e.dur_ms);
+  }
+  if (!e.name.empty()) {
+    out += ",\"name\":\"";
+    append_escaped(out, e.name);
+    out += '"';
+  }
+  if (e.ph == 'i') out += ",\"s\":\"t\"";
+  if (!e.args.empty() || e.ph == 'C') {
+    out += ',';
+    append_args(out, e.args);
+  }
+  out += '}';
+}
+
 std::string Tracer::to_json() const {
   std::string out;
   out.reserve(events_.size() * 96 + 64);
   out += "{\"traceEvents\":[\n";
-  char buf[64];
   for (std::size_t i = 0; i < events_.size(); ++i) {
-    const Event& e = events_[i];
     if (i) out += ",\n";
-    out += "{\"ph\":\"";
-    out += e.ph;
-    out += "\",";
-    std::snprintf(buf, sizeof(buf), "\"pid\":%d,\"tid\":%d", e.pid, e.tid);
-    out += buf;
-    if (e.ph != 'M') {
-      out += ",\"ts\":";
-      append_timestamp_us(out, e.ts_ms);
-    }
-    if (e.ph == 'X') {
-      out += ",\"dur\":";
-      append_timestamp_us(out, e.dur_ms);
-    }
-    if (!e.name.empty()) {
-      out += ",\"name\":\"";
-      append_escaped(out, e.name);
-      out += '"';
-    }
-    if (e.ph == 'i') out += ",\"s\":\"t\"";
-    if (!e.args.empty() || e.ph == 'C') {
-      out += ',';
-      append_args(out, e.args);
-    }
-    out += '}';
+    append_trace_event_json(out, events_[i]);
   }
   out += "\n]}\n";
   return out;

@@ -78,6 +78,30 @@ class Tracer {
     TraceArgs args;
   };
 
+  /// Observer of every event as it is recorded — before per-session
+  /// detail suppression, so a flight recorder sees the full stream even
+  /// for sessions the trace itself keeps only instants for. `session` is
+  /// the pid-offset group active at emission time (offset / 4, the fleet
+  /// driver's stride; 0 for single-client runs). Shared-pid events (the
+  /// edge GPU) are attributed to whichever session's tick emitted them.
+  class EventSink {
+   public:
+    virtual ~EventSink() = default;
+    virtual void on_event(int session, const Event& event) = 0;
+  };
+
+  /// How much of a session's event stream the tracer retains. Sampling
+  /// knob for fleet-scale runs: full spans for a few sessions, instants +
+  /// counters (the critical-path analyzer's X/i inputs stay intact) for
+  /// the rest, or nothing but metadata for a tracer that exists only to
+  /// feed a flight-recorder sink. Shared-pid tracks (the edge GPU serves
+  /// every session) are always retained in full.
+  enum class Detail {
+    kFull = 0,      // everything
+    kInstants = 1,  // drop B/E stage spans; keep X, i, C, M
+    kSilent = 2,    // keep only M (track metadata)
+  };
+
   struct StageStats {
     double total_ms = 0.0;
     int count = 0;
@@ -118,6 +142,15 @@ class Tracer {
   void annotate_track(TraceTrack track, const std::string& process,
                       const std::string& thread);
 
+  /// Attach an event observer (flight recorder); nullptr detaches. The
+  /// sink sees every event regardless of detail settings. Non-owning.
+  void set_sink(EventSink* sink) { sink_ = sink; }
+  /// Retention level for one session's non-shared tracks (default kFull).
+  void set_session_detail(int session, Detail detail);
+  /// Retention level for sessions without an explicit setting.
+  void set_default_detail(Detail detail) { default_detail_ = detail; }
+  [[nodiscard]] Detail session_detail(int session) const;
+
   [[nodiscard]] const std::vector<Event>& events() const { return events_; }
   [[nodiscard]] std::size_t event_count() const { return events_.size(); }
   /// Open (un-ended) B spans across all tracks; 0 in a finished trace.
@@ -128,6 +161,10 @@ class Tracer {
   /// filter the figure harnesses use.
   [[nodiscard]] std::map<std::string, StageStats> aggregate(
       TraceTrack track, double from_ms = 0.0) const;
+  /// Range-limited aggregate: additionally drop spans beginning after
+  /// `to_ms` (the critical-path analyzer's per-request windows).
+  [[nodiscard]] std::map<std::string, StageStats> aggregate(
+      TraceTrack track, double from_ms, double to_ms) const;
 
   /// Chrome trace-event JSON ({"traceEvents": [...]}) in emission order.
   /// Fixed formatting => byte-identical for identical event sequences.
@@ -140,13 +177,27 @@ class Tracer {
                   const char* thread);
   /// Current pid offset applied to `track` (identity for shared pids).
   [[nodiscard]] TraceTrack mapped(TraceTrack track) const;
+  /// Route one finished event through the sink, then store it if the
+  /// current session's detail level retains its phase. `shared` exempts
+  /// the event from suppression (edge-GPU track).
+  void record(Event&& e, bool shared);
+  [[nodiscard]] bool is_shared_pid(int pid) const;
 
   std::vector<Event> events_;
   // Stack of open B-event indices per (pid, tid), for end() pairing.
   std::map<std::pair<int, int>, std::vector<std::size_t>> open_;
   int pid_offset_ = 0;
   std::vector<int> shared_pids_;
+  EventSink* sink_ = nullptr;
+  Detail default_detail_ = Detail::kFull;
+  std::vector<Detail> session_detail_;  // indexed by session, sparse-grown
 };
+
+/// Append one event in the exact Chrome trace-event JSON form to_json()
+/// uses (fixed formatting => byte-identical output for identical events).
+/// Shared with the flight recorder so postmortem dumps load in the same
+/// viewers as full traces.
+void append_trace_event_json(std::string& out, const Tracer::Event& e);
 
 /// RAII duration span. A null tracer makes every operation a no-op, so
 /// instrumented code reads straight-line with tracing off. The span closes

@@ -8,6 +8,7 @@
 #include <cstdlib>
 
 #include "runtime/log.hpp"
+#include "runtime/metrics.hpp"
 #include "runtime/ring_buffer.hpp"
 #include "runtime/rng.hpp"
 #include "runtime/serialize.hpp"
@@ -272,4 +273,162 @@ TEST(Log, InitFromEnvParsesLevels) {
   EXPECT_EQ(rt::Log::level(), rt::LogLevel::kOff);
 
   rt::Log::level() = saved;
+}
+
+TEST(Log, SubsystemOverridesFromEnv) {
+  const rt::LogLevel saved = rt::Log::level();
+
+  setenv("EDGEIS_LOG", "warn,net=debug,core=info", 1);
+  rt::Log::init_from_env();
+  EXPECT_EQ(rt::Log::level(), rt::LogLevel::kWarn);
+  EXPECT_TRUE(rt::Log::enabled(rt::LogSub::kNet, rt::LogLevel::kDebug));
+  EXPECT_FALSE(rt::Log::enabled(rt::LogSub::kCore, rt::LogLevel::kDebug));
+  EXPECT_TRUE(rt::Log::enabled(rt::LogSub::kCore, rt::LogLevel::kInfo));
+  // Subsystems without an override fall back to the global level.
+  EXPECT_FALSE(rt::Log::enabled(rt::LogSub::kEdge, rt::LogLevel::kInfo));
+  EXPECT_TRUE(rt::Log::enabled(rt::LogSub::kEdge, rt::LogLevel::kWarn));
+  EXPECT_FALSE(rt::Log::enabled(rt::LogSub::kGeneral, rt::LogLevel::kInfo));
+
+  // Malformed override tokens are ignored; a valid one in the same list
+  // still lands.
+  rt::Log::clear_overrides();
+  setenv("EDGEIS_LOG", "net=shouty,bogus=debug,edge=error", 1);
+  rt::Log::init_from_env();
+  EXPECT_FALSE(rt::Log::enabled(rt::LogSub::kNet, rt::LogLevel::kDebug));
+  EXPECT_FALSE(rt::Log::enabled(rt::LogSub::kEdge, rt::LogLevel::kWarn));
+  EXPECT_TRUE(rt::Log::enabled(rt::LogSub::kEdge, rt::LogLevel::kError));
+
+  // clear_override restores the global fallback for one subsystem.
+  rt::Log::set_override(rt::LogSub::kNet, rt::LogLevel::kDebug);
+  rt::Log::clear_override(rt::LogSub::kNet);
+  EXPECT_EQ(rt::Log::enabled(rt::LogSub::kNet, rt::LogLevel::kDebug),
+            rt::Log::level() <= rt::LogLevel::kDebug);
+
+  unsetenv("EDGEIS_LOG");
+  rt::Log::clear_overrides();
+  rt::Log::level() = saved;
+}
+
+// ---------------------------------------------------------------------------
+// QuantileSketch
+// ---------------------------------------------------------------------------
+
+TEST(QuantileSketch, ExactBelowCapacityMatchesSampleSet) {
+  rt::QuantileSketch sketch(256);
+  rt::SampleSet exact;
+  rt::Rng rng(7);
+  for (int i = 0; i < 200; ++i) {
+    const double x = rng.uniform(0.0, 1000.0);
+    sketch.add(x);
+    exact.add(x);
+  }
+  EXPECT_TRUE(sketch.exact());
+  for (double p : {0.0, 10.0, 50.0, 90.0, 95.0, 99.0, 100.0}) {
+    EXPECT_DOUBLE_EQ(sketch.percentile(p), exact.percentile(p)) << p;
+  }
+  EXPECT_DOUBLE_EQ(sketch.min(), exact.min());
+  EXPECT_DOUBLE_EQ(sketch.max(), exact.max());
+  EXPECT_NEAR(sketch.mean(), exact.mean(), 1e-9);
+}
+
+TEST(QuantileSketch, ApproxQuantilesWithinTwoPercentPastCapacity) {
+  // Several shapes, all far past capacity: the exported p50/p90/p99 must
+  // stay within 2% (of the value, or of the distribution's spread for
+  // values near zero) of the exact SampleSet percentile.
+  const int kDistributions = 3;
+  for (int d = 0; d < kDistributions; ++d) {
+    rt::QuantileSketch sketch(512);
+    rt::SampleSet exact;
+    rt::Rng rng(1000 + static_cast<std::uint64_t>(d));
+    for (int i = 0; i < 20000; ++i) {
+      double x = 0.0;
+      if (d == 0) {
+        x = rng.uniform(0.0, 1000.0);
+      } else if (d == 1) {
+        x = 100.0 + 15.0 * rng.normal();
+      } else {
+        x = -50.0 * std::log(rng.uniform(1e-12, 1.0));  // exponential
+      }
+      sketch.add(x);
+      exact.add(x);
+    }
+    EXPECT_FALSE(sketch.exact());
+    const double spread = exact.percentile(99.0) - exact.percentile(1.0);
+    for (double p : {50.0, 90.0, 99.0}) {
+      const double e = exact.percentile(p);
+      const double tol = 0.02 * std::max(std::abs(e), spread);
+      EXPECT_NEAR(sketch.percentile(p), e, tol)
+          << "distribution " << d << " p" << p;
+    }
+    EXPECT_EQ(sketch.count(), 20000u);
+    EXPECT_DOUBLE_EQ(sketch.min(), exact.min());
+    EXPECT_DOUBLE_EQ(sketch.max(), exact.max());
+    EXPECT_NEAR(sketch.mean(), exact.mean(), 1e-6 * std::abs(exact.mean()));
+  }
+}
+
+TEST(QuantileSketch, DeterministicForSameStream) {
+  rt::QuantileSketch a(64), b(64);
+  rt::Rng ra(99), rb(99);
+  for (int i = 0; i < 5000; ++i) a.add(ra.uniform(0.0, 1.0));
+  for (int i = 0; i < 5000; ++i) b.add(rb.uniform(0.0, 1.0));
+  for (double p : {5.0, 25.0, 50.0, 75.0, 90.0, 99.0}) {
+    EXPECT_DOUBLE_EQ(a.percentile(p), b.percentile(p)) << p;
+  }
+}
+
+TEST(QuantileSketch, MemoryIsBoundedByCapacity) {
+  rt::QuantileSketch sketch(128);
+  for (int i = 0; i < 100000; ++i) sketch.add(static_cast<double>(i));
+  EXPECT_EQ(sketch.count(), 100000u);
+  EXPECT_LE(sketch.memory_bytes(),
+            sizeof(rt::QuantileSketch) + 2 * 128 * sizeof(double));
+}
+
+// ---------------------------------------------------------------------------
+// SloTracker
+// ---------------------------------------------------------------------------
+
+TEST(SloTracker, DwellAttributionAndViolationCounting) {
+  rt::SloTracker slo(1000.0);
+  // Frames every 100 ms; dwell is attributed to the state the earlier
+  // frame observed.
+  slo.observe_frame(0.0, -1.0, false);      // bootstrap -> clean
+  slo.observe_frame(100.0, 200.0, false);   // clean
+  slo.observe_frame(200.0, 1200.0, false);  // stale (violation #1)
+  slo.observe_frame(300.0, 1300.0, false);  // still stale
+  slo.observe_frame(400.0, 300.0, false);   // recovered
+  slo.observe_frame(500.0, 400.0, true);    // degraded (violation #2)
+  slo.finish(600.0);
+
+  const auto s = slo.summary();
+  EXPECT_EQ(s.frames, 6);
+  EXPECT_EQ(s.violations, 2);
+  EXPECT_EQ(s.violation_frames, 3);
+  EXPECT_DOUBLE_EQ(s.clean_ms, 300.0);     // [0,200) + [400,500)
+  EXPECT_DOUBLE_EQ(s.stale_ms, 200.0);     // [200,400)
+  EXPECT_DOUBLE_EQ(s.degraded_ms, 100.0);  // [500,600) tail
+  EXPECT_EQ(slo.state(), rt::SloTracker::State::kDegraded);
+}
+
+TEST(SloTracker, BoundaryEqualsSloIsStaleAndBootstrapIsClean) {
+  rt::SloTracker slo(1000.0);
+  slo.observe_frame(0.0, -1.0, false);
+  EXPECT_EQ(slo.state(), rt::SloTracker::State::kClean);
+  slo.observe_frame(33.0, 1000.0, false);  // exactly at the SLO: stale
+  EXPECT_EQ(slo.state(), rt::SloTracker::State::kStale);
+  const auto s = slo.summary();
+  EXPECT_EQ(s.violations, 1);
+  EXPECT_EQ(s.violation_frames, 1);
+}
+
+TEST(SloTracker, BootstrapWhileDegradedCountsAsViolationFrame) {
+  rt::SloTracker slo(1000.0);
+  slo.observe_frame(0.0, -1.0, true);
+  EXPECT_EQ(slo.state(), rt::SloTracker::State::kDegraded);
+  // No prior clean frame, so no transition is counted, but the frame
+  // itself is in violation.
+  const auto s = slo.summary();
+  EXPECT_EQ(s.violations, 0);
+  EXPECT_EQ(s.violation_frames, 1);
 }

@@ -11,7 +11,10 @@
 #include "core/edgeis_pipeline.hpp"
 #include "core/pipeline.hpp"
 #include "net/faults.hpp"
+#include "runtime/critpath.hpp"
+#include "runtime/flight_recorder.hpp"
 #include "runtime/metrics.hpp"
+#include "runtime/rng.hpp"
 #include "runtime/trace.hpp"
 #include "scene/presets.hpp"
 
@@ -278,4 +281,310 @@ TEST(Metrics, EmptyRegistryRoundTrips) {
   EXPECT_TRUE(parsed->counters.empty());
   EXPECT_TRUE(parsed->gauges.empty());
   EXPECT_TRUE(parsed->histograms.empty());
+}
+
+TEST(Metrics, NonFiniteValuesRoundTripAsPythonLiterals) {
+  rt::MetricsRegistry reg;
+  reg.gauge_set("nan", std::nan(""));
+  reg.gauge_set("pinf", std::numeric_limits<double>::infinity());
+  reg.gauge_set("ninf", -std::numeric_limits<double>::infinity());
+  const std::string json = reg.to_json();
+  EXPECT_NE(json.find("\"nan\": NaN"), std::string::npos);
+  EXPECT_NE(json.find("\"pinf\": Infinity"), std::string::npos);
+  EXPECT_NE(json.find("\"ninf\": -Infinity"), std::string::npos);
+  const auto parsed = rt::MetricsSnapshot::parse_json(json);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(std::isnan(parsed->gauges.at("nan")));
+  EXPECT_EQ(parsed->gauges.at("pinf"),
+            std::numeric_limits<double>::infinity());
+  EXPECT_EQ(parsed->gauges.at("ninf"),
+            -std::numeric_limits<double>::infinity());
+}
+
+TEST(Metrics, ParseRejectsEdgeCaseMalformations) {
+  // Trailing garbage after the closing brace.
+  EXPECT_FALSE(rt::MetricsSnapshot::parse_json(
+                   "{\"counters\": {}, \"gauges\": {}, \"histograms\": {}}x")
+                   .has_value());
+  // Unknown top-level section.
+  EXPECT_FALSE(
+      rt::MetricsSnapshot::parse_json("{\"surprises\": {}}").has_value());
+  // Truncated non-finite literal and missing value.
+  EXPECT_FALSE(rt::MetricsSnapshot::parse_json("{\"gauges\": {\"x\": Inf}}")
+                   .has_value());
+  EXPECT_FALSE(rt::MetricsSnapshot::parse_json("{\"gauges\": {\"x\": }}")
+                   .has_value());
+  // Missing colon, unterminated string, bare value.
+  EXPECT_FALSE(rt::MetricsSnapshot::parse_json("{\"gauges\" {}}").has_value());
+  EXPECT_FALSE(rt::MetricsSnapshot::parse_json("{\"gauges: {}}").has_value());
+  EXPECT_FALSE(rt::MetricsSnapshot::parse_json("42").has_value());
+}
+
+TEST(Metrics, EmptyHistogramSectionWithPopulatedSiblings) {
+  rt::MetricsRegistry reg;
+  reg.counter_add("n", 3);
+  const auto parsed = rt::MetricsSnapshot::parse_json(reg.to_json());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->counters.at("n"), 3.0);
+  EXPECT_TRUE(parsed->histograms.empty());
+}
+
+TEST(Metrics, FuzzedRegistriesRoundTripExactly) {
+  // Randomized registries (deterministic seed): every snapshot must
+  // survive to_json -> parse_json bit-for-bit, including %.17g doubles,
+  // integer-formatted values, escaped names, and non-finite gauges.
+  rt::Rng rng(0xfeedu);
+  for (int iter = 0; iter < 50; ++iter) {
+    rt::MetricsRegistry reg(64);
+    const int nc = static_cast<int>(rng.uniform_int(8));
+    for (int i = 0; i < nc; ++i) {
+      std::string cname = "c";
+      cname += std::to_string(rng.uniform_int(6));
+      reg.counter_add(cname, std::floor(rng.uniform(0.0, 1e6)));
+    }
+    const int ng = static_cast<int>(rng.uniform_int(8));
+    for (int i = 0; i < ng; ++i) {
+      double v = rng.uniform(-1e9, 1e9);
+      const auto kind = rng.uniform_int(8);
+      if (kind == 0) v = std::nan("");
+      if (kind == 1) v = std::numeric_limits<double>::infinity();
+      if (kind == 2) v = -std::numeric_limits<double>::infinity();
+      std::string gname = "g\"\\";
+      gname += std::to_string(rng.uniform_int(6));
+      reg.gauge_set(gname, v);
+    }
+    const int nh = static_cast<int>(rng.uniform_int(3));
+    for (int i = 0; i < nh; ++i) {
+      std::string name = "h";
+      name += std::to_string(i);
+      const int ns = static_cast<int>(rng.uniform_int(200));
+      for (int s = 0; s < ns; ++s) reg.observe(name, rng.normal(0.0, 1e4));
+    }
+
+    const auto want = reg.snapshot();
+    const auto got =
+        rt::MetricsSnapshot::parse_json(rt::MetricsRegistry::to_json(want));
+    ASSERT_TRUE(got.has_value()) << "iteration " << iter;
+    ASSERT_EQ(got->counters.size(), want.counters.size());
+    ASSERT_EQ(got->gauges.size(), want.gauges.size());
+    ASSERT_EQ(got->histograms.size(), want.histograms.size());
+    for (const auto& [k, v] : want.counters) {
+      EXPECT_EQ(got->counters.at(k), v) << k;
+    }
+    for (const auto& [k, v] : want.gauges) {
+      if (std::isnan(v)) {
+        EXPECT_TRUE(std::isnan(got->gauges.at(k))) << k;
+      } else {
+        EXPECT_EQ(got->gauges.at(k), v) << k;
+      }
+    }
+    for (const auto& [k, fields] : want.histograms) {
+      for (const auto& [f, v] : fields) {
+        EXPECT_EQ(got->histograms.at(k).at(f), v) << k << "." << f;
+      }
+    }
+  }
+}
+
+TEST(Metrics, HandlesAliasStringApisAndStayStable) {
+  rt::MetricsRegistry reg;
+  rt::Counter& c = reg.counter_handle("hits");
+  rt::Gauge& g = reg.gauge_handle("level");
+  rt::QuantileSketch& h = reg.sketch_handle("lat");
+  c.add();
+  reg.counter_add("hits", 2.0);  // same underlying cell as the handle
+  g.set(7.5);
+  h.add(3.0);
+  reg.observe("lat", 5.0);
+  // Map nodes are stable: spraying more registrations must not move the
+  // handles.
+  for (int i = 0; i < 100; ++i) {
+    reg.counter_add("other" + std::to_string(i));
+  }
+  c.add();
+  EXPECT_EQ(reg.counter("hits"), 4.0);
+  EXPECT_EQ(reg.gauge("level"), 7.5);
+  ASSERT_NE(reg.histogram("lat"), nullptr);
+  EXPECT_EQ(reg.histogram("lat")->count(), 2u);
+  EXPECT_EQ(reg.histogram("lat"), &h);
+}
+
+// ---------------------------------------------------------------------------
+// Critical-path attribution
+// ---------------------------------------------------------------------------
+
+TEST(CritPath, StagesSumToSpanAndAgreeWithLedgerRtt) {
+  rt::Tracer t;
+  run_traced_outage(&t);
+  const auto analysis =
+      rt::CritPathAnalysis::from_trace(t, 60.0 / 30.0 * 1000.0);
+  ASSERT_GE(analysis.requests().size(), 5u);
+  for (const auto& cp : analysis.requests()) {
+    // The clamped-monotone decomposition telescopes: stages account for
+    // the whole send->response span, exactly.
+    EXPECT_NEAR(cp.stages.sum_ms(), cp.span_ms(), 1e-6) << cp.request;
+    // Two independent clocks over the same interval: the post-hoc trace
+    // span and the rtt the ledger measured at runtime (only the first
+    // attempt's send is the rtt anchor after a retransmission).
+    if (cp.attempt == 0) {
+      EXPECT_NEAR(cp.span_ms(), cp.rtt_arg_ms, 0.01 * cp.rtt_arg_ms + 1e-6)
+          << cp.request;
+    }
+    for (double stage :
+         {cp.stages.uplink_retry_ms, cp.stages.uplink_queue_ms,
+          cp.stages.uplink_transit_ms, cp.stages.gpu_wait_ms,
+          cp.stages.compute_ms, cp.stages.stream_tail_ms,
+          cp.stages.downlink_queue_ms, cp.stages.downlink_transit_ms,
+          cp.stages.pickup_ms}) {
+      EXPECT_GE(stage, 0.0) << cp.request;
+    }
+  }
+  const auto roll = analysis.rollup();
+  EXPECT_EQ(roll.requests, static_cast<int>(analysis.requests().size()));
+  EXPECT_NEAR(roll.mean().uplink_transit_ms + roll.mean().compute_ms,
+              roll.mean().uplink_transit_ms + roll.mean().compute_ms, 0.0);
+  EXPECT_GT(roll.mean_span_ms(), 0.0);
+}
+
+TEST(CritPath, InstantsDetailKeepsWaterfallsIdentical) {
+  // The analyzer consumes only X/i events, so a tracer that retains only
+  // instants (the fleet's per-client sampling mode) must produce the
+  // same per-request decomposition as a full trace — render cost is the
+  // one field that needs B/E spans.
+  rt::Tracer full, instants;
+  instants.set_default_detail(rt::Tracer::Detail::kInstants);
+  run_traced_outage(&full);
+  run_traced_outage(&instants);
+  ASSERT_LT(instants.event_count(), full.event_count());
+
+  const auto a = rt::CritPathAnalysis::from_trace(full);
+  const auto b = rt::CritPathAnalysis::from_trace(instants);
+  ASSERT_EQ(a.requests().size(), b.requests().size());
+  ASSERT_GE(a.requests().size(), 5u);
+  bool render_seen = false;
+  for (std::size_t i = 0; i < a.requests().size(); ++i) {
+    const auto& fa = a.requests()[i];
+    const auto& fb = b.requests()[i];
+    EXPECT_EQ(fa.request, fb.request);
+    EXPECT_DOUBLE_EQ(fa.send_ms, fb.send_ms);
+    EXPECT_DOUBLE_EQ(fa.response_ms, fb.response_ms);
+    EXPECT_DOUBLE_EQ(fa.stages.sum_ms(), fb.stages.sum_ms());
+    EXPECT_DOUBLE_EQ(fa.stages.gpu_wait_ms, fb.stages.gpu_wait_ms);
+    EXPECT_DOUBLE_EQ(fa.stages.compute_ms, fb.stages.compute_ms);
+    render_seen |= fa.render_ms > 0.0;
+    EXPECT_EQ(fb.render_ms, 0.0);  // B/E suppressed: no render span
+  }
+  EXPECT_TRUE(render_seen);
+
+  // Silent detail keeps only metadata: nothing to attribute.
+  rt::Tracer silent;
+  silent.set_default_detail(rt::Tracer::Detail::kSilent);
+  run_traced_outage(&silent);
+  EXPECT_TRUE(rt::CritPathAnalysis::from_trace(silent).requests().empty());
+}
+
+// ---------------------------------------------------------------------------
+// Flight recorder
+// ---------------------------------------------------------------------------
+
+TEST(FlightRecorder, OutageTriggersAbandonDegradedAndRtoCollapse) {
+  // Undamped config (no cooldown, no per-session cap) so every trigger
+  // shows up in dumps(); the run's config enters degraded at 4x RTO
+  // inflation, so collapse at 4x is guaranteed to be crossed too.
+  rt::FlightRecorder::Config cfg;
+  cfg.dump_cooldown_ms = 0.0;
+  cfg.max_dumps_per_session = 1000;
+  cfg.rto_collapse_backoff = 4.0;
+  rt::FlightRecorder rec("", cfg);  // empty dir: detect-only, no files
+  rt::Tracer t;
+  t.set_sink(&rec);
+  run_traced_outage(&t);
+  t.set_sink(nullptr);
+
+  ASSERT_FALSE(rec.dumps().empty());
+  EXPECT_EQ(rec.triggers_fired(), static_cast<int>(rec.dumps().size()));
+  bool abandon = false, degraded = false, rto = false;
+  for (const auto& d : rec.dumps()) {
+    EXPECT_EQ(d.session, 0);  // private run: pid offset 0
+    EXPECT_TRUE(d.path.empty());
+    EXPECT_LE(d.events, rec.config().ring_capacity);
+    abandon |= d.trigger == "ledger-abandon";
+    degraded |= d.trigger == "degraded-entry";
+    rto |= d.trigger == "rto-collapse";
+  }
+  // The outage abandons in-flight requests at degraded entry and inflates
+  // the RTO backoff past the collapse threshold: all three must fire.
+  EXPECT_TRUE(abandon);
+  EXPECT_TRUE(degraded);
+  EXPECT_TRUE(rto);
+}
+
+TEST(FlightRecorder, DumpsAreByteIdenticalAcrossRuns) {
+  auto record = [](rt::FlightRecorder& rec) {
+    rt::Tracer t;
+    t.set_sink(&rec);
+    run_traced_outage(&t);
+    t.set_sink(nullptr);
+  };
+  rt::FlightRecorder a(""), b("");
+  record(a);
+  record(b);
+  ASSERT_EQ(a.dumps().size(), b.dumps().size());
+  ASSERT_FALSE(a.dumps().empty());
+  for (std::size_t i = 0; i < a.dumps().size(); ++i) {
+    const auto& da = a.dumps()[i];
+    const auto& db = b.dumps()[i];
+    EXPECT_EQ(da.trigger, db.trigger);
+    EXPECT_EQ(da.ts_ms, db.ts_ms);
+    // Ring contents at the incident are identical, so the rendered
+    // postmortems are identical bytes.
+    EXPECT_EQ(a.render_dump(da.session, da.trigger, da.ts_ms),
+              b.render_dump(db.session, db.trigger, db.ts_ms));
+  }
+  const std::string dump = a.render_dump(
+      a.dumps()[0].session, a.dumps()[0].trigger, a.dumps()[0].ts_ms);
+  EXPECT_NE(dump.find("\"flightRecorder\""), std::string::npos);
+  EXPECT_NE(dump.find("\"traceEvents\""), std::string::npos);
+}
+
+TEST(FlightRecorder, CooldownAndDumpCapDampRepeatTriggers) {
+  rt::FlightRecorder::Config cfg;
+  cfg.dump_cooldown_ms = 1000.0;
+  cfg.max_dumps_per_session = 2;
+  rt::FlightRecorder rec("", cfg);
+  rt::Tracer t;
+  t.set_sink(&rec);
+  // Five abandons in quick succession: the first dumps, the second is
+  // inside the cooldown, the third dumps again, then the per-session cap
+  // swallows the rest.
+  for (int i = 0; i < 5; ++i) {
+    t.instant(rt::track::kLedger, "abandon", 100.0 + 600.0 * i,
+              {{"request", i}});
+  }
+  t.set_sink(nullptr);
+  EXPECT_EQ(rec.triggers_fired(), 5);
+  ASSERT_EQ(rec.dumps().size(), 2u);
+  EXPECT_DOUBLE_EQ(rec.dumps()[0].ts_ms, 100.0);
+  EXPECT_DOUBLE_EQ(rec.dumps()[1].ts_ms, 1300.0);
+}
+
+TEST(FlightRecorder, RejectStormNeedsCountInsideWindow) {
+  rt::FlightRecorder::Config cfg;
+  cfg.reject_storm_count = 3;
+  cfg.reject_storm_window_ms = 500.0;
+  rt::FlightRecorder rec("", cfg);
+  rt::Tracer t;
+  t.set_sink(&rec);
+  // Two rejects, then a long gap: the window prunes them, so the next
+  // two alone don't trip; the fifth inside the window does.
+  t.instant(rt::track::kLedger, "admission_reject", 100.0, {});
+  t.instant(rt::track::kLedger, "admission_reject", 200.0, {});
+  t.instant(rt::track::kLedger, "admission_reject", 2000.0, {});
+  t.instant(rt::track::kLedger, "admission_reject", 2100.0, {});
+  EXPECT_EQ(rec.triggers_fired(), 0);
+  t.instant(rt::track::kLedger, "admission_reject", 2200.0, {});
+  t.set_sink(nullptr);
+  EXPECT_EQ(rec.triggers_fired(), 1);
+  ASSERT_EQ(rec.dumps().size(), 1u);
+  EXPECT_EQ(rec.dumps()[0].trigger, "reject-storm");
 }
