@@ -25,6 +25,7 @@ inline constexpr int kWarmupFrames = 75;
 
 enum class System {
   kEdgeIs,
+  kEdgeIsDelta,  // edgeIS with the canvas-delta uplink encoder
   kEaar,
   kEdgeDuet,
   kBestEffort,
@@ -35,6 +36,7 @@ enum class System {
 inline const char* system_name(System s) {
   switch (s) {
     case System::kEdgeIs: return "edgeIS";
+    case System::kEdgeIsDelta: return "edgeIS-delta";
     case System::kEaar: return "EAAR";
     case System::kEdgeDuet: return "EdgeDuet";
     case System::kBestEffort: return "best-effort";
@@ -50,6 +52,11 @@ inline std::unique_ptr<core::Pipeline> make_pipeline(
   switch (s) {
     case System::kEdgeIs:
       return std::make_unique<core::EdgeISPipeline>(scene_cfg, cfg);
+    case System::kEdgeIsDelta: {
+      core::PipelineConfig delta_cfg = cfg;
+      delta_cfg.encoding.uplink = enc::UplinkMode::kDelta;
+      return std::make_unique<core::EdgeISPipeline>(scene_cfg, delta_cfg);
+    }
     case System::kEaar:
       return std::make_unique<core::TrackDetectPipeline>(
           scene_cfg, cfg, core::TrackDetectPolicy::kEaar);

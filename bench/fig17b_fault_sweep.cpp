@@ -72,12 +72,24 @@ void run_edgeis_row(const char* scenario, const char* display,
       "HEADLINE scenario=%s system=%s iou=%.4f timeouts=%d rtx=%d "
       "spurious=%d failed=%d degraded_ms=%.0f stale_p95=%.0f "
       "tx_bytes=%zu chunks=%d partial_applies=%d resend_req=%d "
-      "dup_chunks=%d\n",
+      "dup_chunks=%d",
       scenario, label, r.summary.mean_iou, h.attempt_timeouts,
       h.retransmissions, h.spurious_retransmissions, h.requests_failed,
       h.time_in_degraded_ms, h.mask_staleness_ms.percentile(95.0),
       r.total_tx_bytes, h.chunks_received, h.partial_applies,
       h.resend_requests, h.duplicate_chunks);
+  if (cfg.encoding.uplink == enc::UplinkMode::kDelta) {
+    // The canvas economy under faults: resyncs count the epoch-mismatch
+    // refusals that forced a clean full-keyframe restart of the chain.
+    const long long tiles = h.canvas_tiles_sent + h.canvas_tiles_reused;
+    std::printf(
+        " deltas=%d fulls=%d resyncs=%d hit_rate=%.4f",
+        h.canvas_deltas, h.canvas_full_keyframes, h.canvas_resyncs,
+        tiles > 0 ? static_cast<double>(h.canvas_tiles_reused) /
+                        static_cast<double>(tiles)
+                  : 0.0);
+  }
+  std::printf("\n");
 }
 
 }  // namespace
@@ -85,18 +97,29 @@ void run_edgeis_row(const char* scenario, const char* display,
 int main(int argc, char** argv) {
   const char* trace_path = nullptr;
   const char* trace_scenario = "collapse-25x";
+  const char* trace_system = "edgeIS";
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
       trace_path = argv[++i];
     } else if (std::strcmp(argv[i], "--trace-scenario") == 0 &&
                i + 1 < argc) {
       trace_scenario = argv[++i];
+    } else if (std::strcmp(argv[i], "--trace-system") == 0 &&
+               i + 1 < argc) {
+      trace_system = argv[++i];
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--trace out.json] [--trace-scenario NAME]\n",
+                   "usage: %s [--trace out.json] [--trace-scenario NAME] "
+                   "[--trace-system edgeIS|edgeIS-delta]\n",
                    argv[0]);
       return 2;
     }
+  }
+  if (std::strcmp(trace_system, "edgeIS") != 0 &&
+      std::strcmp(trace_system, "edgeIS-delta") != 0) {
+    std::fprintf(stderr, "error: --trace-system must be edgeIS or "
+                         "edgeIS-delta\n");
+    return 2;
   }
 
   bench::banner("Fig. 17b", "field links under scripted faults");
@@ -152,11 +175,21 @@ int main(int argc, char** argv) {
     const auto scene_cfg = scene::make_field_scene(42, frames);
     const bool trace_this =
         trace_path != nullptr && std::strcmp(sc.name, trace_scenario) == 0;
+    const bool trace_full =
+        trace_this && std::strcmp(trace_system, "edgeIS") == 0;
     run_edgeis_row(sc.name, sc.name, "edgeIS", scene_cfg,
-                   field_config(sc.script), trace_this ? &tracer : nullptr);
+                   field_config(sc.script), trace_full ? &tracer : nullptr);
     traced |= trace_this;
     run_edgeis_row(sc.name, "  \"", "edgeIS-fixed1500", scene_cfg,
                    fixed_timeout_config(sc.script));
+    {  // Canvas-delta uplink facing the same faults: outages and losses
+       // break the epoch chain; the resync counter shows the edge
+       // refusing stale-canvas inference and forcing full keyframes.
+      auto delta_cfg = field_config(sc.script);
+      delta_cfg.encoding.uplink = enc::UplinkMode::kDelta;
+      run_edgeis_row(sc.name, "  \"", "edgeIS-delta", scene_cfg, delta_cfg,
+                     trace_this && !trace_full ? &tracer : nullptr);
+    }
     {  // Baseline: same faults, no failure handling beyond re-offering.
       const auto r = bench::run_system(bench::System::kBestEffortMv,
                                        scene_cfg, field_config(sc.script));

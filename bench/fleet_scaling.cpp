@@ -26,6 +26,9 @@
 //   --rung N              run a single rung instead of the ladder
 //   --flight-recorder d   write anomaly postmortems under d/clients-NN/
 //   --metrics out.json    write the last rung's metrics snapshot
+//   --uplink full|delta   keyframe send path for every client (default
+//                         full; delta adds canvas-economy HEADLINE
+//                         fields and slashes pooled uplink bytes)
 #include <cstdlib>
 #include <cstring>
 #include <memory>
@@ -42,7 +45,8 @@ using namespace edgeis;
 
 namespace {
 
-core::FleetConfig make_fleet(int clients, int frames) {
+core::FleetConfig make_fleet(int clients, int frames,
+                             enc::UplinkMode uplink) {
   core::FleetConfig config;
   config.gpu.admission_queue_limit = 8;
   config.gpu.max_batch = 8;
@@ -57,6 +61,7 @@ core::FleetConfig make_fleet(int clients, int frames) {
         presets[i % 4], 42 + 17 * static_cast<std::uint64_t>(i), frames);
     spec.pipeline.edge = sim::jetson_agx_xavier();
     spec.pipeline.seed = 42 + 1000003ULL * static_cast<std::uint64_t>(i);
+    spec.pipeline.encoding.uplink = uplink;
     config.clients.push_back(std::move(spec));
   }
   return config;
@@ -71,6 +76,7 @@ int main(int argc, char** argv) {
   int trace_clients = 4;
   int trace_sample = -1;
   int rung_only = 0;
+  enc::UplinkMode uplink = enc::UplinkMode::kFull;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
       trace_path = argv[++i];
@@ -86,11 +92,21 @@ int main(int argc, char** argv) {
       flight_dir = argv[++i];
     } else if (std::strcmp(argv[i], "--metrics") == 0 && i + 1 < argc) {
       metrics_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--uplink") == 0 && i + 1 < argc) {
+      const char* mode = argv[++i];
+      if (std::strcmp(mode, "full") == 0) {
+        uplink = enc::UplinkMode::kFull;
+      } else if (std::strcmp(mode, "delta") == 0) {
+        uplink = enc::UplinkMode::kDelta;
+      } else {
+        std::fprintf(stderr, "error: --uplink takes full|delta\n");
+        return 2;
+      }
     } else {
       std::fprintf(
           stderr,
           "usage: %s [--trace out.json] [--trace-clients N]\n"
-          "          [--trace-sample N] [--rung N]\n"
+          "          [--trace-sample N] [--rung N] [--uplink full|delta]\n"
           "          [--flight-recorder dir] [--metrics out.json]\n",
           argv[0]);
       return 2;
@@ -147,7 +163,7 @@ int main(int argc, char** argv) {
           std::make_unique<rt::FlightRecorder>(flight_dir + std::string(sub));
     }
 
-    auto config = make_fleet(clients, frames);
+    auto config = make_fleet(clients, frames, uplink);
     config.metrics = &metrics;
     config.sink = flight.get();
     if (trace_this) config.trace_sample = trace_sample;
@@ -177,7 +193,8 @@ int main(int argc, char** argv) {
         "p50_ms=%.1f p99_ms=%.1f stale_rate=%.4f rejects=%d batches=%d "
         "mean_batch=%.2f degraded=%d up_ms=%.2f gpu_wait_ms=%.2f "
         "gpu_ms=%.2f stream_ms=%.2f down_ms=%.2f pickup_ms=%.2f "
-        "rtt_ms=%.2f cp_requests=%d slo_viol=%d metrics_kb=%.1f\n",
+        "rtt_ms=%.2f cp_requests=%d slo_viol=%d metrics_kb=%.1f "
+        "up_kb=%.1f\n",
         clients, result.mean_iou, result.p50_latency_ms,
         result.p99_latency_ms, result.stale_rate,
         result.gpu.admission_rejects, result.gpu.batches, mean_batch,
@@ -186,7 +203,20 @@ int main(int argc, char** argv) {
         mean.gpu_wait_ms, mean.compute_ms, mean.stream_tail_ms,
         mean.downlink_queue_ms + mean.downlink_transit_ms, mean.pickup_ms,
         roll.mean_span_ms(), roll.requests, result.slo.violations,
-        static_cast<double>(result.metrics_memory_bytes) / 1024.0);
+        static_cast<double>(result.metrics_memory_bytes) / 1024.0,
+        static_cast<double>(result.uplink_bytes) / 1024.0);
+    if (uplink == enc::UplinkMode::kDelta) {
+      const long long tiles =
+          result.canvas_tiles_sent + result.canvas_tiles_reused;
+      std::printf(
+          "CANVAS clients=%02d deltas=%d fulls=%d resyncs=%d "
+          "hit_rate=%.4f\n",
+          clients, result.canvas_deltas, result.canvas_full_keyframes,
+          result.canvas_resyncs,
+          tiles > 0 ? static_cast<double>(result.canvas_tiles_reused) /
+                          static_cast<double>(tiles)
+                    : 0.0);
+    }
     if (flight != nullptr && !flight->dumps().empty()) {
       std::printf("flight-recorder: %d triggers, %zu dumps under "
                   "%s/clients-%02d\n",

@@ -6,7 +6,13 @@
 //              [--link wifi5|wifi24|lte]
 //              [--frames N] [--seed S]
 //              [--no-mamt] [--no-ciia] [--no-cfrs]
+//              [--uplink full|delta]
 //              [--trace out.json] [--metrics out.json]
+//
+// --uplink selects the keyframe send path (edgeIS only): "full" re-sends
+// the whole CFRS-encoded frame each transfer (the default); "delta" ships
+// only the tiles that diverge from the pose-warped edge canvas
+// (encoding/uplink_encoder.hpp) and prints the canvas economy.
 //
 // --trace writes a Chrome trace-event JSON of the whole run (open in
 // Perfetto / chrome://tracing; validate with scripts/trace_summary.py).
@@ -37,6 +43,7 @@ void usage(const char* argv0) {
                "wifi5|wifi24|lte]\n"
                "          [--frames N] [--seed S] [--no-mamt] [--no-ciia] "
                "[--no-cfrs]\n"
+               "          [--uplink full|delta]\n"
                "          [--trace out.json] [--metrics out.json]\n",
                argv0);
 }
@@ -71,6 +78,15 @@ int main(int argc, char** argv) {
     else if (arg == "--no-mamt") cfg.enable_mamt = false;
     else if (arg == "--no-ciia") cfg.enable_ciia = false;
     else if (arg == "--no-cfrs") cfg.enable_cfrs = false;
+    else if (arg == "--uplink") {
+      const std::string mode = next();
+      if (mode == "full") cfg.encoding.uplink = enc::UplinkMode::kFull;
+      else if (mode == "delta") cfg.encoding.uplink = enc::UplinkMode::kDelta;
+      else {
+        usage(argv[0]);
+        return 2;
+      }
+    }
     else if (arg == "--trace") trace_path = next();
     else if (arg == "--metrics") metrics_path = next();
     else {
@@ -145,6 +161,19 @@ int main(int argc, char** argv) {
   std::printf("cpu_utilization=%.3f\n", r.mean_cpu_utilization);
   std::printf("peak_memory_mb=%.2f\n",
               static_cast<double>(r.peak_memory_bytes) / 1048576.0);
+  if (cfg.encoding.uplink == enc::UplinkMode::kDelta) {
+    if (auto* eis = dynamic_cast<core::EdgeISPipeline*>(pipeline.get())) {
+      const auto h = eis->link_health();
+      const long long total = h.canvas_tiles_sent + h.canvas_tiles_reused;
+      std::printf("canvas_deltas=%d\n", h.canvas_deltas);
+      std::printf("canvas_full_keyframes=%d\n", h.canvas_full_keyframes);
+      std::printf("canvas_resyncs=%d\n", h.canvas_resyncs);
+      std::printf("canvas_hit_rate=%.4f\n",
+                  total > 0 ? static_cast<double>(h.canvas_tiles_reused) /
+                                  static_cast<double>(total)
+                            : 0.0);
+    }
+  }
 
   if (tracing) {
     if (!tracer.write_json(trace_path)) {

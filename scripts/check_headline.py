@@ -61,6 +61,20 @@ TOLERANCES = {
     # registry footprint (scales with client count, not samples).
     "slo_viol": (4, 0.50),
     "metrics_kb": (8, 0.30),
+    # Canvas-delta uplink (bench/fig10_network delta rows, fig17b
+    # edgeIS-delta rows, fleet_scaling up_kb): bytes on the wire and the
+    # canvas economy. `reduction` is the fig10 acceptance number —
+    # delta's byte cut vs full-CFRS — and is held to a tight band so a
+    # regression below the 30% floor trips the nightly job.
+    "up_kb": (16, 0.15),
+    "msgs": (2, 0.15),
+    "deltas": (3, 0.25),
+    "fulls": (2, 0.40),
+    "tiles_sent": (250, 0.25),
+    "tiles_reused": (400, 0.25),
+    "hit_rate": (0.08, 0.20),
+    "resyncs": (2, 0.60),
+    "reduction": (0.06, 0.12),
 }
 
 

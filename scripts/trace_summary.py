@@ -23,6 +23,10 @@ invariants; this script is the executable statement of them:
      first-attempt requests that span agrees with the rtt_ms the ledger
      itself measured at runtime within 1% — two independent clocks over
      the same interval.
+  6. Canvas-delta consistency: edge `canvas_hit` instants carry a sane
+     tile economy, edge `canvas_resync` instants justify the refusal
+     (cold canvas or epoch mismatch), and every mobile-side ledger
+     `canvas_resync` is preceded by a matching edge refusal.
 
 With --check, exit non-zero on the first violated invariant (CI mode).
 Otherwise additionally print a per-track event census, a per-stage
@@ -268,6 +272,59 @@ def check_critpath(events):
     return requests
 
 
+def check_canvas(events):
+    """Canvas-delta uplink instants (core/edge_server.cpp): every edge
+    `canvas_hit` must carry a sane tile economy (sent+reused > 0, quality
+    in [0,1]); every edge `canvas_resync` must justify the refusal (cold
+    canvas, or base_epoch != canvas_epoch); and every mobile-side ledger
+    `canvas_resync` must be preceded by an edge refusal for the same
+    (session, frame) — the mobile never invents a resync the edge did not
+    send. Returns (hits, edge_resyncs, ledger_resyncs) for summarize()."""
+    hits = 0
+    edge_resyncs = collections.defaultdict(list)  # (session, frame) -> ts
+    ledger_resyncs = []
+    for i, ev in enumerate(events):
+        if ev["ph"] != "i":
+            continue
+        pid, name = ev["pid"], ev["name"]
+        if pid == 2 and name == "canvas_hit":
+            sent = arg_num(ev, "sent", -1)
+            reused = arg_num(ev, "reused", -1)
+            quality = arg_num(ev, "quality", -1)
+            if sent < 0 or reused < 0 or sent + reused <= 0:
+                fail(f"event {i}: canvas_hit with empty tile economy "
+                     f"(sent={sent}, reused={reused})")
+            if not 0.0 <= quality <= 1.0 + 1e-9:
+                fail(f"event {i}: canvas_hit quality {quality} outside "
+                     f"[0, 1]")
+            hits += 1
+        elif pid == 2 and name == "canvas_resync":
+            base = arg_num(ev, "base_epoch", -1)
+            canvas = arg_num(ev, "canvas_epoch", -1)
+            cold = (ev.get("args") or {}).get("cold")
+            if not cold and base == canvas:
+                fail(f"event {i}: canvas_resync on a warm canvas with "
+                     f"matching epochs (base={base})")
+            key = (int(arg_num(ev, "session", -1)),
+                   int(arg_num(ev, "frame", -1)))
+            edge_resyncs[key].append(ev["ts"])
+        elif pid % 4 == 3 and name == "canvas_resync":
+            ledger_resyncs.append(
+                ((pid - 3) // 4, int(arg_num(ev, "request", -1)),
+                 ev["ts"], i))
+    for session, request, ts, i in ledger_resyncs:
+        cands = (edge_resyncs.get((session, request)) or
+                 edge_resyncs.get((-1, request)) or [])
+        if not any(t <= ts + 1e-6 for t in cands):
+            fail(f"event {i}: ledger canvas_resync for request "
+                 f"({session}, {request}) has no earlier edge refusal")
+    n_edge = sum(len(v) for v in edge_resyncs.values())
+    if len(ledger_resyncs) > n_edge:
+        fail(f"{len(ledger_resyncs)} ledger canvas_resync instants but "
+             f"only {n_edge} edge refusals")
+    return hits, n_edge, len(ledger_resyncs)
+
+
 def summarize_critpath(requests):
     if not requests:
         return
@@ -399,12 +456,17 @@ def main():
     spans = check_balance(events)
     frames, stages = check_frame_containment(spans)
     requests = check_critpath(events)
+    hits, edge_rs, ledger_rs = check_canvas(events)
     if args.check:
         print(f"trace_summary: OK: {len(events)} events, "
               f"{len(spans)} spans balanced, {len(frames)} frames, "
-              f"{len(requests)} critical paths closed")
+              f"{len(requests)} critical paths closed, "
+              f"{hits + edge_rs} canvas instants consistent")
         return
     summarize(events, spans, frames, stages)
+    if hits or edge_rs:
+        print(f"\ncanvas-delta uplink: {hits} reconstructions, "
+              f"{edge_rs} edge refusals, {ledger_rs} acknowledged resyncs")
     summarize_critpath(requests)
 
 

@@ -51,6 +51,96 @@ void EdgeServer::submit_streamed(int frame_index, double sent_ms,
   }
 }
 
+void EdgeServer::submit_canvas_full(int frame_index, double sent_ms,
+                                    std::size_t bytes,
+                                    const segnet::InferenceRequest& request,
+                                    int attempt,
+                                    const enc::EncodedFrame& encoded,
+                                    std::uint32_t epoch) {
+  const auto out = uplink_queue_.enqueue(sent_ms, bytes, uplink_faults_);
+  net::trace_transfer(tracer_, /*uplink=*/true, out.slot.enter_ms,
+                      out.slot.transit_ms, bytes, out.fate, frame_index,
+                      attempt, out.duplicate_transit_ms,
+                      out.slot.queue_wait_ms);
+  if (out.fate.drop) return;
+  const int copies = out.fate.duplicate ? 2 : 1;
+  for (int copy = 0; copy < copies; ++copy) {
+    const double at = copy == 0 ? out.deliver_ms : out.duplicate_deliver_ms;
+    // A full keyframe unconditionally (re)seeds the canvas — re-applying
+    // a duplicated copy at the same epoch is idempotent.
+    canvas_.apply_full(encoded, epoch);
+    if (gpu_ != nullptr) {
+      enqueue_gpu(frame_index, at, request, attempt);
+    } else {
+      run_inference(frame_index, at, request, attempt, /*streamed=*/true);
+    }
+  }
+}
+
+void EdgeServer::submit_canvas_delta(int frame_index, double sent_ms,
+                                     std::size_t bytes,
+                                     const segnet::InferenceRequest& request,
+                                     int attempt,
+                                     const enc::CanvasDelta& delta) {
+  const auto out = uplink_queue_.enqueue(sent_ms, bytes, uplink_faults_);
+  net::trace_transfer(tracer_, /*uplink=*/true, out.slot.enter_ms,
+                      out.slot.transit_ms, bytes, out.fate, frame_index,
+                      attempt, out.duplicate_transit_ms,
+                      out.slot.queue_wait_ms);
+  if (out.fate.drop) return;
+  const int copies = out.fate.duplicate ? 2 : 1;
+  for (int copy = 0; copy < copies; ++copy) {
+    const double at = copy == 0 ? out.deliver_ms : out.duplicate_deliver_ms;
+    const auto applied = canvas_.apply_delta(delta);
+    if (applied.status == enc::CanvasApplyStatus::kApplied ||
+        applied.status == enc::CanvasApplyStatus::kDuplicate) {
+      // Reconstruction succeeded: unsent tiles came from the warped
+      // canvas, so the model sees the canvas's post-apply content
+      // quality, not the quality of the sent tiles alone.
+      if (tracer_ != nullptr) {
+        tracer_->instant(rt::track::kEdge, "canvas_hit", at,
+                         {{"frame", frame_index},
+                          {"sent", applied.tiles_sent},
+                          {"reused", applied.tiles_reused},
+                          {"quality", applied.content_quality},
+                          {"session", session_id_}});
+      }
+      segnet::InferenceRequest reconstructed = request;
+      reconstructed.content_quality = applied.content_quality;
+      if (gpu_ != nullptr) {
+        enqueue_gpu(frame_index, at, reconstructed, attempt);
+      } else {
+        run_inference(frame_index, at, reconstructed, attempt,
+                      /*streamed=*/true);
+      }
+      continue;
+    }
+    // Cold canvas or epoch mismatch: the edge cannot faithfully
+    // reconstruct the frame, and segmenting a divergent canvas would
+    // silently return masks for stale pixels. Refuse with a tiny resync
+    // response — no inference, no RNG — and let the mobile side fall
+    // back to a full keyframe.
+    if (tracer_ != nullptr) {
+      tracer_->instant(
+          rt::track::kEdge, "canvas_resync", at,
+          {{"frame", frame_index},
+           {"attempt", attempt},
+           {"base_epoch", static_cast<int>(delta.base_epoch)},
+           {"canvas_epoch", static_cast<int>(canvas_.epoch())},
+           {"cold", applied.status == enc::CanvasApplyStatus::kCold},
+           {"session", session_id_}});
+    }
+    Response r;
+    r.frame_index = frame_index;
+    r.attempt = attempt;
+    r.canvas_resync = true;
+    // Epoch check + tiny refusal frame: no inference queue involved.
+    r.ready_ms = at + 0.3;
+    r.payload_bytes = 32;
+    completed_.push_back(std::move(r));
+  }
+}
+
 void EdgeServer::attach_gpu(EdgeGpu* gpu) {
   gpu_ = gpu;
   session_id_ = gpu != nullptr ? gpu->register_session(this) : -1;

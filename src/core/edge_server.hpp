@@ -25,6 +25,7 @@
 #include <utility>
 #include <vector>
 
+#include "encoding/canvas.hpp"
 #include "mask/mask.hpp"
 #include "net/faults.hpp"
 #include "net/send_queue.hpp"
@@ -74,6 +75,11 @@ class EdgeServer {
     /// the server but was refused at the gate (no inference ran). On a
     /// ping echo this is the saturated flag — "alive but busy".
     bool rejected = false;
+    /// Canvas-delta pushback: the delta's base epoch did not match this
+    /// session's canvas (or the canvas was cold), so the edge refused to
+    /// reconstruct — no inference ran; the mobile side must fall back to
+    /// a full keyframe. Never set on a full-keyframe submission.
+    bool canvas_resync = false;
   };
 
   /// Submit a request entering the uplink at `sent_ms` with a nominal
@@ -97,6 +103,29 @@ class EdgeServer {
   void submit_streamed(int frame_index, double sent_ms, std::size_t bytes,
                        const segnet::InferenceRequest& request,
                        int attempt = 0);
+
+  /// Full-keyframe submission that also (re)seeds this session's canvas:
+  /// every delivered copy installs `encoded`'s tile grid at `epoch`
+  /// before inference proceeds exactly as in `submit_streamed`.
+  void submit_canvas_full(int frame_index, double sent_ms, std::size_t bytes,
+                          const segnet::InferenceRequest& request, int attempt,
+                          const enc::EncodedFrame& encoded,
+                          std::uint32_t epoch);
+
+  /// Delta submission: the edge reconstructs the frame from its canvas
+  /// (warp + sent tiles), re-deriving the request's content quality from
+  /// the post-apply canvas state. An epoch mismatch or cold canvas
+  /// produces a small `canvas_resync` response instead of inference — the
+  /// edge never segments a frame it cannot faithfully reconstruct.
+  void submit_canvas_delta(int frame_index, double sent_ms, std::size_t bytes,
+                           const segnet::InferenceRequest& request,
+                           int attempt, const enc::CanvasDelta& delta);
+
+  /// Install the canvas policy (tile aging/decay) for this session.
+  void configure_canvas(const enc::CanvasOptions& opts) {
+    canvas_ = enc::Canvas(opts);
+  }
+  [[nodiscard]] const enc::Canvas& canvas() const { return canvas_; }
 
   /// Re-emit only the named chunks of an already computed frame. A resend
   /// re-serializes from the result cache; it never re-infers and never
@@ -200,6 +229,7 @@ class EdgeServer {
   double free_at_ms_ = 0.0;
   std::vector<Response> completed_;
   std::unordered_map<int, CachedResult> result_cache_;
+  enc::Canvas canvas_;  // per-session delta-uplink reconstruction state
 };
 
 /// Shared-GPU policy knobs. The defaults preserve single-client

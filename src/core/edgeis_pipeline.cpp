@@ -42,6 +42,8 @@ EdgeISPipeline::EdgeISPipeline(const scene::SceneConfig& scene_config,
   for (const auto& obj : scene_config_.objects) {
     instance_class_[obj.instance_id] = static_cast<int>(obj.cls);
   }
+  uplink_encoder_ = enc::make_uplink_encoder(config_.encoding);
+  edge_.configure_canvas(config_.encoding.canvas);
 }
 
 EdgeISPipeline::~EdgeISPipeline() = default;
@@ -67,6 +69,8 @@ void EdgeISPipeline::set_metrics(rt::MetricsRegistry* metrics) {
   live_.degraded_entries = &metrics->counter_handle("degraded_entries");
   live_.degraded_frames = &metrics->counter_handle("degraded_frames");
   live_.refresh_requests = &metrics->counter_handle("refresh_requests");
+  live_.canvas_deltas = &metrics->counter_handle("canvas_deltas");
+  live_.canvas_resyncs = &metrics->counter_handle("canvas_resyncs");
   live_.srtt_ms = &metrics->gauge_handle("srtt_ms");
   live_.rto_ms = &metrics->gauge_handle("rto_ms");
   live_.mask_staleness_ms = &metrics->sketch_handle("mask_staleness_ms");
@@ -151,6 +155,25 @@ void EdgeISPipeline::deliver_due_responses(double now_ms) {
       // A rejected init-pair half voids the pair (both halves must be
       // annotated); bootstrap restarts once the gate opens.
       if (was_init) abort_initialization();
+      continue;
+    }
+    // Canvas-delta pushback: the edge refused to reconstruct (epoch
+    // mismatch or cold canvas). The link answered — clear the timeout
+    // inflation — but the canvas chain is broken: mark the encoder
+    // diverged and owe the edge a full keyframe. Never an init request
+    // (bootstrap uploads are always full keyframes).
+    if (resp.canvas_resync) {
+      ++health_.canvas_resyncs;
+      bump(live_.canvas_resyncs);
+      rto_.reset_backoff();
+      if (uplink_encoder_ != nullptr) uplink_encoder_->mark_diverged();
+      if (phase_ == Phase::kRunning) force_refresh_ = true;
+      if (tracer_ != nullptr) {
+        tracer_->instant(rt::track::kLedger, "canvas_resync", now_ms,
+                         {{"request", resp.frame_index},
+                          {"attempt", resp.attempt}});
+      }
+      ledger_.erase(entry);
       continue;
     }
     // Feed the RTT estimator. Karn's rule: a retransmitted request is
@@ -388,14 +411,36 @@ void EdgeISPipeline::send_attempt(LedgerEntry& e, double now_ms) {
     }
   } else {
     if (tracer_ != nullptr) {
-      tracer_->instant(rt::track::kLedger, "send", now_ms,
-                       {{"request", e.request_id},
-                        {"attempt", e.attempt},
-                        {"bytes", e.bytes},
-                        {"ping", false}});
+      if (e.uplink_kind == UplinkKind::kLegacy) {
+        tracer_->instant(rt::track::kLedger, "send", now_ms,
+                         {{"request", e.request_id},
+                          {"attempt", e.attempt},
+                          {"bytes", e.bytes},
+                          {"ping", false}});
+      } else {
+        tracer_->instant(rt::track::kLedger, "send", now_ms,
+                         {{"request", e.request_id},
+                          {"attempt", e.attempt},
+                          {"bytes", e.bytes},
+                          {"ping", false},
+                          {"delta",
+                           e.uplink_kind == UplinkKind::kCanvasDelta}});
+      }
     }
-    edge_.submit_streamed(e.frame_index, now_ms, e.bytes, e.request,
-                          e.attempt);
+    switch (e.uplink_kind) {
+      case UplinkKind::kLegacy:
+        edge_.submit_streamed(e.frame_index, now_ms, e.bytes, e.request,
+                              e.attempt);
+        break;
+      case UplinkKind::kCanvasFull:
+        edge_.submit_canvas_full(e.frame_index, now_ms, e.bytes, e.request,
+                                 e.attempt, e.canvas_full, e.canvas_epoch);
+        break;
+      case UplinkKind::kCanvasDelta:
+        edge_.submit_canvas_delta(e.frame_index, now_ms, e.bytes, e.request,
+                                  e.attempt, e.canvas_delta);
+        break;
+    }
   }
   e.sent_ms = now_ms;
   e.deadline_ms = now_ms + rto_.rto_ms();
@@ -474,6 +519,12 @@ void EdgeISPipeline::service_ledger(double now_ms) {
       if (!e.is_ping) {
         ++health_.requests_failed;
         bump(live_.requests_failed);
+        // A dead canvas upload may or may not have reached the edge; the
+        // mirror can no longer be trusted to match — force a full resync.
+        if (e.uplink_kind != UplinkKind::kLegacy &&
+            uplink_encoder_ != nullptr) {
+          uplink_encoder_->mark_diverged();
+        }
         if (e.is_init) init_failed = true;
         if (tracer_ != nullptr) {
           tracer_->instant(rt::track::kLedger, "request_failed", now_ms,
@@ -520,6 +571,12 @@ void EdgeISPipeline::service_ledger(double now_ms) {
       } else {
         e.abandoned = true;
         e.resend_at_ms = -1.0;
+        // No further retransmissions: whether this canvas upload made it
+        // to the edge is unknowable, so the delta chain must restart.
+        if (e.uplink_kind != UplinkKind::kLegacy &&
+            uplink_encoder_ != nullptr) {
+          uplink_encoder_->mark_diverged();
+        }
         if (tracer_ != nullptr) {
           tracer_->instant(rt::track::kLedger, "abandon", now_ms,
                            {{"request", e.request_id},
@@ -723,32 +780,73 @@ std::vector<mask::Box> EdgeISPipeline::new_area_boxes(
                        scene_config_.camera.height)};
 }
 
+void EdgeISPipeline::predict_uplink_warp(const vo::FrameObservation& obs,
+                                         enc::UplinkFrameInput& in) const {
+  if (!have_last_tx_pose_ || !obs.tracking_ok) return;
+  const auto& cam = scene_config_.camera;
+  // Where does last-keyframe content sit in this frame? Reproject a
+  // scene-depth point at the image center of the last transmitted frame
+  // through the current pose. The dominant depth comes from the VO map:
+  // the median depth of this frame's matched points tracks whatever
+  // surface actually fills the image, so the predicted shift lands on
+  // the true image motion instead of a guessed constant.
+  constexpr double kFallbackDepthM = 8.0;
+  std::vector<double> depths;
+  const std::size_t n =
+      std::min(obs.features.size(), obs.matched_point_ids.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (obs.matched_point_ids[i] < 0) continue;
+    const vo::MapPoint* p = map_.find(obs.matched_point_ids[i]);
+    if (p == nullptr) continue;
+    const double z = (obs.t_cw * p->position).z;
+    if (z > 0.5) depths.push_back(z);
+  }
+  double depth = kFallbackDepthM;
+  if (depths.size() >= 8) {
+    auto mid = depths.begin() + static_cast<std::ptrdiff_t>(depths.size() / 2);
+    std::nth_element(depths.begin(), mid, depths.end());
+    depth = *mid;
+  }
+  const geom::Vec2 center{static_cast<double>(cam.width) / 2.0,
+                          static_cast<double>(cam.height) / 2.0};
+  const geom::Vec3 p_cam_last = cam.unproject_depth(center, depth);
+  const geom::Vec3 p_world = last_tx_pose_.inverse() * p_cam_last;
+  const auto px = cam.project_world(obs.t_cw, p_world);
+  if (!px.has_value()) return;
+  in.warp_dx_px = px->x - center.x;
+  in.warp_dy_px = px->y - center.y;
+  in.warp_valid = true;
+}
+
 std::size_t EdgeISPipeline::transmit(
-    const scene::RenderedFrame& frame,
-    const std::vector<feat::Feature>& features,
+    const scene::RenderedFrame& frame, const vo::FrameObservation& obs,
     const std::vector<transfer::TransferredMask>& priors,
     const std::vector<mask::Box>& new_areas, double now_ms,
     bool full_quality) {
-  (void)features;
   const auto& cam = scene_config_.camera;
 
-  enc::EncodedFrame encoded;
-  if (config_.enable_cfrs && !full_quality) {
-    std::vector<mask::InstanceMask> prior_masks;
-    prior_masks.reserve(priors.size());
-    for (const auto& p : priors) prior_masks.push_back(p.mask);
-    encoded = enc::encode_cfrs(frame.index, cam.width, cam.height,
-                               prior_masks, new_areas);
-  } else {
-    encoded = enc::encode_uniform(frame.index, cam.width, cam.height,
-                                  enc::CompressionLevel::kHigh);
-  }
+  std::vector<mask::InstanceMask> prior_masks;
+  prior_masks.reserve(priors.size());
+  for (const auto& p : priors) prior_masks.push_back(p.mask);
+
+  enc::UplinkFrameInput in;
+  in.frame_index = frame.index;
+  in.width = cam.width;
+  in.height = cam.height;
+  in.intensity = &frame.intensity;
+  in.prior_masks = &prior_masks;
+  in.new_areas = &new_areas;
+  in.cfrs_enabled = config_.enable_cfrs;
+  in.full_quality = full_quality;
+  in.congestion = rto_.congestion();
+  predict_uplink_warp(obs, in);
+  enc::UplinkPlan plan = uplink_encoder_->plan(in);
 
   segnet::InferenceRequest req;
   req.width = cam.width;
   req.height = cam.height;
   req.oracle = build_oracle(frame);
-  req.content_quality = encoded.content_quality;
+  req.content_quality = plan.content_quality;
   if (config_.enable_ciia && !full_frame_refresh_) {
     for (const auto& p : priors) {
       req.priors.push_back({*p.mask.bounding_box(), p.class_id,
@@ -776,14 +874,71 @@ std::size_t EdgeISPipeline::transmit(
   LedgerEntry entry;
   entry.request_id = frame.index;
   entry.frame_index = frame.index;
-  entry.bytes = encoded.total_bytes;
   entry.request = std::move(req);
+  if (config_.encoding.uplink == enc::UplinkMode::kDelta) {
+    // Honest wire accounting: serialize the actual protocol message
+    // (codec framing, tile table, epoch chain, priors) and charge its
+    // framed size — the delta savings must survive the real encoding.
+    std::vector<net::KeyframeMessage::Prior> wire_priors;
+    std::vector<mask::Box> wire_areas;
+    if (config_.enable_ciia && !full_frame_refresh_) {
+      for (const auto& p : priors) {
+        const auto box = *p.mask.bounding_box();
+        wire_priors.push_back(
+            {box.x0, box.y0, box.x1, box.y1, p.class_id, p.instance_id});
+      }
+      wire_areas = new_areas;
+    }
+    if (plan.is_delta) {
+      net::DeltaKeyframeMessage msg;
+      msg.frame_index = frame.index;
+      msg.width = cam.width;
+      msg.height = cam.height;
+      msg.tile_size = static_cast<std::uint8_t>(plan.encoded.tile_size);
+      msg.epoch = plan.delta.epoch;
+      msg.base_epoch = plan.delta.base_epoch;
+      msg.warp_dx_tiles =
+          static_cast<std::int16_t>(plan.delta.warp_dx_tiles);
+      msg.warp_dy_tiles =
+          static_cast<std::int16_t>(plan.delta.warp_dy_tiles);
+      for (const auto& t : plan.delta.tiles) {
+        msg.tiles.push_back({static_cast<std::uint16_t>(t.index),
+                             static_cast<std::uint8_t>(t.cls),
+                             static_cast<std::uint8_t>(t.level)});
+      }
+      msg.tile_payload_bytes = plan.encoded.total_bytes;
+      msg.priors = wire_priors;
+      msg.new_areas = wire_areas;
+      entry.bytes = net::Codec::wire_bytes(msg);
+      entry.uplink_kind = UplinkKind::kCanvasDelta;
+      entry.canvas_delta = plan.delta;
+      ++health_.canvas_deltas;
+      bump(live_.canvas_deltas);
+      health_.canvas_tiles_sent += plan.tiles_sent;
+      health_.canvas_tiles_reused += plan.tiles_reused;
+    } else {
+      net::KeyframeMessage msg =
+          net::build_keyframe_message(plan.encoded, wire_priors, wire_areas);
+      msg.canvas_epoch = plan.epoch;
+      entry.bytes = net::Codec::wire_bytes(msg);
+      entry.uplink_kind = UplinkKind::kCanvasFull;
+      entry.canvas_full = plan.encoded;
+      entry.canvas_epoch = plan.epoch;
+      ++health_.canvas_full_keyframes;
+      health_.canvas_tiles_sent += plan.tiles_sent;
+    }
+  } else {
+    entry.bytes = plan.encoded.total_bytes;
+  }
+  const std::size_t tx_bytes = entry.bytes;
   ++health_.requests_sent;
   bump(live_.requests_sent);
   send_attempt(entry, now_ms);
   ledger_.push_back(std::move(entry));
   last_tx_frame_ = frame.index;
-  return encoded.total_bytes;
+  last_tx_pose_ = obs.t_cw;
+  have_last_tx_pose_ = obs.tracking_ok;
+  return tx_bytes;
 }
 
 FrameOutput EdgeISPipeline::process(const scene::RenderedFrame& frame) {
@@ -1016,6 +1171,9 @@ FrameOutput EdgeISPipeline::process(const scene::RenderedFrame& frame) {
     mamt_.reset();
     pending_.clear();
     ledger_.clear();  // in-flight responses would land in a dead map
+    // Any canvas upload that was in flight is now unaccounted for: the
+    // mirror may disagree with the edge, so restart the delta chain.
+    if (uplink_encoder_ != nullptr) uplink_encoder_->mark_diverged();
     force_refresh_ = false;
     init_ref_.reset();
     init_pair_second_.reset();
@@ -1234,7 +1392,7 @@ FrameOutput EdgeISPipeline::process(const scene::RenderedFrame& frame) {
       }
     }
     out.tx_bytes = transmit(
-        frame, obs.features, preds, new_areas, now_ms,
+        frame, obs, preds, new_areas, now_ms,
         /*full_quality=*/!config_.enable_cfrs || full_frame_refresh_);
     out.transmitted = true;
     ++tx_count_;

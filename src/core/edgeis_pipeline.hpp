@@ -101,6 +101,11 @@ class EdgeISPipeline : public Pipeline {
     EdgeServer::Response response;
   };
 
+  /// How a keyframe entry goes onto the uplink. kLegacy is the pre-canvas
+  /// streamed path; the canvas kinds route through the edge server's
+  /// canvas surfaces and carry the payload needed to retransmit.
+  enum class UplinkKind { kLegacy, kCanvasFull, kCanvasDelta };
+
   /// One outstanding request. Kept until its response is matched or every
   /// retry is exhausted; `request` is retained for retransmission.
   struct LedgerEntry {
@@ -121,6 +126,13 @@ class EdgeISPipeline : public Pipeline {
     double resend_at_ms = -1.0;  // >= 0: waiting out the backoff
     std::size_t bytes = 0;
     segnet::InferenceRequest request;
+    // Canvas uplink payloads (UplinkKind != kLegacy): what a retransmitted
+    // attempt must re-submit. A retransmitted delta re-applies cleanly —
+    // the canvas treats a same-epoch re-apply as a duplicate.
+    UplinkKind uplink_kind = UplinkKind::kLegacy;
+    enc::EncodedFrame canvas_full;
+    enc::CanvasDelta canvas_delta;
+    std::uint32_t canvas_epoch = 0;
     // Streamed (full-duplex) partial-response accounting. The response
     // arrives as one chunk per instance; each applied chunk extends the
     // deadline, and a deadline that fires with a partial set triggers a
@@ -171,12 +183,17 @@ class EdgeISPipeline : public Pipeline {
   bool pair_geometry_ok(const StoredFrame& f0, int frame_index1,
                         const img::GrayImage& image1,
                         const std::vector<feat::Feature>& features1);
-  /// Submit a frame to the edge. Returns bytes put on the uplink.
+  /// Submit a frame to the edge. Returns bytes put on the uplink. `obs`
+  /// carries the VO pose the delta encoder warps the canvas with.
   std::size_t transmit(const scene::RenderedFrame& frame,
-                       const std::vector<feat::Feature>& features,
+                       const vo::FrameObservation& obs,
                        const std::vector<transfer::TransferredMask>& priors,
                        const std::vector<mask::Box>& new_areas, double now_ms,
                        bool full_quality);
+  /// Predicted whole-frame pixel shift since the last transmission, from
+  /// the VO pose pair (current vs last-tx). Sets `warp_valid` on success.
+  void predict_uplink_warp(const vo::FrameObservation& obs,
+                           enc::UplinkFrameInput& in) const;
   std::vector<mask::Box> new_area_boxes(
       const vo::FrameObservation& obs) const;
 
@@ -202,6 +219,8 @@ class EdgeISPipeline : public Pipeline {
     rt::Counter* degraded_entries = nullptr;
     rt::Counter* degraded_frames = nullptr;
     rt::Counter* refresh_requests = nullptr;
+    rt::Counter* canvas_deltas = nullptr;
+    rt::Counter* canvas_resyncs = nullptr;
     rt::Gauge* srtt_ms = nullptr;
     rt::Gauge* rto_ms = nullptr;
     rt::QuantileSketch* mask_staleness_ms = nullptr;
@@ -256,6 +275,12 @@ class EdgeISPipeline : public Pipeline {
   double prev_frame_ms_ = 0.0;
   int last_tx_frame_ = -1000;
   bool full_frame_refresh_ = false;
+  // Uplink encoding policy (full-CFRS vs canvas-delta) and the pose the
+  // last keyframe was transmitted at — the warp baseline for the next
+  // delta.
+  std::unique_ptr<enc::UplinkEncoder> uplink_encoder_;
+  geom::SE3 last_tx_pose_;
+  bool have_last_tx_pose_ = false;
   int tx_count_ = 0;
   int consecutive_lost_frames_ = 0;
   // Velocity-model seeding across the initialization round trip.

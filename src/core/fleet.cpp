@@ -167,6 +167,12 @@ FleetResult run_fleet(const FleetConfig& config, rt::Tracer* tracer) {
       if (x > kStaleThresholdMs) ++stale;
     }
     if (r.health.degraded_entries > 0) ++out.degraded_clients;
+    out.uplink_bytes += r.run.total_tx_bytes;
+    out.canvas_tiles_sent += r.health.canvas_tiles_sent;
+    out.canvas_tiles_reused += r.health.canvas_tiles_reused;
+    out.canvas_deltas += r.health.canvas_deltas;
+    out.canvas_full_keyframes += r.health.canvas_full_keyframes;
+    out.canvas_resyncs += r.health.canvas_resyncs;
     out.clients.push_back(std::move(r));
   }
   out.mean_iou = pooled_iou.mean();

@@ -80,6 +80,16 @@ struct FleetResult {
   int degraded_clients = 0;  // clients that entered degraded mode at all
   /// Pooled SLO accounting (sums of the per-client summaries).
   rt::SloTracker::Summary slo;
+  /// Pooled uplink accounting: bytes every client put on the wire, and
+  /// the canvas-delta economy (tiles shipped vs filled from the edge
+  /// canvas; resyncs = refused deltas). All zero except uplink_bytes
+  /// under UplinkMode::kFull.
+  std::size_t uplink_bytes = 0;
+  long long canvas_tiles_sent = 0;
+  long long canvas_tiles_reused = 0;
+  int canvas_deltas = 0;
+  int canvas_full_keyframes = 0;
+  int canvas_resyncs = 0;
   /// FleetConfig::metrics footprint at run end (0 without a registry) —
   /// the measured "bounded memory" claim of sketch-backed metrics.
   std::size_t metrics_memory_bytes = 0;

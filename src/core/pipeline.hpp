@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "encoding/uplink_encoder.hpp"
 #include "eval/metrics.hpp"
 #include "net/link.hpp"
 #include "net/rto.hpp"
@@ -38,6 +39,12 @@ struct PipelineConfig {
   // Off by default: the headline figures are produced with per-frame
   // extraction, matching the paper's mobile pipeline.
   bool klt_non_keyframes = false;
+
+  // Uplink encoding: tile geometry, full-vs-delta mode, and the delta
+  // encoder's canvas/skip/congestion policy (encoding/uplink_encoder.hpp).
+  // The default (UplinkMode::kFull) reproduces the pre-canvas send path
+  // bit for bit.
+  enc::EncodingConfig encoding;
 
   // CFRS parameters (Section V).
   double new_content_threshold = 0.25;  // t

@@ -19,6 +19,20 @@ std::size_t tile_bytes(CompressionLevel level, int tile_pixels) {
       std::ceil(bits_per_pixel * tile_pixels / 8.0));
 }
 
+std::size_t inter_tile_bytes(CompressionLevel level, int tile_pixels,
+                             double residual) {
+  // Prediction gain saturates: beyond this mean residual the transform
+  // coefficients cost as much as intra coding; below it the bits scale
+  // with how much of the block the reference failed to predict, down to
+  // a floor that pays for motion vectors and mode signalling.
+  constexpr double kFullScaleResidual = 48.0;
+  constexpr double kSignallingFloor = 0.15;
+  const double fraction = std::clamp(residual / kFullScaleResidual,
+                                     kSignallingFloor, 1.0);
+  return static_cast<std::size_t>(std::ceil(
+      fraction * static_cast<double>(tile_bytes(level, tile_pixels))));
+}
+
 double tile_quality(CompressionLevel level) {
   switch (level) {
     case CompressionLevel::kLow: return 0.45;

@@ -32,6 +32,15 @@ enum class CompressionLevel {
 /// (HEVC-intra-like rates: ~0.04 / 0.12 / 0.35 / 4.0 bits per pixel).
 std::size_t tile_bytes(CompressionLevel level, int tile_pixels);
 
+/// Encoded size of one tile inter-coded against a motion-compensated
+/// reference (the delta uplink's canvas): the intra size scaled by how
+/// much of the tile actually changed. `residual` is the mean per-pixel
+/// |cur - ref| on the 8-bit scale; at ~48 and above, prediction buys
+/// nothing and the tile costs its full intra size, while a near-match
+/// pays only the motion-vector/signalling floor (~15% of intra).
+std::size_t inter_tile_bytes(CompressionLevel level, int tile_pixels,
+                             double residual);
+
 /// Reconstruction quality in [0, 1] the edge model sees for content encoded
 /// at this level (1 = lossless).
 double tile_quality(CompressionLevel level);

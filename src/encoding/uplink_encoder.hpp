@@ -1,0 +1,137 @@
+// The uplink send policy behind an interface: what the mobile side puts
+// on the wire for one keyframe. FullUplinkEncoder reproduces the
+// original inline CFRS path byte-for-byte (every transfer re-sends the
+// whole encoded frame); DeltaUplinkEncoder keeps a mirror of the edge's
+// per-session Canvas and ships only the tiles that diverge from the
+// pose-warped canvas — residual-gated, age-bounded, and stepped down
+// under link congestion. PipelineConfig selects the implementation via
+// EncodingConfig::uplink.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "encoding/canvas.hpp"
+#include "encoding/tiles.hpp"
+#include "image/image.hpp"
+#include "mask/mask.hpp"
+
+namespace edgeis::enc {
+
+enum class UplinkMode { kFull, kDelta };
+
+/// The single coherent encoding config block (PipelineConfig::encoding):
+/// tile geometry, uplink mode, canvas behavior, and the delta encoder's
+/// skip/refresh/congestion policy.
+struct EncodingConfig {
+  EncoderOptions tiles;
+  UplinkMode uplink = UplinkMode::kFull;
+  CanvasOptions canvas;
+
+  /// Mean per-pixel intensity residual (8-bit scale) above which a tile
+  /// is considered changed and must be sent.
+  double skip_residual_threshold = 6.0;
+  /// A content-class tile (interior / contour / new area) reused from the
+  /// canvas is force-refreshed after this many delta updates; background
+  /// can coast much longer.
+  int max_content_tile_age = 3;
+  int max_background_tile_age = 24;
+  /// Congestion factor (srtt / seed RTT, or the RTO backoff multiplier)
+  /// beyond which the encoder adapts: sent tiles step one compression
+  /// level down and the skip threshold is scaled up, trading pixels for
+  /// staying inside throttled-link windows.
+  double congestion_threshold = 1.8;
+  double congested_residual_scale = 1.5;
+};
+
+struct UplinkFrameInput {
+  int frame_index = 0;
+  int width = 0;
+  int height = 0;
+  /// Current frame pixels for residual computation; null falls back to a
+  /// full send (the delta encoder cannot judge tile change without them).
+  const img::GrayImage* intensity = nullptr;
+  const std::vector<mask::InstanceMask>* prior_masks = nullptr;
+  const std::vector<mask::Box>* new_areas = nullptr;
+  bool cfrs_enabled = true;
+  bool full_quality = false;  // uniform high-quality refresh frame
+  /// Global pixel shift predicted by the VO pose since the last
+  /// transmission (how far last frame's content moved in this frame).
+  double warp_dx_px = 0.0;
+  double warp_dy_px = 0.0;
+  bool warp_valid = false;
+  /// Live link pressure, >= 1 (1 = healthy).
+  double congestion = 1.0;
+};
+
+/// One planned transmission. For a delta, `encoded` holds only the sent
+/// tiles (total_bytes = bytes actually on the wire) and `delta` is the
+/// update the edge must apply; `content_quality` is what the edge-side
+/// reconstruction will be worth (from the mirror canvas), which for a
+/// delta is NOT encoded.content_quality.
+struct UplinkPlan {
+  EncodedFrame encoded;
+  bool is_delta = false;
+  CanvasDelta delta;
+  std::uint32_t epoch = 0;  // 0 = no canvas semantics (full mode)
+  double content_quality = 1.0;
+  int tiles_sent = 0;
+  int tiles_reused = 0;
+};
+
+class UplinkEncoder {
+ public:
+  virtual ~UplinkEncoder() = default;
+  virtual UplinkPlan plan(const UplinkFrameInput& in) = 0;
+  /// The edge's canvas can no longer be assumed to match the mirror
+  /// (resync response, failed/abandoned request, tracker reset): the next
+  /// plan must be a full keyframe.
+  virtual void mark_diverged() {}
+  [[nodiscard]] virtual const char* name() const = 0;
+};
+
+/// The pre-delta policy, bit-for-bit: CFRS tile selection per transfer
+/// (or uniform high quality for refreshes), whole frame every time.
+class FullUplinkEncoder final : public UplinkEncoder {
+ public:
+  explicit FullUplinkEncoder(EncodingConfig cfg) : cfg_(cfg) {}
+  UplinkPlan plan(const UplinkFrameInput& in) override;
+  [[nodiscard]] const char* name() const override { return "full"; }
+
+ private:
+  EncodingConfig cfg_;
+};
+
+class DeltaUplinkEncoder final : public UplinkEncoder {
+ public:
+  explicit DeltaUplinkEncoder(EncodingConfig cfg)
+      : cfg_(cfg), mirror_(cfg.canvas) {}
+  UplinkPlan plan(const UplinkFrameInput& in) override;
+  void mark_diverged() override { diverged_ = true; }
+  [[nodiscard]] const char* name() const override { return "delta"; }
+
+  [[nodiscard]] const Canvas& mirror() const { return mirror_; }
+
+  struct Stats {
+    int full_sent = 0;
+    int deltas_sent = 0;
+    long long tiles_sent = 0;
+    long long tiles_skipped = 0;
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+ private:
+  UplinkPlan plan_full(const UplinkFrameInput& in, EncodedFrame encoded);
+
+  EncodingConfig cfg_;
+  Canvas mirror_;
+  img::GrayImage ref_;  // what the edge canvas's pixels look like
+  std::uint32_t epoch_ = 0;
+  bool diverged_ = false;
+  Stats stats_;
+};
+
+std::unique_ptr<UplinkEncoder> make_uplink_encoder(const EncodingConfig& cfg);
+
+}  // namespace edgeis::enc

@@ -50,6 +50,7 @@ struct Box {
   [[nodiscard]] bool contains(int x, int y) const noexcept {
     return x >= x0 && x < x1 && y >= y0 && y < y1;
   }
+  friend bool operator==(const Box&, const Box&) = default;
 };
 
 /// Dense binary mask of one object instance, with class and instance ids.

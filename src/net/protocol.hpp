@@ -1,8 +1,11 @@
-// Wire protocol of the mobile<->edge link: the uplink keyframe message
-// (tile-encoded frame + transferred-mask priors + new areas) and the
-// downlink result message (labeled contour vertex lists, as the paper's
-// implementation serializes with Boost — Section VI-A). Sizes put on the
-// simulated link come from actually serializing these messages.
+// Wire protocol of the mobile<->edge link: the uplink keyframe messages
+// (tile-encoded frame + transferred-mask priors + new areas, full or
+// canvas-delta) and the downlink result messages (labeled contour vertex
+// lists, as the paper's implementation serializes with Boost — Section
+// VI-A). Sizes put on the simulated link come from actually serializing
+// these messages through the versioned net::Codec (net/codec.hpp): each
+// message registers a MessageTraits specialization once, and wire sizes
+// are derived from the codec's own framing.
 #pragma once
 
 #include <cstdint>
@@ -10,6 +13,7 @@
 
 #include "encoding/tiles.hpp"
 #include "mask/mask.hpp"
+#include "net/codec.hpp"
 #include "runtime/serialize.hpp"
 
 namespace edgeis::net {
@@ -26,14 +30,54 @@ struct KeyframeMessage {
   std::vector<std::uint8_t> tile_classes;
   std::vector<std::uint8_t> tile_levels;
   std::size_t tile_payload_bytes = 0;
+  /// Canvas epoch this full keyframe establishes on the edge (delta
+  /// uplink mode); 0 = no canvas semantics (full uplink mode).
+  std::uint32_t canvas_epoch = 0;
 
   struct Prior {
     std::int32_t x0, y0, x1, y1;
     std::int32_t class_id;
     std::int32_t instance_id;
+    friend bool operator==(const Prior&, const Prior&) = default;
   };
   std::vector<Prior> priors;
   std::vector<mask::Box> new_areas;
+
+  friend bool operator==(const KeyframeMessage&,
+                         const KeyframeMessage&) = default;
+};
+
+/// Uplink, canvas-delta: only the tiles that diverge from the pose-warped
+/// canvas the edge already holds, plus the warp (whole tiles of global
+/// pixel shift predicted by the VO pose) and the epoch chain that detects
+/// divergence. `epoch` is the canvas state after applying this delta;
+/// `base_epoch` is the state it was encoded against — an edge whose
+/// canvas is not at `base_epoch` must refuse the delta and demand a full
+/// keyframe rather than reconstruct from the wrong base.
+struct DeltaKeyframeMessage {
+  std::int32_t frame_index = 0;
+  std::int32_t width = 0;
+  std::int32_t height = 0;
+  std::uint8_t tile_size = 64;
+  std::uint32_t epoch = 0;
+  std::uint32_t base_epoch = 0;
+  std::int16_t warp_dx_tiles = 0;
+  std::int16_t warp_dy_tiles = 0;
+
+  struct SentTile {
+    std::uint16_t index = 0;  // row-major tile index after the warp
+    std::uint8_t cls = 0;     // enc::TileClass
+    std::uint8_t level = 0;   // enc::CompressionLevel
+    friend bool operator==(const SentTile&, const SentTile&) = default;
+  };
+  std::vector<SentTile> tiles;
+  std::size_t tile_payload_bytes = 0;  // bitstream of the sent tiles only
+
+  std::vector<KeyframeMessage::Prior> priors;
+  std::vector<mask::Box> new_areas;
+
+  friend bool operator==(const DeltaKeyframeMessage&,
+                         const DeltaKeyframeMessage&) = default;
 };
 
 /// Downlink: per-instance labeled contours (vertex lists), enough for the
@@ -49,8 +93,12 @@ struct MaskResultMessage {
     // Contour vertices, quantized to pixels.
     std::vector<std::uint16_t> xs;
     std::vector<std::uint16_t> ys;
+    friend bool operator==(const Instance&, const Instance&) = default;
   };
   std::vector<Instance> instances;
+
+  friend bool operator==(const MaskResultMessage&,
+                         const MaskResultMessage&) = default;
 };
 
 /// Downlink, streamed: one chunk per finished instance, emitted by the
@@ -67,6 +115,9 @@ struct MaskChunkMessage {
   std::uint16_t chunk_count = 1;  // total chunks of this response
   // Zero (empty response) or one instance; never more.
   std::vector<MaskResultMessage::Instance> instances;
+
+  friend bool operator==(const MaskChunkMessage&,
+                         const MaskChunkMessage&) = default;
 };
 
 /// Uplink, retransmission: after a partial response, request only the
@@ -78,6 +129,60 @@ struct MaskChunkMessage {
 struct ResendRequestMessage {
   std::int32_t frame_index = 0;
   std::vector<std::int32_t> chunk_indices;  // missing chunks
+
+  friend bool operator==(const ResendRequestMessage&,
+                         const ResendRequestMessage&) = default;
+};
+
+// Codec registration (bodies in protocol.cpp). Tags are part of the wire
+// format: never reuse or renumber them.
+template <>
+struct MessageTraits<KeyframeMessage> {
+  static constexpr std::uint8_t kTag = 1;
+  static constexpr const char* kName = "keyframe";
+  static void write(rt::ByteWriter& w, const KeyframeMessage& msg);
+  static KeyframeMessage read(rt::ByteReader& r);
+  static std::size_t payload_bytes(const KeyframeMessage& msg) {
+    return msg.tile_payload_bytes;
+  }
+};
+
+template <>
+struct MessageTraits<MaskResultMessage> {
+  static constexpr std::uint8_t kTag = 2;
+  static constexpr const char* kName = "mask_result";
+  static void write(rt::ByteWriter& w, const MaskResultMessage& msg);
+  static MaskResultMessage read(rt::ByteReader& r);
+  static std::size_t payload_bytes(const MaskResultMessage&) { return 0; }
+};
+
+template <>
+struct MessageTraits<MaskChunkMessage> {
+  static constexpr std::uint8_t kTag = 3;
+  static constexpr const char* kName = "mask_chunk";
+  static void write(rt::ByteWriter& w, const MaskChunkMessage& msg);
+  static MaskChunkMessage read(rt::ByteReader& r);
+  static std::size_t payload_bytes(const MaskChunkMessage&) { return 0; }
+};
+
+template <>
+struct MessageTraits<ResendRequestMessage> {
+  static constexpr std::uint8_t kTag = 4;
+  static constexpr const char* kName = "resend_request";
+  static void write(rt::ByteWriter& w, const ResendRequestMessage& msg);
+  static ResendRequestMessage read(rt::ByteReader& r);
+  static std::size_t payload_bytes(const ResendRequestMessage&) { return 0; }
+};
+
+template <>
+struct MessageTraits<DeltaKeyframeMessage> {
+  static constexpr std::uint8_t kTag = 5;
+  static constexpr const char* kName = "delta_keyframe";
+  static void write(rt::ByteWriter& w, const DeltaKeyframeMessage& msg);
+  static DeltaKeyframeMessage read(rt::ByteReader& r);
+  static std::size_t payload_bytes(const DeltaKeyframeMessage& msg) {
+    return msg.tile_payload_bytes;
+  }
 };
 
 /// Split a full result into per-instance chunks (at least one, even when
@@ -118,19 +223,48 @@ class ChunkAssembler {
   std::vector<bool> have_;
 };
 
-/// Serialize / parse. Parsing throws rt::DeserializeError on malformed
-/// input (truncated or corrupt messages).
-std::vector<std::uint8_t> serialize(const KeyframeMessage& msg);
-KeyframeMessage parse_keyframe(std::span<const std::uint8_t> bytes);
-
-std::vector<std::uint8_t> serialize(const MaskResultMessage& msg);
-MaskResultMessage parse_mask_result(std::span<const std::uint8_t> bytes);
-
-std::vector<std::uint8_t> serialize(const MaskChunkMessage& msg);
-MaskChunkMessage parse_mask_chunk(std::span<const std::uint8_t> bytes);
-
-std::vector<std::uint8_t> serialize(const ResendRequestMessage& msg);
-ResendRequestMessage parse_resend_request(std::span<const std::uint8_t> bytes);
+// Thin legacy wrappers over net::Codec — kept one release so call sites
+// migrate mechanically; new code should use Codec::encode / Codec::decode
+// / Codec::wire_bytes directly. Parsing throws rt::DeserializeError on
+// malformed input (truncated or corrupt messages).
+inline std::vector<std::uint8_t> serialize(const KeyframeMessage& msg) {
+  return Codec::encode(msg);
+}
+inline KeyframeMessage parse_keyframe(std::span<const std::uint8_t> bytes) {
+  return Codec::decode<KeyframeMessage>(bytes);
+}
+inline std::vector<std::uint8_t> serialize(const MaskResultMessage& msg) {
+  return Codec::encode(msg);
+}
+inline MaskResultMessage parse_mask_result(
+    std::span<const std::uint8_t> bytes) {
+  return Codec::decode<MaskResultMessage>(bytes);
+}
+inline std::vector<std::uint8_t> serialize(const MaskChunkMessage& msg) {
+  return Codec::encode(msg);
+}
+inline MaskChunkMessage parse_mask_chunk(std::span<const std::uint8_t> bytes) {
+  return Codec::decode<MaskChunkMessage>(bytes);
+}
+inline std::vector<std::uint8_t> serialize(const ResendRequestMessage& msg) {
+  return Codec::encode(msg);
+}
+inline ResendRequestMessage parse_resend_request(
+    std::span<const std::uint8_t> bytes) {
+  return Codec::decode<ResendRequestMessage>(bytes);
+}
+inline std::size_t wire_bytes(const KeyframeMessage& msg) {
+  return Codec::wire_bytes(msg);
+}
+inline std::size_t wire_bytes(const MaskResultMessage& msg) {
+  return Codec::wire_bytes(msg);
+}
+inline std::size_t wire_bytes(const MaskChunkMessage& msg) {
+  return Codec::wire_bytes(msg);
+}
+inline std::size_t wire_bytes(const ResendRequestMessage& msg) {
+  return Codec::wire_bytes(msg);
+}
 
 /// Build the uplink message for an encoded frame + CIIA priors.
 KeyframeMessage build_keyframe_message(
@@ -148,12 +282,5 @@ MaskResultMessage build_mask_result(
 /// mobile side of the downlink.
 std::vector<mask::InstanceMask> reconstruct_masks(
     const MaskResultMessage& msg);
-
-/// Total bytes this message puts on the link (serialized header/payload
-/// plus, for keyframes, the tile bitstream bytes).
-std::size_t wire_bytes(const KeyframeMessage& msg);
-std::size_t wire_bytes(const MaskResultMessage& msg);
-std::size_t wire_bytes(const MaskChunkMessage& msg);
-std::size_t wire_bytes(const ResendRequestMessage& msg);
 
 }  // namespace edgeis::net

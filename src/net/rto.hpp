@@ -53,6 +53,7 @@ class RttEstimator {
   /// RTO is a generous 3x the guess.
   RttEstimator(const RtoConfig& cfg, double seed_rtt_ms)
       : cfg_(cfg),
+        seed_rtt_ms_(seed_rtt_ms),
         srtt_ms_(seed_rtt_ms),
         rttvar_ms_(seed_rtt_ms / 2.0) {}
 
@@ -98,9 +99,20 @@ class RttEstimator {
   [[nodiscard]] int samples() const { return samples_; }
   [[nodiscard]] int timeouts() const { return timeouts_; }
   [[nodiscard]] const RtoConfig& config() const { return cfg_; }
+  /// The pre-sample seed guess — the healthy-link reference point that
+  /// congestion estimates (srtt / seed) are measured against.
+  [[nodiscard]] double seed_rtt_ms() const { return seed_rtt_ms_; }
+  /// Live link-pressure factor, >= 1: how much slower the link answers
+  /// than its healthy seed, or the timeout backoff when attempts are
+  /// expiring — whichever signal is worse.
+  [[nodiscard]] double congestion() const {
+    const double slowdown = seed_rtt_ms_ > 0.0 ? srtt_ms_ / seed_rtt_ms_ : 1.0;
+    return std::max({1.0, slowdown, backoff_});
+  }
 
  private:
   RtoConfig cfg_;
+  double seed_rtt_ms_;
   double srtt_ms_;
   double rttvar_ms_;
   double backoff_ = 1.0;

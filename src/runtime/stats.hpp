@@ -170,6 +170,13 @@ struct LinkHealthStats {
   int degraded_frames = 0;
   double time_in_degraded_ms = 0.0;
   int refresh_requests = 0;     // full-quality refreshes after recovery
+  // Canvas-delta uplink (enc::Canvas + DeltaUplinkEncoder). Zero in full
+  // uplink mode.
+  int canvas_full_keyframes = 0;  // full (canvas-seeding) uploads
+  int canvas_deltas = 0;          // delta uploads
+  int canvas_resyncs = 0;         // edge refused a delta (epoch mismatch)
+  long long canvas_tiles_sent = 0;    // tiles actually put on the wire
+  long long canvas_tiles_reused = 0;  // tiles the edge filled from canvas
   // Link-level ground truth (from the fault injectors).
   int uplink_drops = 0;
   int downlink_drops = 0;

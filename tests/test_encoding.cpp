@@ -138,3 +138,201 @@ TEST(Encoded, TotalBytesIsSumOfTiles) {
   }
   EXPECT_EQ(encoded.total_bytes, sum);
 }
+
+// ---------------------------------------------------------------------------
+// Inter-coded tile rate model (delta uplink): residual-proportional bytes
+// between a signalling floor and the intra ceiling.
+
+TEST(InterTileBytes, FloorAndCeiling) {
+  const int px = 64 * 64;
+  for (auto lvl : {CompressionLevel::kLow, CompressionLevel::kHigh,
+                   CompressionLevel::kLossless}) {
+    const auto intra = tile_bytes(lvl, px);
+    EXPECT_EQ(inter_tile_bytes(lvl, px, 255.0), intra);
+    EXPECT_EQ(inter_tile_bytes(lvl, px, 1e9), intra);
+    const auto floor = inter_tile_bytes(lvl, px, 0.0);
+    EXPECT_GT(floor, 0u);              // motion vectors are never free
+    EXPECT_LT(floor, intra / 4);       // but far below intra
+    EXPECT_EQ(inter_tile_bytes(lvl, px, 1.0), floor);  // below the floor
+  }
+}
+
+TEST(InterTileBytes, MonotoneInResidual) {
+  const int px = 64 * 64;
+  std::size_t prev = 0;
+  for (double r = 0.0; r <= 64.0; r += 4.0) {
+    const auto b = inter_tile_bytes(CompressionLevel::kLossless, px, r);
+    EXPECT_GE(b, prev) << "residual " << r;
+    prev = b;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Motion-compensated canvas (encoding/canvas.hpp): the epoch-chained
+// reconstruction state both ends of the delta uplink must agree on.
+
+#include "encoding/canvas.hpp"
+
+#include "runtime/rng.hpp"
+
+namespace {
+
+EncodedFrame seed_frame(int cols = 4, int rows = 3) {
+  EncodedFrame f;
+  f.frame_index = 0;
+  f.width = cols * 64;
+  f.height = rows * 64;
+  f.tile_size = 64;
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      Tile t;
+      t.col = c;
+      t.row = r;
+      t.cls = (r == 1 && c == 1) ? TileClass::kObjectInterior
+                                 : TileClass::kBackground;
+      t.level = t.cls == TileClass::kBackground ? CompressionLevel::kLow
+                                                : CompressionLevel::kHigh;
+      f.tiles.push_back(t);
+    }
+  }
+  f.content_quality = tile_quality(CompressionLevel::kHigh);
+  return f;
+}
+
+}  // namespace
+
+TEST(Canvas, ColdUntilSeeded) {
+  Canvas canvas;
+  EXPECT_TRUE(canvas.cold());
+  CanvasDelta d;
+  d.epoch = 1;
+  d.base_epoch = 0;
+  EXPECT_EQ(canvas.apply_delta(d).status, CanvasApplyStatus::kCold);
+  canvas.apply_full(seed_frame(), 1);
+  EXPECT_FALSE(canvas.cold());
+  EXPECT_EQ(canvas.epoch(), 1u);
+  EXPECT_EQ(canvas.cols(), 4);
+  EXPECT_EQ(canvas.rows(), 3);
+  for (const auto& t : canvas.tiles()) {
+    EXPECT_TRUE(t.valid);
+    EXPECT_EQ(t.age, 0);
+  }
+}
+
+TEST(Canvas, DeltaAgesUnsentTilesAndDecaysQuality) {
+  Canvas canvas;
+  canvas.apply_full(seed_frame(), 1);
+  const double fresh = canvas.tile_effective_quality(1 * 4 + 1);
+
+  CanvasDelta d;
+  d.epoch = 2;
+  d.base_epoch = 1;
+  d.tiles.push_back({0, TileClass::kBackground, CompressionLevel::kLow});
+  const auto r = canvas.apply_delta(d);
+  ASSERT_EQ(r.status, CanvasApplyStatus::kApplied);
+  EXPECT_EQ(canvas.epoch(), 2u);
+  EXPECT_EQ(r.tiles_sent, 1);
+  EXPECT_EQ(r.tiles_reused, 4 * 3 - 1);
+  EXPECT_EQ(canvas.tiles()[0].age, 0);       // refreshed by the wire
+  EXPECT_EQ(canvas.tiles()[1].age, 1);       // reused, one update old
+  const double aged = canvas.tile_effective_quality(1 * 4 + 1);
+  EXPECT_LT(aged, fresh);                    // staleness costs quality
+  EXPECT_NEAR(aged, fresh * 0.94, 1e-9);     // default decay
+  EXPECT_NEAR(r.content_quality, aged, 1e-9);
+}
+
+TEST(Canvas, DuplicateEpochIsIdempotent) {
+  Canvas canvas;
+  canvas.apply_full(seed_frame(), 1);
+  CanvasDelta d;
+  d.epoch = 2;
+  d.base_epoch = 1;
+  d.tiles.push_back({5, TileClass::kContourBand, CompressionLevel::kLossless});
+  const auto first = canvas.apply_delta(d);
+  ASSERT_EQ(first.status, CanvasApplyStatus::kApplied);
+  const Canvas snapshot = canvas;
+  const auto again = canvas.apply_delta(d);  // retransmitted copy
+  EXPECT_EQ(again.status, CanvasApplyStatus::kDuplicate);
+  EXPECT_EQ(again.content_quality, first.content_quality);
+  EXPECT_EQ(again.tiles_sent, first.tiles_sent);
+  EXPECT_TRUE(canvas == snapshot);           // no double mutation
+}
+
+TEST(Canvas, WrongBaseEpochRefusedUntouched) {
+  Canvas canvas;
+  canvas.apply_full(seed_frame(), 5);
+  const Canvas snapshot = canvas;
+  CanvasDelta d;
+  d.epoch = 9;
+  d.base_epoch = 8;  // encoded against a state this canvas never reached
+  EXPECT_EQ(canvas.apply_delta(d).status, CanvasApplyStatus::kDiverged);
+  EXPECT_TRUE(canvas == snapshot);
+  EXPECT_EQ(canvas.epoch(), 5u);
+}
+
+TEST(Canvas, WarpShiftsGridAndInvalidatesExposedTiles) {
+  Canvas canvas;
+  canvas.apply_full(seed_frame(), 1);  // content tile at (col 1, row 1)
+  CanvasDelta d;
+  d.epoch = 2;
+  d.base_epoch = 1;
+  d.warp_dx_tiles = 1;  // scene content moves one tile right
+  const auto r = canvas.apply_delta(d);
+  ASSERT_EQ(r.status, CanvasApplyStatus::kApplied);
+  const auto& g = canvas.tiles();
+  EXPECT_EQ(g[1 * 4 + 2].cls, TileClass::kObjectInterior);  // moved
+  EXPECT_FALSE(g[1 * 4 + 0].valid);  // exposed on the left: nothing known
+  EXPECT_FALSE(g[2 * 4 + 0].valid);
+  EXPECT_EQ(canvas.tile_effective_quality(1 * 4 + 0), 0.0);
+}
+
+TEST(Canvas, ResetGoesCold) {
+  Canvas canvas;
+  canvas.apply_full(seed_frame(), 3);
+  canvas.reset();
+  EXPECT_TRUE(canvas.cold());
+  CanvasDelta d;
+  d.epoch = 4;
+  d.base_epoch = 3;
+  EXPECT_EQ(canvas.apply_delta(d).status, CanvasApplyStatus::kCold);
+}
+
+TEST(Canvas, RandomizedMirrorConsistency) {
+  // The protocol's core invariant: after any shared update sequence the
+  // mobile mirror and the edge canvas are bit-for-bit the same state and
+  // report the same reconstruction quality.
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    rt::Rng rng(seed);
+    Canvas mobile, edge;
+    std::uint32_t epoch = 1;
+    mobile.apply_full(seed_frame(), epoch);
+    edge.apply_full(seed_frame(), epoch);
+    for (int step = 0; step < 30; ++step) {
+      if (rng.uniform_int(8) == 0) {  // occasional full refresh
+        ++epoch;
+        mobile.apply_full(seed_frame(), epoch);
+        edge.apply_full(seed_frame(), epoch);
+        continue;
+      }
+      CanvasDelta d;
+      d.base_epoch = epoch;
+      d.epoch = ++epoch;
+      d.warp_dx_tiles = static_cast<int>(rng.uniform_int(3)) - 1;
+      d.warp_dy_tiles = static_cast<int>(rng.uniform_int(3)) - 1;
+      const int n = static_cast<int>(rng.uniform_int(6));
+      for (int i = 0; i < n; ++i) {
+        d.tiles.push_back(
+            {static_cast<int>(rng.uniform_int(12)),
+             static_cast<TileClass>(rng.uniform_int(4)),
+             static_cast<CompressionLevel>(rng.uniform_int(4))});
+      }
+      const auto rm = mobile.apply_delta(d);
+      const auto re = edge.apply_delta(d);
+      ASSERT_EQ(rm.status, CanvasApplyStatus::kApplied);
+      ASSERT_EQ(re.status, rm.status);
+      ASSERT_EQ(re.content_quality, rm.content_quality);
+      ASSERT_EQ(re.tiles_reused, rm.tiles_reused);
+      ASSERT_TRUE(mobile == edge) << "seed " << seed << " step " << step;
+    }
+  }
+}

@@ -305,3 +305,57 @@ TEST(FaultIntegration, MidResponseOutageStreamsPartialThenResendsTail) {
   }
   EXPECT_TRUE(tail_recovered);
 }
+
+// The canvas-delta uplink through the same total outage: the client's
+// mirror advances optimistically at send time, so the epoch chain breaks
+// the moment an upload dies on the dead link. On recovery the edge must
+// refuse any stale delta (epoch mismatch -> resync) and the client must
+// restart the chain with clean full keyframes -- masks may go stale
+// through the blackout, but they must never come from a diverged canvas.
+TEST(FaultIntegration, DeltaUplinkResyncsCleanlyAfterOutage) {
+  const auto scfg = fault_scene(210);  // 7 s @ 30 fps
+  scene::SceneSimulator sim(scfg);
+  auto cfg = fast_failure_config();
+  cfg.encoding.uplink = enc::UplinkMode::kDelta;
+  cfg.faults = FaultScript::outage(2600.0, 4600.0);
+  core::EdgeISPipeline p(scfg, cfg);
+  const auto r = core::run_pipeline(sim, p, 60);
+
+  const auto h = p.link_health();
+  // The delta path actually engaged before and after the blackout.
+  EXPECT_GT(h.canvas_deltas, 0);
+  // The chain restarted at least once beyond the initial seed: either the
+  // edge refused a stale delta or the client fell back to a full keyframe
+  // after its attempts died.
+  EXPECT_GE(h.canvas_resyncs + h.canvas_full_keyframes, 2);
+  // Recovery is genuine -- the link came back, a refresh landed, and the
+  // run's accuracy is not wrecked by the 2 s hole.
+  EXPECT_GE(h.refresh_requests, 1);
+  EXPECT_GT(r.summary.mean_iou, 0.4);
+  // Every acknowledged resync is followed by a successful full keyframe,
+  // so the run cannot end with the edge still refusing uploads.
+  EXPECT_GE(h.canvas_full_keyframes, h.canvas_resyncs > 0 ? 2 : 1);
+}
+
+// Same scripted faults, delta uplink: the seeded run stays bit-for-bit
+// reproducible including the canvas counters.
+TEST(FaultIntegration, DeltaUplinkSeededRunIsReproducible) {
+  const auto scfg = fault_scene(150);
+  scene::SceneSimulator sim(scfg);
+  auto cfg = fast_failure_config();
+  cfg.encoding.uplink = enc::UplinkMode::kDelta;
+  cfg.faults = FaultScript::lossy(0.25);
+
+  core::EdgeISPipeline a(scfg, cfg), b(scfg, cfg);
+  const auto ra = core::run_pipeline(sim, a, 60);
+  const auto rb = core::run_pipeline(sim, b, 60);
+
+  const auto ha = a.link_health(), hb = b.link_health();
+  EXPECT_EQ(ha.canvas_deltas, hb.canvas_deltas);
+  EXPECT_EQ(ha.canvas_full_keyframes, hb.canvas_full_keyframes);
+  EXPECT_EQ(ha.canvas_resyncs, hb.canvas_resyncs);
+  EXPECT_EQ(ha.canvas_tiles_sent, hb.canvas_tiles_sent);
+  EXPECT_EQ(ha.canvas_tiles_reused, hb.canvas_tiles_reused);
+  EXPECT_DOUBLE_EQ(ra.summary.mean_iou, rb.summary.mean_iou);
+  EXPECT_EQ(ra.total_tx_bytes, rb.total_tx_bytes);
+}

@@ -546,3 +546,126 @@ TEST(ChunksProperty, AssemblerIdempotentUnderAnyInterleaving) {
     EXPECT_EQ(asm_.arrived_instances(), ordered.arrived_instances());
   }
 }
+
+// ---------------------------------------------------------------------------
+// Versioned codec (net/codec.hpp): the registry is the source of truth for
+// what can cross the wire; these tests iterate it so a newly registered
+// message type is covered without editing them.
+
+#include <set>
+
+#include "net/codec.hpp"
+
+TEST(Codec, RegistryRoundTripsEveryMessageType) {
+  const auto types = registered_message_types();
+  ASSERT_GE(types.size(), 5u);  // keyframe, delta, result, chunk, resend
+  std::set<std::uint8_t> tags;
+  for (const auto& t : types) {
+    EXPECT_TRUE(tags.insert(t.tag).second)
+        << t.name << ": duplicate tag " << int(t.tag);
+    ASSERT_NE(t.round_trip_ok, nullptr) << t.name;
+    EXPECT_TRUE(t.round_trip_ok()) << t.name << ": sample round trip failed";
+  }
+}
+
+namespace {
+
+DeltaKeyframeMessage sample_delta(rt::Rng& rng) {
+  DeltaKeyframeMessage m;
+  m.frame_index = static_cast<std::int32_t>(rng.uniform_int(10'000));
+  m.width = 640;
+  m.height = 480;
+  m.tile_size = 64;
+  m.epoch = static_cast<std::uint32_t>(1 + rng.uniform_int(1000));
+  m.base_epoch = m.epoch - 1;
+  m.warp_dx_tiles = static_cast<std::int16_t>(rng.uniform_int(7)) - 3;
+  m.warp_dy_tiles = static_cast<std::int16_t>(rng.uniform_int(7)) - 3;
+  const int tiles = static_cast<int>(rng.uniform_int(40));
+  for (int i = 0; i < tiles; ++i) {
+    m.tiles.push_back({static_cast<std::uint16_t>(rng.uniform_int(80)),
+                       static_cast<std::uint8_t>(rng.uniform_int(4)),
+                       static_cast<std::uint8_t>(rng.uniform_int(4))});
+  }
+  m.tile_payload_bytes = 37 * m.tiles.size();
+  const int priors = static_cast<int>(rng.uniform_int(4));
+  for (int i = 0; i < priors; ++i) {
+    KeyframeMessage::Prior p;
+    p.x0 = static_cast<std::int32_t>(rng.uniform_int(320));
+    p.y0 = static_cast<std::int32_t>(rng.uniform_int(240));
+    p.x1 = 320;
+    p.y1 = 240;
+    p.class_id = static_cast<std::int32_t>(rng.uniform_int(8));
+    p.instance_id = static_cast<std::int32_t>(rng.uniform_int(32));
+    m.priors.push_back(p);
+  }
+  if (rng.uniform_int(2) == 0) {
+    m.new_areas.push_back({0, 0, static_cast<int>(1 + rng.uniform_int(639)),
+                           static_cast<int>(1 + rng.uniform_int(479))});
+  }
+  return m;
+}
+
+}  // namespace
+
+TEST(Codec, DeltaKeyframeFuzzRoundTrip) {
+  for (std::uint64_t seed = 1; seed <= 50; ++seed) {
+    rt::Rng rng(seed);
+    const auto msg = sample_delta(rng);
+    const auto bytes = Codec::encode(msg);
+    EXPECT_EQ(Codec::peek_tag(bytes), MessageTraits<DeltaKeyframeMessage>::kTag);
+    const auto back = Codec::decode<DeltaKeyframeMessage>(bytes);
+    EXPECT_EQ(back, msg) << "seed " << seed;
+    // Wire accounting derives from the encoding, never a parallel formula.
+    EXPECT_EQ(Codec::wire_bytes(msg), bytes.size() + msg.tile_payload_bytes);
+  }
+}
+
+TEST(Codec, TruncatedDeltaKeyframeThrows) {
+  rt::Rng rng(7);
+  const auto bytes = Codec::encode(sample_delta(rng));
+  // Every proper prefix must fail loudly, not parse garbage.
+  for (std::size_t len : {std::size_t{0}, std::size_t{3}, std::size_t{5},
+                          bytes.size() / 2, bytes.size() - 1}) {
+    EXPECT_THROW(Codec::decode<DeltaKeyframeMessage>(
+                     std::span(bytes.data(), len)),
+                 rt::DeserializeError)
+        << "prefix " << len;
+  }
+}
+
+TEST(Codec, TagMismatchRejected) {
+  KeyframeMessage kf;
+  kf.frame_index = 3;
+  kf.width = 64;
+  kf.height = 64;
+  const auto bytes = Codec::encode(kf);
+  EXPECT_THROW(Codec::decode<DeltaKeyframeMessage>(bytes),
+               rt::DeserializeError);
+}
+
+TEST(Codec, CorruptMagicAndVersionRejected) {
+  rt::Rng rng(11);
+  auto bytes = Codec::encode(sample_delta(rng));
+  auto bad_magic = bytes;
+  bad_magic[0] ^= 0xFF;
+  EXPECT_THROW(Codec::decode<DeltaKeyframeMessage>(bad_magic),
+               rt::DeserializeError);
+  auto bad_version = bytes;
+  bad_version[4] = 99;
+  EXPECT_THROW(Codec::decode<DeltaKeyframeMessage>(bad_version),
+               rt::DeserializeError);
+}
+
+TEST(Codec, LegacyWrappersAreTheCodec) {
+  KeyframeMessage kf;
+  kf.frame_index = 12;
+  kf.width = 640;
+  kf.height = 480;
+  kf.tile_classes = {0, 1, 2, 3};
+  kf.tile_levels = {0, 2, 3, 1};
+  kf.tile_payload_bytes = 1234;
+  kf.canvas_epoch = 9;
+  EXPECT_EQ(serialize(kf), Codec::encode(kf));
+  EXPECT_EQ(wire_bytes(kf), Codec::wire_bytes(kf));
+  EXPECT_EQ(parse_keyframe(serialize(kf)), kf);
+}
